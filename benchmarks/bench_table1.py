@@ -1,0 +1,53 @@
+"""Table 1 benchmark: backward bound inference across families and sizes.
+
+Times Bean's inference on every (family, size) cell of the paper's
+Table 1 and checks, per cell, that the inferred grade equals the
+worst-case literature bound exactly.  The formatted table (Bean vs. Std.
+vs. the paper's printed values) is written to ``results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.standard_bounds import standard_bound_grade
+from repro.bench.table1 import format_table1, run_table1
+from repro.core import check_definition
+from repro.programs.generators import BENCHMARK_FAMILIES, TABLE1_SIZES
+
+# Every cell of Table 1.  Large cells run a single benchmark round (they
+# take seconds); small cells let pytest-benchmark calibrate.
+CELLS = [
+    (family, size)
+    for family, sizes in TABLE1_SIZES.items()
+    for size in sizes
+]
+
+_SLOW_THRESHOLD_OPS = 900
+
+
+def _is_slow(family: str, size: int) -> bool:
+    from repro.programs.generators import expected_flops
+
+    return expected_flops(family, size) > _SLOW_THRESHOLD_OPS
+
+
+@pytest.mark.parametrize("family,size", CELLS, ids=[f"{f}-{n}" for f, n in CELLS])
+def test_table1_inference(benchmark, family, size):
+    definition = BENCHMARK_FAMILIES[family](size)
+    if _is_slow(family, size):
+        judgment = benchmark.pedantic(
+            check_definition, args=(definition,), rounds=1, iterations=1
+        )
+    else:
+        judgment = benchmark(check_definition, definition)
+    assert judgment.max_linear_grade().coeff == standard_bound_grade(family, size).coeff
+
+
+def test_table1_report(benchmark):
+    """Regenerate and persist the full Table 1."""
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert all(r.grades_match_std for r in rows)
+    assert all(r.matches_paper for r in rows)
+    write_result("table1.txt", format_table1(rows))

@@ -1,0 +1,58 @@
+"""Table 2 benchmark: Bean vs. dynamic analysis on glibc sin/cos.
+
+Times Bean's inference on the sin/cos kernels (the paper reports ~1 ms)
+and our Fu-et-al-style dynamic estimator, and checks the headline shape:
+Bean's sound static bounds match the paper's printed values exactly, and
+the dynamic estimates land in the published orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.dynamic import FU_PUBLISHED, estimate_scalar
+from repro.bench.table2 import PAPER_TABLE2, format_table2, run_table2
+from repro.core import check_definition
+from repro.programs.transcendental import (
+    TABLE2_RANGE,
+    cos_ideal,
+    cos_kernel,
+    glibc_cos,
+    glibc_sin,
+    sin_ideal,
+    sin_kernel,
+)
+
+
+@pytest.mark.parametrize("make_def,grade", [(glibc_sin, 13), (glibc_cos, 12)],
+                         ids=["sin", "cos"])
+def test_table2_bean_inference(benchmark, make_def, grade):
+    definition = make_def()
+    judgment = benchmark(check_definition, definition)
+    assert judgment.max_linear_grade().coeff == grade
+
+
+@pytest.mark.parametrize(
+    "name,kernel,ideal",
+    [("sin", sin_kernel, sin_ideal), ("cos", cos_kernel, cos_ideal)],
+)
+def test_table2_dynamic_estimator(benchmark, name, kernel, ideal):
+    estimate = benchmark.pedantic(
+        estimate_scalar,
+        args=(kernel, ideal, TABLE2_RANGE),
+        kwargs={"samples": 16},
+        rounds=1,
+        iterations=1,
+    )
+    published = FU_PUBLISHED[name]["backward_bound"]
+    # Same order of magnitude as Fu et al.'s published estimate.
+    assert estimate.max_backward_error < published * 10
+    assert estimate.max_backward_error > published / 100
+
+
+def test_table2_report(benchmark):
+    rows = benchmark.pedantic(run_table2, kwargs={"samples": 16}, rounds=1, iterations=1)
+    for row in rows:
+        assert abs(row.bean_bound - PAPER_TABLE2[row.benchmark]) < 0.01e-15
+    write_result("table2.txt", format_table2(rows))

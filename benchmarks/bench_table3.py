@@ -1,0 +1,55 @@
+"""Table 3 benchmark: forward bounds via condition numbers vs. baselines.
+
+Checks that Bean's converted forward bounds, the NumFuzz-like analyzer,
+and the Gappa-like interval analyzer agree with each other and with the
+paper's printed values (to the printed precision), and times each
+analyzer on the largest benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.analysis.forward import forward_error_bound
+from repro.analysis.intervals import interval_forward_bound
+from repro.bench.table3 import (
+    PAPER_TABLE3,
+    TABLE3_U,
+    format_table3,
+    run_table3,
+)
+from repro.programs.generators import poly_val
+
+
+def _close(a: float, b: float, rel: float = 5e-3) -> bool:
+    return abs(a - b) <= rel * max(abs(a), abs(b))
+
+
+def test_table3_report(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    for row in rows:
+        assert _close(row.bean_forward, row.paper_value)
+        assert _close(row.numfuzz_like, row.paper_value)
+        assert _close(row.gappa_like, row.paper_value)
+        # The three tools agree with each other far more tightly.
+        assert _close(row.bean_forward, row.numfuzz_like, rel=1e-12)
+    write_result("table3.txt", format_table3(rows))
+
+
+@pytest.fixture(scope="module")
+def polyval100():
+    return poly_val(100)
+
+
+def test_table3_numfuzz_like_timing(benchmark, polyval100):
+    grade = benchmark(forward_error_bound, polyval100)
+    assert _close(grade.evaluate(TABLE3_U), PAPER_TABLE3["PolyVal"])
+
+
+def test_table3_gappa_like_timing(benchmark, polyval100):
+    bound = benchmark.pedantic(
+        interval_forward_bound, args=(polyval100,), kwargs={"u": TABLE3_U},
+        rounds=1, iterations=1,
+    )
+    assert _close(bound, PAPER_TABLE3["PolyVal"])

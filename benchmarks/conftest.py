@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_table*.py`` module regenerates one table of the paper's
+evaluation section and writes the formatted table to
+``benchmarks/results/``, in addition to timing the underlying inference
+with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a formatted table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Comparing the numerical stability of polynomial evaluation schemes.
+
+Section 4.2's motivating study, scaled up: Horner's method is usually
+considered *more* stable than naive evaluation because it uses fewer
+operations — but Bean's per-coefficient backward error bounds show the
+picture is subtler.  Horner concentrates backward error on the
+high-order coefficients (up to 2n·ε), while naive evaluation spreads a
+uniform (n+1)·ε over all of them.
+
+This example prints the per-coefficient bounds for both schemes at
+several degrees, then validates the degree-8 bounds empirically with the
+lens witness machinery.
+"""
+
+from repro.core import NUM, Definition, Param, check_definition
+from repro.core import builders as B
+from repro.core.types import DNUM
+from repro.semantics.witness import run_witness
+
+
+def horner_percoeff(degree: int) -> Definition:
+    """Horner with each coefficient a separate linear input."""
+    coeffs = [f"a{i}" for i in range(degree + 1)]
+    bindings = []
+    acc = coeffs[degree]
+    for i in range(degree - 1, -1, -1):
+        bindings.append((f"t{i}", B.dmul("z", acc)))
+        bindings.append((f"s{i}", B.add(coeffs[i], f"t{i}")))
+        acc = f"s{i}"
+    *init, (_, last) = bindings
+    body = B.let_chain(init, last)
+    params = [Param(c, NUM) for c in coeffs] + [Param("z", DNUM)]
+    return Definition(f"HornerD{degree}", params, body)
+
+
+def naive_percoeff(degree: int) -> Definition:
+    """Naive term-by-term evaluation, per-coefficient inputs."""
+    coeffs = [f"a{i}" for i in range(degree + 1)]
+    bindings = []
+    terms = [B.var(coeffs[0])]
+    for k in range(1, degree + 1):
+        acc = coeffs[k]
+        for j in range(k):
+            name = f"m{k}_{j}"
+            bindings.append((name, B.dmul("z", acc)))
+            acc = name
+        terms.append(B.var(acc))
+    sums = []
+    acc = None
+    for i, t in enumerate(terms):
+        if acc is None:
+            acc = t
+            continue
+        name = f"sum{i}"
+        bindings.append((name, B.add(acc, t)))
+        acc = B.var(name)
+    *init, (_, last) = bindings
+    body = B.let_chain(init, last)
+    params = [Param(c, NUM) for c in coeffs] + [Param("z", DNUM)]
+    return Definition(f"NaiveD{degree}", params, body)
+
+
+def main() -> None:
+    for degree in (2, 4, 8):
+        jn = check_definition(naive_percoeff(degree))
+        jh = check_definition(horner_percoeff(degree))
+        print(f"degree {degree}: per-coefficient backward error bounds")
+        header = "  coeff " + "".join(f"{f'a{i}':>8}" for i in range(degree + 1))
+        print(header)
+        print("  naive " + "".join(f"{str(jn.grade_of(f'a{i}')):>8}" for i in range(degree + 1)))
+        print("  horner" + "".join(f"{str(jh.grade_of(f'a{i}')):>8}" for i in range(degree + 1)))
+        print()
+
+    print("Observations (matching the paper's Section 4.2):")
+    print("  * naive evaluation: uniform (n+1)e on every coefficient but a0;")
+    print("  * Horner: as little as e on a0, but 2n*e on the leading one.")
+    print()
+
+    # Empirical check at degree 8: run the soundness witness.
+    degree = 8
+    definition = horner_percoeff(degree)
+    inputs = {f"a{i}": [1.0 / (i + 1)] for i in range(degree + 1)}
+    inputs["z"] = 0.37
+    report = run_witness(definition, inputs)
+    print(f"degree-{degree} Horner witness run: sound = {report.sound}")
+    worst = max(report.params.values(), key=lambda w: w.distance)
+    print(
+        f"largest observed backward error: {worst.distance:.3e} on "
+        f"{worst.name} (bound {worst.bound:.3e})"
+    )
+    assert report.sound
+
+
+if __name__ == "__main__":
+    main()

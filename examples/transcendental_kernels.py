@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Static vs. dynamic backward error on glibc-style sin/cos (Table 2).
+
+The cos kernel is the interesting one: its backward error *with respect
+to the evaluation point* is large (≈1e-9 on [0.0001, 0.01], because
+cos is flat there — reproducing Fu et al.'s dynamic finding), while its
+backward error *with respect to the coefficients* is tiny and soundly
+bounded by Bean's 12ε.  Backward error depends on where you are allowed
+to put the blame; Bean's types make the allocation explicit.
+"""
+
+import time
+
+from repro.analysis.dynamic import FU_PUBLISHED, estimate_scalar
+from repro.core import check_definition
+from repro.programs.transcendental import (
+    TABLE2_RANGE,
+    cos_ideal,
+    cos_kernel,
+    glibc_cos,
+    glibc_sin,
+    sin_ideal,
+    sin_kernel,
+)
+
+
+def main() -> None:
+    for name, make_def, kernel, ideal in [
+        ("sin", glibc_sin, sin_kernel, sin_ideal),
+        ("cos", glibc_cos, cos_kernel, cos_ideal),
+    ]:
+        definition = make_def()
+        start = time.perf_counter()
+        judgment = check_definition(definition)
+        bean_ms = (time.perf_counter() - start) * 1e3
+        grade = judgment.max_linear_grade()
+
+        start = time.perf_counter()
+        estimate = estimate_scalar(kernel, ideal, TABLE2_RANGE, samples=32)
+        dyn_ms = (time.perf_counter() - start) * 1e3
+
+        published = FU_PUBLISHED[name]
+        print(f"{name} on [{TABLE2_RANGE[0]}, {TABLE2_RANGE[1]}]:")
+        print(
+            f"  Bean static bound (coefficients): {grade} = "
+            f"{grade.evaluate():.2e}   [{bean_ms:.2f} ms]"
+        )
+        print(
+            f"  dynamic estimate (evaluation point): "
+            f"{estimate.max_backward_error:.2e}   [{dyn_ms:.0f} ms]"
+        )
+        print(
+            f"  Fu et al. published: {published['backward_bound']:.2e}   "
+            f"[{published['timing_ms']:.0f} ms]"
+        )
+        print()
+
+    print("Shape reproduced from the paper's Table 2: for sin the dynamic and")
+    print("static numbers are both ~1e-16; for cos the dynamic estimate is ~7")
+    print("orders of magnitude larger than Bean's sound coefficientwise bound,")
+    print("and Bean runs ~1000x faster than the dynamic analysis.")
+
+
+if __name__ == "__main__":
+    main()

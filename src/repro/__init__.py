@@ -1,0 +1,111 @@
+"""Bean: a language for backward error analysis — Python reproduction.
+
+A from-scratch implementation of the system described in
+
+    Ariel E. Kellison, Laura Zielinski, David Bindel, Justin Hsu.
+    "Bean: A Language for Backward Error Analysis." PLDI 2025.
+
+Quick tour::
+
+    >>> import repro
+    >>> prog = repro.parse_program('''
+    ... DotProd2 (x : vec(2)) (y : vec(2)) : num :=
+    ...   let (x0, x1) = x in
+    ...   let (y0, y1) = y in
+    ...   let v = mul x0 y0 in
+    ...   let w = mul x1 y1 in
+    ...   add v w
+    ... ''')
+    >>> judgment = repro.check_program(prog)["DotProd2"]
+    >>> str(judgment.grade_of("x"))
+    '3ε/2'
+    >>> report = repro.run_witness(prog["DotProd2"],
+    ...                            {"x": [1.5, 2.25], "y": [3.1, -0.7]},
+    ...                            program=prog)
+    >>> report.sound
+    True
+
+Subpackages:
+
+* :mod:`repro.core` — the Bean language: syntax, linear/graded type
+  system, and the backward error bound inference algorithm.
+* :mod:`repro.lam_s` — the erasure target Λ_S with ideal and approximate
+  operational semantics.
+* :mod:`repro.semantics` — backward error lenses; the category Bel; the
+  interpreter that turns typed programs into executable (f, f̃, b)
+  triples; the soundness-theorem witness runner.
+* :mod:`repro.analysis` — metrics, worst-case literature bounds,
+  condition numbers, and the baseline analyzers Tables 1–3 compare
+  against.
+* :mod:`repro.programs` — the paper's example programs and scalable
+  benchmark generators.
+* :mod:`repro.bench` — drivers that regenerate Tables 1, 2 and 3.
+"""
+
+from .core import (
+    EPS,
+    HALF_EPS,
+    ZERO,
+    BeanError,
+    BeanSyntaxError,
+    BeanTypeError,
+    Definition,
+    Grade,
+    Judgment,
+    LinearityError,
+    Program,
+    UnboundVariableError,
+    check_definition,
+    check_program,
+    count_flops,
+    eps_from_roundoff,
+    infer,
+    parse_expression,
+    parse_program,
+    parse_type,
+    pretty_program,
+    unit_roundoff,
+)
+from .report import AnalysisReport, analyze
+from .semantics import (
+    BeanLens,
+    WitnessReport,
+    lens_of_definition,
+    lens_of_program,
+    run_witness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "EPS",
+    "HALF_EPS",
+    "ZERO",
+    "BeanError",
+    "BeanSyntaxError",
+    "BeanTypeError",
+    "BeanLens",
+    "Definition",
+    "Grade",
+    "Judgment",
+    "LinearityError",
+    "Program",
+    "UnboundVariableError",
+    "WitnessReport",
+    "check_definition",
+    "check_program",
+    "count_flops",
+    "eps_from_roundoff",
+    "infer",
+    "lens_of_definition",
+    "lens_of_program",
+    "parse_expression",
+    "parse_program",
+    "parse_type",
+    "pretty_program",
+    "run_witness",
+    "unit_roundoff",
+    "__version__",
+]

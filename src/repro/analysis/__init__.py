@@ -1,0 +1,30 @@
+"""Numerical-analysis substrate: metrics, bounds, and baseline analyzers."""
+
+from .condition import (
+    TABLE3_CONDITION_NUMBER,
+    condition_number_dot_product,
+    condition_number_polynomial,
+    condition_number_sum,
+    forward_bound_from_backward,
+)
+from .dynamic import (
+    FU_PUBLISHED,
+    DynamicEstimate,
+    estimate_multivariate,
+    estimate_scalar,
+)
+from .forward import UNBOUNDED, forward_error_bound, forward_error_value
+from .intervals import DEFAULT_RANGE, Interval, interval_forward_bound
+from .metrics import (
+    componentwise_backward_error,
+    relative_error,
+    rp,
+    ulps_between,
+)
+from .standard_bounds import (
+    HIGHAM_CITATIONS,
+    standard_bound_grade,
+    standard_bound_value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

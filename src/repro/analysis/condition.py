@@ -1,0 +1,81 @@
+"""Relative componentwise condition numbers (Definition 5.1) and the
+forward-from-backward conversion used in Section 5.2.3.
+
+The governing inequality is Equation 2::
+
+    forward error  ≤  condition number × backward error
+
+For the Table 3 benchmarks the paper uses workloads whose relative
+componentwise condition number is exactly 1 **under strictly positive
+inputs** (e.g. κ_rel of summation is Σ|aᵢ| / |Σ aᵢ| [Muller et al. 2018],
+which collapses to 1 when every aᵢ > 0), so Bean's backward bound *is* a
+forward bound there.  The functions here compute κ_rel for the benchmark
+families and do the conversion generically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade
+
+__all__ = [
+    "condition_number_sum",
+    "condition_number_dot_product",
+    "condition_number_polynomial",
+    "forward_bound_from_backward",
+    "TABLE3_CONDITION_NUMBER",
+]
+
+#: κ_rel for every Table 3 benchmark under positive inputs.
+TABLE3_CONDITION_NUMBER = 1.0
+
+
+def condition_number_sum(values: Sequence[float]) -> float:
+    """κ_rel of summation: Σ|aᵢ| / |Σ aᵢ| (= 1 for positive data)."""
+    total = sum(values)
+    if total == 0.0:
+        return math.inf
+    return sum(abs(v) for v in values) / abs(total)
+
+
+def condition_number_dot_product(x: Sequence[float], y: Sequence[float]) -> float:
+    """κ_rel of the dot product: Σ|xᵢyᵢ| / |Σ xᵢyᵢ|.
+
+    Unbounded near orthogonality — the situation where forward analysis
+    says nothing but backward analysis still gives 𝒪(n·ε) (Section 2.1.2).
+    """
+    if len(x) != len(y):
+        raise ValueError("vectors must have equal length")
+    dot = sum(a * b for a, b in zip(x, y))
+    if dot == 0.0:
+        return math.inf
+    return sum(abs(a * b) for a, b in zip(x, y)) / abs(dot)
+
+
+def condition_number_polynomial(coeffs: Sequence[float], z: float) -> float:
+    """κ_rel of polynomial evaluation w.r.t. its coefficients:
+    Σ|aₖ z^k| / |Σ aₖ z^k| (= 1 for positive coefficients and z > 0)."""
+    value = 0.0
+    magnitude = 0.0
+    power = 1.0
+    for a in coeffs:
+        value += a * power
+        magnitude += abs(a * power)
+        power *= z
+    if value == 0.0:
+        return math.inf
+    return magnitude / abs(value)
+
+
+def forward_bound_from_backward(
+    backward_grade: Grade,
+    condition_number: float = TABLE3_CONDITION_NUMBER,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+) -> float:
+    """Equation 2: a relative forward error bound from Bean's backward
+    bound and a known κ_rel."""
+    if condition_number < 0:
+        raise ValueError("condition numbers are non-negative")
+    return condition_number * backward_grade.evaluate(u)

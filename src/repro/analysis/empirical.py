@@ -1,0 +1,143 @@
+"""Empirical error-measurement harness.
+
+Where the rest of :mod:`repro.analysis` produces *static* bounds, this
+module measures what actually happens at runtime, for validating the
+bounds and studying their tightness:
+
+* :func:`measure_backward_error` — run the program in binary64,
+  construct the lens witness, and report the observed componentwise
+  backward error per linear input;
+* :func:`measure_forward_error` — RP distance between the binary64 and
+  high-precision results;
+* :func:`tightness_study` — sweep randomized inputs and summarize how
+  much of each static budget real executions consume (used by the
+  soundness-audit example and the benchmark harness).
+
+All sampling is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+from ..core import ast_nodes as A
+from ..core.grades import BINARY64_UNIT_ROUNDOFF
+from ..lam_s.eval import evaluate
+from ..lam_s.values import Value, VInl, VNum
+from ..semantics.interp import BeanLens, lens_of_definition
+from ..semantics.witness import run_witness
+from .metrics import rp
+
+__all__ = [
+    "measure_backward_error",
+    "measure_forward_error",
+    "TightnessSummary",
+    "tightness_study",
+]
+
+InputSpec = Mapping[str, Union[float, int, Sequence[float]]]
+
+
+def measure_backward_error(
+    definition: A.Definition,
+    inputs: InputSpec,
+    *,
+    program: Optional[A.Program] = None,
+    lens: Optional[BeanLens] = None,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+) -> Dict[str, float]:
+    """Observed componentwise backward error per linear parameter.
+
+    Returns ``{param: observed RP distance}``; the witness run must be
+    sound (it is, by Theorem 3.1 — an assertion guards regressions).
+    """
+    report = run_witness(definition, inputs, program=program, lens=lens, u=u)
+    assert report.sound, f"soundness violation:\n{report.describe()}"
+    return {
+        name: float(w.distance)
+        for name, w in report.params.items()
+        if w.bound > 0 or w.distance > 0
+    }
+
+
+def measure_forward_error(
+    definition: A.Definition,
+    inputs: InputSpec,
+    *,
+    program: Optional[A.Program] = None,
+    precision: int = 50,
+) -> float:
+    """Observed relative-precision forward error of one binary64 run."""
+    from ..semantics.witness import env_from_pythons
+
+    env = env_from_pythons(definition, inputs)
+    approx = evaluate(definition.body, env, mode="approx", program=program)
+    ideal = evaluate(
+        definition.body, env, mode="ideal", program=program, precision=precision
+    )
+    return rp(_scalar(approx), _scalar(ideal))
+
+
+def _scalar(value: Value) -> float:
+    if isinstance(value, VNum):
+        return value.as_float()
+    if isinstance(value, VInl) and isinstance(value.body, VNum):
+        return value.body.as_float()
+    raise TypeError(f"forward error needs a scalar result, got {value!r}")
+
+
+@dataclass(frozen=True)
+class TightnessSummary:
+    """How much of the static budget runs actually used."""
+
+    runs: int
+    violations: int
+    max_utilization: float  # max over runs of observed / bound
+    mean_utilization: float
+
+    @property
+    def sound(self) -> bool:
+        return self.violations == 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.runs} runs, {self.violations} violations, "
+            f"budget utilization max {self.max_utilization:.1%} / "
+            f"mean {self.mean_utilization:.1%}"
+        )
+
+
+def tightness_study(
+    definition: A.Definition,
+    sample_inputs: Callable[[random.Random], InputSpec],
+    *,
+    runs: int = 100,
+    seed: int = 0,
+    program: Optional[A.Program] = None,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+) -> TightnessSummary:
+    """Sweep randomized inputs; summarize soundness and bound tightness."""
+    rng = random.Random(seed)
+    lens = lens_of_definition(definition, program=program)
+    violations = 0
+    utilizations = []
+    for _ in range(runs):
+        report = run_witness(
+            definition, sample_inputs(rng), program=program, lens=lens, u=u
+        )
+        if not report.sound:
+            violations += 1
+            continue
+        for w in report.params.values():
+            if w.bound > 0:
+                utilizations.append(float(w.distance / w.bound))
+    if not utilizations:
+        utilizations = [0.0]
+    return TightnessSummary(
+        runs=runs,
+        violations=violations,
+        max_utilization=max(utilizations),
+        mean_utilization=sum(utilizations) / len(utilizations),
+    )

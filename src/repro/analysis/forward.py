@@ -1,0 +1,258 @@
+"""A NumFuzz-like static forward rounding error analyzer.
+
+Table 3 compares forward error bounds derived from Bean's backward bounds
+against NumFuzz [Kellison & Hsu 2024].  NumFuzz is an OCaml tool; this
+module re-implements the *analysis* it performs on our benchmarks: a
+compositional, sound bound on the **relative precision** forward error
+``RP(f̃(x), f(x))`` under Olver's model, assuming strictly positive data
+(the assumption the paper notes NumFuzz needs for soundness).
+
+Propagation rules, with errors measured in units of ``ε = u/(1−u)`` (RP
+distances compose additively, which is the point of the log metric):
+
+* inputs and constants carry error 0;
+* ``mul``/``dmul``/``div``: errors add, plus 1 for the operation's own
+  rounding (``RP(x̃ỹ, xy) ≤ RP(x̃,x) + RP(ỹ,y)``, exactly);
+* ``add`` on positive data: ``max`` of the operand errors, plus 1
+  (a weighted mean of ratios lies between them);
+* ``sub``: unbounded (cancellation) — reported as ``None``.  The Table 3
+  benchmarks are subtraction-free.
+
+The result is exact symbolic arithmetic on Fractions, so e.g. Sum 500
+yields exactly ``499ε`` — the number NumFuzz reports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Union
+
+from ..core import ast_nodes as A
+from ..core.checker import Judgment
+from ..core.deepstack import call_with_deep_stack
+from ..core.errors import BeanTypeError
+from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade, eps_from_roundoff
+
+__all__ = ["forward_error_bound", "forward_error_value", "UNBOUNDED"]
+
+#: Sentinel for "no finite bound derivable" (subtraction / cancellation).
+UNBOUNDED = None
+
+_Err = Optional[Fraction]  # None = unbounded
+
+
+class _Abs:
+    """Abstract values: structure trees with per-leaf error bounds."""
+
+    __slots__ = ()
+
+
+class _ANum(_Abs):
+    __slots__ = ("err",)
+
+    def __init__(self, err: _Err) -> None:
+        self.err = err
+
+
+class _AUnit(_Abs):
+    __slots__ = ()
+
+
+class _APair(_Abs):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Abs, right: _Abs) -> None:
+        self.left = left
+        self.right = right
+
+
+class _ASum(_Abs):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Optional[_Abs], right: Optional[_Abs]) -> None:
+        self.left = left
+        self.right = right
+
+
+def _err_add(a: _Err, b: _Err, op_cost: int) -> _Err:
+    if a is None or b is None:
+        return None
+    return a + b + op_cost
+
+
+def _err_max(a: _Err, b: _Err, op_cost: int) -> _Err:
+    if a is None or b is None:
+        return None
+    return max(a, b) + op_cost
+
+
+def _join(a: Optional[_Abs], b: Optional[_Abs]) -> Optional[_Abs]:
+    """Pointwise worst case of two abstract values (case branches)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, _ANum) and isinstance(b, _ANum):
+        if a.err is None or b.err is None:
+            return _ANum(None)
+        return _ANum(max(a.err, b.err))
+    if isinstance(a, _AUnit) and isinstance(b, _AUnit):
+        return a
+    if isinstance(a, _APair) and isinstance(b, _APair):
+        return _APair(_join(a.left, b.left), _join(a.right, b.right))
+    if isinstance(a, _ASum) and isinstance(b, _ASum):
+        return _ASum(_join(a.left, b.left), _join(a.right, b.right))
+    raise BeanTypeError("case branches produce incompatible shapes")
+
+
+def _worst(a: _Abs) -> _Err:
+    """The largest leaf error of an abstract value."""
+    if isinstance(a, _ANum):
+        return a.err
+    if isinstance(a, _AUnit):
+        return Fraction(0)
+    if isinstance(a, _APair):
+        l, r = _worst(a.left), _worst(a.right)
+        if l is None or r is None:
+            return None
+        return max(l, r)
+    if isinstance(a, _ASum):
+        worst = Fraction(0)
+        for side in (a.left, a.right):
+            if side is None:
+                continue
+            w = _worst(side)
+            if w is None:
+                return None
+            worst = max(worst, w)
+        return worst
+    raise TypeError(f"bad abstract value {a!r}")
+
+
+def _abs_of_type(ty) -> _Abs:
+    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+
+    if isinstance(ty, (Num,)):
+        return _ANum(Fraction(0))
+    if isinstance(ty, Unit):
+        return _AUnit()
+    if isinstance(ty, Discrete):
+        return _abs_of_type(ty.inner)
+    if isinstance(ty, Tensor):
+        return _APair(_abs_of_type(ty.left), _abs_of_type(ty.right))
+    if isinstance(ty, Sum):
+        return _ASum(_abs_of_type(ty.left), _abs_of_type(ty.right))
+    raise BeanTypeError(f"no abstraction for type {ty}")
+
+
+class _ForwardAnalyzer:
+    def __init__(self, program: Optional[A.Program]) -> None:
+        self.program = program
+
+    def analyze(self, expr: A.Expr, env: Dict[str, _Abs]) -> _Abs:
+        if isinstance(expr, A.Var):
+            return env[expr.name]
+        if isinstance(expr, A.UnitVal):
+            return _AUnit()
+        if isinstance(expr, A.Bang):
+            return self.analyze(expr.body, env)
+        if isinstance(expr, A.Pair):
+            return _APair(self.analyze(expr.left, env), self.analyze(expr.right, env))
+        if isinstance(expr, A.Inl):
+            return _ASum(self.analyze(expr.body, env), None)
+        if isinstance(expr, A.Inr):
+            return _ASum(None, self.analyze(expr.body, env))
+        if isinstance(expr, (A.Let, A.DLet)):
+            bound = self.analyze(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.analyze(expr.body, inner)
+        if isinstance(expr, (A.LetPair, A.DLetPair)):
+            bound = self.analyze(expr.bound, env)
+            if not isinstance(bound, _APair):
+                raise BeanTypeError("pair elimination of non-pair abstraction")
+            inner = dict(env)
+            inner[expr.left] = bound.left
+            inner[expr.right] = bound.right
+            return self.analyze(expr.body, inner)
+        if isinstance(expr, A.Case):
+            scrut = self.analyze(expr.scrutinee, env)
+            if not isinstance(scrut, _ASum):
+                raise BeanTypeError("case of non-sum abstraction")
+            result: Optional[_Abs] = None
+            if scrut.left is not None:
+                inner = dict(env)
+                inner[expr.left_name] = scrut.left
+                result = _join(result, self.analyze(expr.left, inner))
+            if scrut.right is not None:
+                inner = dict(env)
+                inner[expr.right_name] = scrut.right
+                result = _join(result, self.analyze(expr.right, inner))
+            if result is None:
+                raise BeanTypeError("case with no reachable branch")
+            return result
+        if isinstance(expr, A.PrimOp):
+            left = self.analyze(expr.left, env)
+            right = self.analyze(expr.right, env)
+            if not isinstance(left, _ANum) or not isinstance(right, _ANum):
+                raise BeanTypeError("arithmetic on non-numeric abstraction")
+            if expr.op is A.Op.ADD:
+                return _ANum(_err_max(left.err, right.err, 1))
+            if expr.op is A.Op.SUB:
+                return _ANum(None)  # cancellation: no positive-data bound
+            if expr.op in (A.Op.MUL, A.Op.DMUL):
+                return _ANum(_err_add(left.err, right.err, 1))
+            if expr.op is A.Op.DIV:
+                return _ASum(_ANum(_err_add(left.err, right.err, 1)), _AUnit())
+        if isinstance(expr, A.Rnd):
+            inner = self.analyze(expr.body, env)
+            if not isinstance(inner, _ANum):
+                raise BeanTypeError("rnd of non-numeric abstraction")
+            return _ANum(None if inner.err is None else inner.err + 1)
+        if isinstance(expr, A.Call):
+            if self.program is None or expr.name not in self.program:
+                raise BeanTypeError(f"call to unknown definition {expr.name!r}")
+            callee = self.program[expr.name]
+            frame = {
+                p.name: self.analyze(a, env)
+                for p, a in zip(callee.params, expr.args)
+            }
+            return self.analyze(callee.body, frame)
+        raise BeanTypeError(f"cannot analyze {expr!r}")
+
+
+def forward_error_bound(
+    definition: A.Definition,
+    program: Optional[A.Program] = None,
+) -> Optional[Grade]:
+    """A sound relative forward error bound (positive inputs), or None.
+
+    The bound is on ``RP(f̃(x), f(x))`` and is returned as a grade in
+    ε units; ``None`` means the analyzer cannot bound the error
+    (the program subtracts).
+    """
+    analyzer = _ForwardAnalyzer(program)
+    env = {p.name: _abs_of_type(p.ty) for p in definition.params}
+    result = call_with_deep_stack(analyzer.analyze, definition.body, env)
+    worst = _worst(result)
+    if worst is None:
+        return UNBOUNDED
+    return Grade(worst)
+
+
+def forward_error_value(
+    definition: A.Definition,
+    program: Optional[A.Program] = None,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+) -> Optional[float]:
+    """The numeric forward bound at unit roundoff ``u`` (None = unbounded)."""
+    grade = forward_error_bound(definition, program)
+    if grade is UNBOUNDED:
+        return None
+    return grade.evaluate(u)
+
+
+# Referenced for documentation completeness.
+_ = eps_from_roundoff
+_ = Union
+_ = Judgment

@@ -1,0 +1,331 @@
+"""A Gappa-like interval + rounding error abstract interpreter.
+
+Gappa [de Dinechin et al. 2011] verifies error bounds given *interval*
+hypotheses on the inputs — the paper runs it with every variable in
+``[0.1, 1000]`` (Table 3).  This module re-implements that style of
+analysis: each subterm carries
+
+* an interval ``[lo, hi]`` enclosing its **exact** value, and
+* a bound ``rel`` on the relative-precision error ``RP(approx, exact)``
+  accumulated so far (in numeric units, not symbolic ε).
+
+Interval information is what lets the analyzer handle subtraction and
+mixed-sign addition: when the result interval excludes zero, cancellation
+is bounded by the amplification factor ``κ = (max|I₁| + max|I₂|) /
+min|I₁ ∓ I₂|``; when it straddles zero the error is unbounded.  On
+same-signed data the rules coincide with :mod:`repro.analysis.forward`,
+which is why the two baselines (and Bean's converted bound) agree to all
+printed digits on the Table 3 benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core import ast_nodes as A
+from ..core.deepstack import call_with_deep_stack
+from ..core.errors import BeanTypeError
+from ..core.grades import eps_from_roundoff
+
+__all__ = ["Interval", "interval_forward_bound", "DEFAULT_RANGE"]
+
+#: The input range the paper uses for Gappa.
+DEFAULT_RANGE = (0.1, 1000.0)
+
+
+class Interval:
+    """A closed interval with outward-rounded float endpoints."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if math.isnan(lo) or math.isnan(hi) or lo > hi:
+            raise ValueError(f"bad interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    # Outward rounding by one ulp keeps the enclosure sound despite the
+    # endpoint arithmetic itself rounding.
+    @staticmethod
+    def _down(x: float) -> float:
+        return math.nextafter(x, -math.inf)
+
+    @staticmethod
+    def _up(x: float) -> float:
+        return math.nextafter(x, math.inf)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self._down(self.lo + other.lo), self._up(self.hi + other.hi))
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self._down(self.lo - other.hi), self._up(self.hi - other.lo))
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return Interval(self._down(min(products)), self._up(max(products)))
+
+    def divide(self, other: "Interval") -> "Interval":
+        if other.contains_zero():
+            raise ZeroDivisionError("division by an interval containing zero")
+        quotients = (
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        )
+        return Interval(self._down(min(quotients)), self._up(max(quotients)))
+
+    def contains_zero(self) -> bool:
+        return self.lo <= 0.0 <= self.hi
+
+    def same_signed(self) -> bool:
+        return self.lo > 0.0 or self.hi < 0.0
+
+    def mag_max(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    def mag_min(self) -> float:
+        if self.contains_zero():
+            return 0.0
+        return min(abs(self.lo), abs(self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+class _IAbs:
+    """Abstract values for the interval analyzer."""
+
+    __slots__ = ()
+
+
+class _INum(_IAbs):
+    __slots__ = ("interval", "rel")
+
+    def __init__(self, interval: Interval, rel: float) -> None:
+        self.interval = interval
+        self.rel = rel  # bound on RP(approx, exact); math.inf = unbounded
+
+
+class _IUnit(_IAbs):
+    __slots__ = ()
+
+
+class _IPair(_IAbs):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _IAbs, right: _IAbs) -> None:
+        self.left = left
+        self.right = right
+
+
+class _ISum(_IAbs):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Optional[_IAbs], right: Optional[_IAbs]) -> None:
+        self.left = left
+        self.right = right
+
+
+def _linear_combination_rel(
+    a: _INum, b: _INum, result: Interval, eps: float
+) -> float:
+    """Relative error of an add/sub through possibly-cancelling data."""
+    if a.rel == math.inf or b.rel == math.inf:
+        return math.inf
+    worst = max(a.rel, b.rel)
+    if result.contains_zero():
+        # Exact zero may meet non-zero approximation: RP unbounded.
+        if worst == 0.0 and eps == 0.0:
+            return 0.0
+        return math.inf
+    if a.interval.same_signed() == b.interval.same_signed() and (
+        (a.interval.lo >= 0.0 and b.interval.lo >= 0.0)
+        or (a.interval.hi <= 0.0 and b.interval.hi <= 0.0)
+    ):
+        # Same-signed addition: ratios average, no amplification.
+        return worst + eps
+    # Cancellation bounded by the interval-derived amplification factor.
+    kappa = (a.interval.mag_max() + b.interval.mag_max()) / result.mag_min()
+    classical = math.expm1(worst)  # RP -> classical relative error
+    amplified = kappa * classical
+    return math.log1p(amplified) + eps
+
+
+class _IntervalAnalyzer:
+    def __init__(self, program: Optional[A.Program], eps: float) -> None:
+        self.program = program
+        self.eps = eps
+
+    def analyze(self, expr: A.Expr, env: Dict[str, _IAbs]) -> _IAbs:
+        if isinstance(expr, A.Var):
+            return env[expr.name]
+        if isinstance(expr, A.UnitVal):
+            return _IUnit()
+        if isinstance(expr, A.Bang):
+            return self.analyze(expr.body, env)
+        if isinstance(expr, A.Pair):
+            return _IPair(self.analyze(expr.left, env), self.analyze(expr.right, env))
+        if isinstance(expr, A.Inl):
+            return _ISum(self.analyze(expr.body, env), None)
+        if isinstance(expr, A.Inr):
+            return _ISum(None, self.analyze(expr.body, env))
+        if isinstance(expr, (A.Let, A.DLet)):
+            bound = self.analyze(expr.bound, env)
+            inner = dict(env)
+            inner[expr.name] = bound
+            return self.analyze(expr.body, inner)
+        if isinstance(expr, (A.LetPair, A.DLetPair)):
+            bound = self.analyze(expr.bound, env)
+            if not isinstance(bound, _IPair):
+                raise BeanTypeError("pair elimination of non-pair abstraction")
+            inner = dict(env)
+            inner[expr.left] = bound.left
+            inner[expr.right] = bound.right
+            return self.analyze(expr.body, inner)
+        if isinstance(expr, A.Case):
+            scrut = self.analyze(expr.scrutinee, env)
+            if not isinstance(scrut, _ISum):
+                raise BeanTypeError("case of non-sum abstraction")
+            result: Optional[_IAbs] = None
+            if scrut.left is not None:
+                inner = dict(env)
+                inner[expr.left_name] = scrut.left
+                result = _ijoin(result, self.analyze(expr.left, inner))
+            if scrut.right is not None:
+                inner = dict(env)
+                inner[expr.right_name] = scrut.right
+                result = _ijoin(result, self.analyze(expr.right, inner))
+            if result is None:
+                raise BeanTypeError("case with no reachable branch")
+            return result
+        if isinstance(expr, A.PrimOp):
+            left = self.analyze(expr.left, env)
+            right = self.analyze(expr.right, env)
+            if not isinstance(left, _INum) or not isinstance(right, _INum):
+                raise BeanTypeError("arithmetic on non-numeric abstraction")
+            return self._op(expr.op, left, right)
+        if isinstance(expr, A.Rnd):
+            inner = self.analyze(expr.body, env)
+            if not isinstance(inner, _INum):
+                raise BeanTypeError("rnd of non-numeric abstraction")
+            rel = math.inf if inner.rel == math.inf else inner.rel + self.eps
+            return _INum(inner.interval, rel)
+        if isinstance(expr, A.Call):
+            if self.program is None or expr.name not in self.program:
+                raise BeanTypeError(f"call to unknown definition {expr.name!r}")
+            callee = self.program[expr.name]
+            frame = {
+                p.name: self.analyze(a, env)
+                for p, a in zip(callee.params, expr.args)
+            }
+            return self.analyze(callee.body, frame)
+        raise BeanTypeError(f"cannot analyze {expr!r}")
+
+    def _op(self, op: A.Op, a: _INum, b: _INum) -> _IAbs:
+        eps = self.eps
+        if op is A.Op.ADD:
+            result = a.interval + b.interval
+            return _INum(result, _linear_combination_rel(a, b, result, eps))
+        if op is A.Op.SUB:
+            result = a.interval - b.interval
+            flipped = _INum(
+                Interval(-b.interval.hi, -b.interval.lo), b.rel
+            )
+            return _INum(result, _linear_combination_rel(a, flipped, result, eps))
+        if op in (A.Op.MUL, A.Op.DMUL):
+            result = a.interval * b.interval
+            rel = math.inf if math.inf in (a.rel, b.rel) else a.rel + b.rel + eps
+            return _INum(result, rel)
+        if op is A.Op.DIV:
+            if b.interval.contains_zero():
+                # Cannot exclude the error branch; report both.
+                rel = math.inf
+                result = Interval(-math.inf, math.inf)
+            else:
+                result = a.interval.divide(b.interval)
+                rel = math.inf if math.inf in (a.rel, b.rel) else a.rel + b.rel + eps
+            return _ISum(_INum(result, rel), _IUnit())
+        raise BeanTypeError(f"unknown op {op}")
+
+
+def _ijoin(a: Optional[_IAbs], b: Optional[_IAbs]) -> Optional[_IAbs]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, _INum) and isinstance(b, _INum):
+        return _INum(
+            Interval(min(a.interval.lo, b.interval.lo), max(a.interval.hi, b.interval.hi)),
+            max(a.rel, b.rel),
+        )
+    if isinstance(a, _IUnit) and isinstance(b, _IUnit):
+        return a
+    if isinstance(a, _IPair) and isinstance(b, _IPair):
+        return _IPair(_ijoin(a.left, b.left), _ijoin(a.right, b.right))
+    if isinstance(a, _ISum) and isinstance(b, _ISum):
+        return _ISum(_ijoin(a.left, b.left), _ijoin(a.right, b.right))
+    raise BeanTypeError("case branches produce incompatible shapes")
+
+
+def _iworst(a: _IAbs) -> float:
+    if isinstance(a, _INum):
+        return a.rel
+    if isinstance(a, _IUnit):
+        return 0.0
+    if isinstance(a, _IPair):
+        return max(_iworst(a.left), _iworst(a.right))
+    if isinstance(a, _ISum):
+        worst = 0.0
+        for side in (a.left, a.right):
+            if side is not None:
+                worst = max(worst, _iworst(side))
+        return worst
+    raise TypeError(f"bad abstract value {a!r}")
+
+
+def _iabs_of_type(ty, rng: Tuple[float, float]) -> _IAbs:
+    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+
+    if isinstance(ty, Num):
+        return _INum(Interval(*rng), 0.0)
+    if isinstance(ty, Unit):
+        return _IUnit()
+    if isinstance(ty, Discrete):
+        return _iabs_of_type(ty.inner, rng)
+    if isinstance(ty, Tensor):
+        return _IPair(_iabs_of_type(ty.left, rng), _iabs_of_type(ty.right, rng))
+    if isinstance(ty, Sum):
+        return _ISum(_iabs_of_type(ty.left, rng), _iabs_of_type(ty.right, rng))
+    raise BeanTypeError(f"no abstraction for type {ty}")
+
+
+def interval_forward_bound(
+    definition: A.Definition,
+    program: Optional[A.Program] = None,
+    *,
+    input_range: Tuple[float, float] = DEFAULT_RANGE,
+    ranges: Optional[Mapping[str, Tuple[float, float]]] = None,
+    u: float = 2.0**-53,
+) -> float:
+    """A relative forward error bound from interval hypotheses.
+
+    ``input_range`` applies to every numeric input leaf (the paper's
+    "all variables in [0.1, 1000]"); ``ranges`` overrides per parameter.
+    Returns the bound on ``RP(f̃(x), f(x))`` (``math.inf`` if the
+    intervals cannot exclude cancellation through zero).
+    """
+    eps = eps_from_roundoff(u)
+    analyzer = _IntervalAnalyzer(program, eps)
+    env = {}
+    for p in definition.params:
+        rng = ranges.get(p.name, input_range) if ranges else input_range
+        env[p.name] = _iabs_of_type(p.ty, rng)
+    result = call_with_deep_stack(analyzer.analyze, definition.body, env)
+    return _iworst(result)

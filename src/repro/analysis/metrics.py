@@ -1,0 +1,60 @@
+"""Error metrics used throughout the evaluation (Section 2.1.1).
+
+Float-level conveniences over the Decimal-exact machinery in
+:mod:`repro.semantics.spaces`: the relative precision metric RP
+(Equation 5), componentwise backward error of vectors, and classical
+relative error, for use by the baselines and benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "rp",
+    "relative_error",
+    "componentwise_backward_error",
+    "ulps_between",
+]
+
+
+def rp(x: float, y: float) -> float:
+    """Relative precision metric ``RP(x, y)`` (Equation 5), on floats."""
+    if x == 0.0 and y == 0.0:
+        return 0.0
+    if x == 0.0 or y == 0.0 or (x > 0) != (y > 0):
+        return math.inf
+    return abs(math.log(x / y))
+
+
+def relative_error(approx: float, exact: float) -> float:
+    """Classical relative error ``|approx - exact| / |exact|``."""
+    if exact == 0.0:
+        return 0.0 if approx == 0.0 else math.inf
+    return abs(approx - exact) / abs(exact)
+
+
+def componentwise_backward_error(
+    original: Sequence[float], perturbed: Sequence[float]
+) -> float:
+    """``max_i RP(x_i, x̃_i)`` — the quantity Theorem 3.1 bounds."""
+    if len(original) != len(perturbed):
+        raise ValueError("vectors must have equal length")
+    return max((rp(a, b) for a, b in zip(original, perturbed)), default=0.0)
+
+
+def ulps_between(a: float, b: float) -> int:
+    """Number of representable binary64 values strictly between a and b."""
+    if math.isnan(a) or math.isnan(b):
+        raise ValueError("NaN has no ulp distance")
+    ia = _to_ordinal(a)
+    ib = _to_ordinal(b)
+    return abs(ia - ib)
+
+
+def _to_ordinal(x: float) -> int:
+    import struct
+
+    (bits,) = struct.unpack("<q", struct.pack("<d", x))
+    return bits if bits >= 0 else -(bits & 0x7FFFFFFFFFFFFFFF)

@@ -1,0 +1,63 @@
+"""Worst-case componentwise backward error bounds from the literature.
+
+These are the "Std." column of Table 1: closed-form relative backward
+error bounds under double precision and round-to-nearest, from Higham,
+*Accuracy and Stability of Numerical Algorithms*, 2nd ed. (dot products
+and summation: p.63; polynomial evaluation: p.94; matrix-vector products:
+p.82), expressed in Olver's relative-precision units ``ε = u/(1−u)``:
+
+=============  =====================  ==========================
+Benchmark      error assigned to      bound (sequential order)
+=============  =====================  ==========================
+DotProd n      one vector             ``n·ε``
+Horner n       coefficient vector     ``2n·ε``
+PolyVal n      coefficient vector     ``(n+1)·ε``
+MatVecMul n    the matrix             ``n·ε``
+Sum n          the summands           ``(n−1)·ε``
+=============  =====================  ==========================
+
+Bean's inference reproduces these *exactly* (the test suite asserts grade
+equality, not just numerical agreement).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade, eps_from_roundoff
+
+__all__ = ["standard_bound_grade", "standard_bound_value", "HIGHAM_CITATIONS"]
+
+HIGHAM_CITATIONS = {
+    "DotProd": "Higham 2002, §3.1 (p.63): componentwise backward stable, one vector",
+    "Sum": "Higham 2002, §4.2 (p.82 ff.): recursive summation",
+    "Horner": "Higham 2002, §5.1 (p.94): Horner's rule, coefficientwise",
+    "PolyVal": "Higham 2002, §5.1: naive term-by-term evaluation",
+    "MatVecMul": "Higham 2002, §3.5 (p.82): rowwise inner products",
+}
+
+
+def standard_bound_grade(family: str, n: int) -> Grade:
+    """The literature's worst-case bound, as an exact grade in ε units."""
+    if family == "DotProd":
+        return Grade(Fraction(n))
+    if family == "Sum":
+        return Grade(Fraction(n - 1))
+    if family == "Horner":
+        return Grade(Fraction(2 * n))
+    if family == "PolyVal":
+        return Grade(Fraction(n + 1))
+    if family == "MatVecMul":
+        return Grade(Fraction(n))
+    raise ValueError(f"unknown benchmark family {family!r}")
+
+
+def standard_bound_value(
+    family: str, n: int, u: float = BINARY64_UNIT_ROUNDOFF
+) -> float:
+    """The same bound as a number for unit roundoff ``u``."""
+    return standard_bound_grade(family, n).evaluate(u)
+
+
+# Re-export for convenience of bench code.
+_ = eps_from_roundoff

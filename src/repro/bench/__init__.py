@@ -1,0 +1,21 @@
+"""Drivers that regenerate the paper's evaluation tables."""
+
+from .table1 import PAPER_TABLE1, Table1Row, format_table1, run_table1
+from .table2 import PAPER_TABLE2, Table2Row, format_table2, run_table2
+from .table3 import PAPER_TABLE3, TABLE3_U, Table3Row, format_table3, run_table3
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "TABLE3_U",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,108 @@
+"""Table 1: Bean's inferred bounds vs. worst-case literature bounds.
+
+For every benchmark family and input size in the paper's Table 1, this
+driver generates the Bean program, runs bound inference, and reports:
+
+* Ops — the number of floating-point operations (matches the paper),
+* the Bean-inferred maximum componentwise backward bound (u = 2⁻⁵³),
+* the standard worst-case bound from Higham (the "Std." column),
+* inference wall-clock time on this machine.
+
+The paper's claim to reproduce: **the Bean and Std. columns agree to all
+printed digits at every size** (both are the same multiple of ε), and
+inference time grows with op count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.standard_bounds import standard_bound_grade
+from ..core import Grade, check_definition, count_flops
+from ..core.grades import BINARY64_UNIT_ROUNDOFF
+from ..programs.generators import BENCHMARK_FAMILIES, TABLE1_SIZES
+
+__all__ = ["Table1Row", "run_table1", "format_table1", "PAPER_TABLE1"]
+
+#: The bounds printed in the paper's Table 1 (Bean and Std. agree).
+PAPER_TABLE1: Dict[str, Dict[int, float]] = {
+    "DotProd": {20: 2.22e-15, 50: 5.55e-15, 100: 1.11e-14, 500: 5.55e-14},
+    "Horner": {20: 4.44e-15, 50: 1.11e-14, 100: 2.22e-14, 500: 1.11e-13},
+    "PolyVal": {10: 1.22e-15, 20: 2.33e-15, 50: 5.66e-15, 100: 1.12e-14},
+    "MatVecMul": {5: 5.55e-16, 10: 1.11e-15, 20: 2.22e-15, 50: 5.55e-15},
+    "Sum": {50: 5.44e-15, 100: 1.10e-14, 500: 5.54e-14, 1000: 1.11e-13},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    family: str
+    size: int
+    ops: int
+    bean_grade: Grade
+    std_grade: Grade
+    bean_bound: float
+    std_bound: float
+    paper_bound: float
+    seconds: float
+
+    @property
+    def grades_match_std(self) -> bool:
+        return self.bean_grade.coeff == self.std_grade.coeff
+
+    @property
+    def matches_paper(self) -> bool:
+        """Agreement with the paper's printed 3-digit value."""
+        return abs(self.bean_bound - self.paper_bound) <= 0.005e-15 * (
+            self.paper_bound / 1e-15
+        )
+
+
+def run_table1(
+    families: Optional[List[str]] = None,
+    sizes: Optional[Dict[str, List[int]]] = None,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+) -> List[Table1Row]:
+    """Regenerate Table 1 (all families/sizes by default)."""
+    rows: List[Table1Row] = []
+    for family in families or list(TABLE1_SIZES):
+        generator = BENCHMARK_FAMILIES[family]
+        for n in (sizes or TABLE1_SIZES)[family]:
+            definition = generator(n)
+            start = time.perf_counter()
+            judgment = check_definition(definition)
+            elapsed = time.perf_counter() - start
+            bean = judgment.max_linear_grade()
+            std = standard_bound_grade(family, n)
+            rows.append(
+                Table1Row(
+                    family=family,
+                    size=n,
+                    ops=count_flops(definition.body),
+                    bean_grade=bean,
+                    std_grade=std,
+                    bean_bound=bean.evaluate(u),
+                    std_bound=std.evaluate(u),
+                    paper_bound=PAPER_TABLE1[family][n],
+                    seconds=elapsed,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    """Render rows like the paper's Table 1."""
+    header = (
+        f"{'Benchmark':<12}{'Input Size':>11}{'Ops':>7}"
+        f"{'Bean':>12}{'Std.':>12}{'Paper':>12}{'Timing (s)':>12}  match"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.family:<12}{r.size:>11}{r.ops:>7}"
+            f"{r.bean_bound:>12.2e}{r.std_bound:>12.2e}{r.paper_bound:>12.2e}"
+            f"{r.seconds:>12.3f}  {'yes' if r.grades_match_std else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,317 @@
+"""Command-line interface: the Bean bound-inference tool (Section 5.1).
+
+Usage examples::
+
+    repro-bean check examples/bean/dotprod2.bean
+    repro-bean check program.bean --u 2^-24 --json
+    repro-bean examples
+    repro-bean table1 --fast
+    repro-bean table2
+    repro-bean table3
+    repro-bean witness examples/bean/dotprod2.bean \\
+        --inputs '{"x": [1.5, 2.25], "y": [3.1, -0.7]}'
+
+``check`` mirrors the paper's OCaml prototype: given a program with no
+grade annotations it reports, per definition, the inferred type and the
+tightest backward error bound of every linear input, both symbolically
+(in units of ε = u/(1−u)) and numerically for the chosen unit roundoff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .core import BeanError, check_program, count_flops, parse_program
+from .core.grades import BINARY64_UNIT_ROUNDOFF
+from .core.types import is_discrete
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_roundoff(text: str) -> float:
+    """Accept '2^-53', '2**-53', or a literal float."""
+    text = text.strip()
+    for marker in ("^", "**"):
+        if marker in text:
+            base, _, exponent = text.partition(marker)
+            return float(base) ** float(exponent)
+    return float(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bean",
+        description="Bean: static backward error analysis for numerical programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="infer backward error bounds for a .bean file")
+    check.add_argument("file", help="path to a Bean source file")
+    check.add_argument(
+        "--u",
+        default="2^-53",
+        help="unit roundoff (default 2^-53, IEEE binary64 round-to-nearest)",
+    )
+    check.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sub.add_parser("examples", help="check the paper's Section 2/4 examples")
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1 (bounds vs. literature)")
+    t1.add_argument(
+        "--fast", action="store_true", help="restrict to the smaller input sizes"
+    )
+    sub.add_parser("table2", help="regenerate Table 2 (sin/cos vs. Fu et al.)")
+    sub.add_parser("table3", help="regenerate Table 3 (forward bounds vs. baselines)")
+
+    report = sub.add_parser(
+        "report", help="full analysis report: backward + forward bounds"
+    )
+    report.add_argument("file", help="path to a Bean source file")
+    report.add_argument("--u", default="2^-53", help="unit roundoff")
+    report.add_argument(
+        "--kappa",
+        type=float,
+        default=None,
+        help="relative condition number for forward-from-backward conversion",
+    )
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+
+    explain = sub.add_parser(
+        "explain", help="trace where a variable's backward error bound accrues"
+    )
+    explain.add_argument("file", help="path to a Bean source file")
+    explain.add_argument(
+        "--name", default=None, help="definition to explain (default: the last one)"
+    )
+    explain.add_argument(
+        "--var",
+        default=None,
+        help="linear parameter to trace (default: every linear parameter)",
+    )
+
+    fmt = sub.add_parser("fmt", help="re-print a program in kernel syntax")
+    fmt.add_argument("file", help="path to a Bean source file")
+
+    erase = sub.add_parser(
+        "erase", help="show the Λ_S projection (grades and modalities erased)"
+    )
+    erase.add_argument("file", help="path to a Bean source file")
+
+    witness = sub.add_parser(
+        "witness", help="run the backward error soundness theorem on concrete inputs"
+    )
+    witness.add_argument("file", help="path to a Bean source file")
+    witness.add_argument(
+        "--name", default=None, help="definition to run (default: the last one)"
+    )
+    witness.add_argument(
+        "--inputs",
+        required=True,
+        help='JSON object mapping parameters to scalars or vectors, e.g. \'{"x": [1, 2]}\'',
+    )
+    witness.add_argument(
+        "--precision-bits",
+        type=int,
+        default=53,
+        help="simulated significand width of the run (53=binary64, 24=binary32, 11=binary16)",
+    )
+    witness.add_argument(
+        "--u",
+        default=None,
+        help="unit roundoff for the bound check (default: 2^-precision_bits)",
+    )
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    u = _parse_roundoff(args.u)
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    start = time.perf_counter()
+    program = parse_program(source)
+    judgments = check_program(program)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        payload = []
+        for definition in program:
+            judgment = judgments[definition.name]
+            bounds = {}
+            for p in definition.params:
+                if is_discrete(p.ty):
+                    continue
+                grade = judgment.grade_of(p.name)
+                bounds[p.name] = {
+                    "grade": str(grade),
+                    "coefficient": [
+                        grade.coeff.numerator,
+                        grade.coeff.denominator,
+                    ],
+                    "bound": grade.evaluate(u),
+                }
+            payload.append(
+                {
+                    "name": definition.name,
+                    "type": str(judgment.result),
+                    "flops": count_flops(definition.body, program),
+                    "bounds": bounds,
+                }
+            )
+        print(json.dumps({"u": u, "seconds": elapsed, "definitions": payload}, indent=2))
+        return 0
+    for definition in program:
+        judgment = judgments[definition.name]
+        print(judgment.format(u=u))
+    print(f"-- checked {len(program.definitions)} definition(s) in {elapsed:.3f}s (u = {u:.3e})")
+    return 0
+
+
+def _cmd_examples(_: argparse.Namespace) -> int:
+    from .programs.examples import example_judgments, example_program
+
+    program = example_program()
+    judgments = example_judgments()
+    for definition in program:
+        print(judgments[definition.name].format())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .bench.table1 import format_table1, run_table1
+    from .programs.generators import TABLE1_SIZES
+
+    sizes = None
+    if args.fast:
+        sizes = {family: options[:2] for family, options in TABLE1_SIZES.items()}
+    rows = run_table1(sizes=sizes)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    from .bench.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2()))
+    return 0
+
+
+def _cmd_table3(_: argparse.Namespace) -> int:
+    from .bench.table3 import format_table3, run_table3
+
+    print(format_table3(run_table3()))
+    return 0
+
+
+def _cmd_witness(args: argparse.Namespace) -> int:
+    from .semantics.interp import lens_of_program
+    from .semantics.witness import run_witness
+
+    with open(args.file, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    definition = program[args.name] if args.name else program.main
+    inputs = json.loads(args.inputs)
+    u = _parse_roundoff(args.u) if args.u else 2.0 ** -args.precision_bits
+    lens = lens_of_program(program, definition.name)
+    lens.precision_bits = args.precision_bits
+    report = run_witness(definition, inputs, program=program, lens=lens, u=u)
+    print(report.describe())
+    print(f"soundness theorem holds on this run: {report.sound}")
+    return 0 if report.sound else 2
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import analyze
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    result = analyze(
+        source, u=_parse_roundoff(args.u), condition_number=args.kappa
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.describe())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.explain import explain_variable, format_trace
+
+    with open(args.file, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    judgments = check_program(program)
+    definition = program[args.name] if args.name else program.main
+    judgment = judgments[definition.name]
+    names = (
+        [args.var]
+        if args.var
+        else [p.name for p in definition.params if not is_discrete(p.ty)]
+    )
+    for name in names:
+        trace = explain_variable(judgment, definition, name, program=program)
+        print(format_trace(trace))
+        print()
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    from .core import pretty_program
+
+    with open(args.file, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    check_program(program)  # only well-typed programs are formatted
+    print(pretty_program(program))
+    return 0
+
+
+def _cmd_erase(args: argparse.Namespace) -> int:
+    from .core import Program, pretty_program
+    from .lam_s import erase_definition
+
+    with open(args.file, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    check_program(program)
+    erased = Program([erase_definition(d) for d in program])
+    print(pretty_program(erased))
+    return 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "report": _cmd_report,
+    "explain": _cmd_explain,
+    "fmt": _cmd_fmt,
+    "erase": _cmd_erase,
+    "examples": _cmd_examples,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "witness": _cmd_witness,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BeanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001 - best effort on teardown
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

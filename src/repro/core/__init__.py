@@ -1,0 +1,54 @@
+"""The Bean language front end: syntax, types, and bound inference."""
+
+from . import ast_nodes, builders
+from .ast_nodes import (
+    Bang,
+    Call,
+    Case,
+    Definition,
+    DLet,
+    DLetPair,
+    Expr,
+    Inl,
+    Inr,
+    Let,
+    LetPair,
+    Op,
+    Pair,
+    Param,
+    PrimOp,
+    Program,
+    UnitVal,
+    Var,
+    count_flops,
+    free_variables,
+)
+from .checker import Judgment, check_definition, check_program, infer
+from .context import Binding, DiscreteContext, LinearContext, Skeleton
+from .errors import (
+    BeanError,
+    BeanSyntaxError,
+    BeanTypeError,
+    LinearityError,
+    UnboundVariableError,
+)
+from .grades import EPS, HALF_EPS, ZERO, Grade, eps_from_roundoff, unit_roundoff
+from .parser import parse_expression, parse_program, parse_type
+from .pretty import pretty_definition, pretty_expr, pretty_program, pretty_type
+from .types import (
+    DNUM,
+    NUM,
+    UNIT,
+    Discrete,
+    Num,
+    Sum,
+    Tensor,
+    Type,
+    Unit,
+    is_discrete,
+    matrix,
+    tensor_of,
+    vector,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

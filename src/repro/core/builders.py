@@ -1,0 +1,190 @@
+"""Fluent helpers for building Bean ASTs programmatically.
+
+The benchmark generators build programs with thousands of operations;
+writing raw constructor calls for those is noisy.  These helpers keep
+generator code close to the paper's pseudocode::
+
+    body = let_("v", mul(var("x0"), var("y0")),
+           let_("w", mul(var("x1"), var("y1")),
+           add(var("v"), var("w"))))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from . import ast_nodes as A
+from .types import Type
+
+__all__ = [
+    "var",
+    "unit",
+    "bang",
+    "pair",
+    "tuple_",
+    "inl",
+    "inr",
+    "let_",
+    "dlet",
+    "let_pair",
+    "dlet_pair",
+    "case",
+    "add",
+    "sub",
+    "mul",
+    "dmul",
+    "div",
+    "rnd",
+    "call",
+    "let_chain",
+    "destructure_vector",
+]
+
+ExprLike = Union[A.Expr, str]
+
+
+def _expr(e: ExprLike) -> A.Expr:
+    return A.Var(e) if isinstance(e, str) else e
+
+
+def var(name: str) -> A.Var:
+    return A.Var(name)
+
+
+def unit() -> A.UnitVal:
+    return A.UnitVal()
+
+
+def bang(e: ExprLike) -> A.Bang:
+    return A.Bang(_expr(e))
+
+
+def pair(left: ExprLike, right: ExprLike) -> A.Pair:
+    return A.Pair(_expr(left), _expr(right))
+
+
+def tuple_(*parts: ExprLike) -> A.Expr:
+    """A balanced n-ary tuple (matches ``types.tensor_of``)."""
+    exprs = [_expr(p) for p in parts]
+    if not exprs:
+        raise ValueError("empty tuple")
+    return _balanced(exprs)
+
+
+def _balanced(parts: List[A.Expr]) -> A.Expr:
+    if len(parts) == 1:
+        return parts[0]
+    mid = len(parts) // 2
+    return A.Pair(_balanced(parts[:mid]), _balanced(parts[mid:]))
+
+
+def inl(e: ExprLike, other: Type = None) -> A.Inl:  # type: ignore[assignment]
+    from .types import UNIT
+
+    return A.Inl(_expr(e), UNIT if other is None else other)
+
+
+def inr(e: ExprLike, other: Type = None) -> A.Inr:  # type: ignore[assignment]
+    from .types import UNIT
+
+    return A.Inr(_expr(e), UNIT if other is None else other)
+
+
+def let_(name: str, bound: ExprLike, body: ExprLike) -> A.Let:
+    return A.Let(name, _expr(bound), _expr(body))
+
+
+def dlet(name: str, bound: ExprLike, body: ExprLike) -> A.DLet:
+    return A.DLet(name, _expr(bound), _expr(body))
+
+
+def let_pair(left: str, right: str, bound: ExprLike, body: ExprLike) -> A.LetPair:
+    return A.LetPair(left, right, _expr(bound), _expr(body))
+
+
+def dlet_pair(left: str, right: str, bound: ExprLike, body: ExprLike) -> A.DLetPair:
+    return A.DLetPair(left, right, _expr(bound), _expr(body))
+
+
+def case(
+    scrutinee: ExprLike,
+    left_name: str,
+    left: ExprLike,
+    right_name: str,
+    right: ExprLike,
+) -> A.Case:
+    return A.Case(_expr(scrutinee), left_name, _expr(left), right_name, _expr(right))
+
+
+def add(left: ExprLike, right: ExprLike) -> A.PrimOp:
+    return A.PrimOp(A.Op.ADD, _expr(left), _expr(right))
+
+
+def sub(left: ExprLike, right: ExprLike) -> A.PrimOp:
+    return A.PrimOp(A.Op.SUB, _expr(left), _expr(right))
+
+
+def mul(left: ExprLike, right: ExprLike) -> A.PrimOp:
+    return A.PrimOp(A.Op.MUL, _expr(left), _expr(right))
+
+
+def dmul(left: ExprLike, right: ExprLike) -> A.PrimOp:
+    return A.PrimOp(A.Op.DMUL, _expr(left), _expr(right))
+
+
+def div(left: ExprLike, right: ExprLike) -> A.PrimOp:
+    return A.PrimOp(A.Op.DIV, _expr(left), _expr(right))
+
+
+def rnd(body: ExprLike) -> A.Rnd:
+    return A.Rnd(_expr(body))
+
+
+def call(name: str, *args: ExprLike) -> A.Call:
+    return A.Call(name, [_expr(a) for a in args])
+
+
+def let_chain(bindings: Iterable[Tuple[str, ExprLike]], body: ExprLike) -> A.Expr:
+    """``let n1 = e1 in ... let nk = ek in body`` from a binding list."""
+    result = _expr(body)
+    for name, bound in reversed(list(bindings)):
+        result = A.Let(name, _expr(bound), result)
+    return result
+
+
+def destructure_vector(
+    source: str,
+    names: Sequence[str],
+    body: A.Expr,
+    *,
+    discrete: bool = False,
+) -> A.Expr:
+    """Bind the ``n`` leaves of a balanced vector ``source`` to ``names``.
+
+    Emits the log-depth cascade of pair eliminations matching
+    :func:`repro.core.types.vector`.
+    """
+    names = list(names)
+    if not names:
+        raise ValueError("cannot destructure into zero names")
+
+    def go(current: str, leaves: List[str], wrapped: A.Expr) -> A.Expr:
+        if len(leaves) == 1:
+            # A single leaf: rebind via the kernel let so the name matches.
+            if leaves[0] == current:
+                return wrapped
+            ctor = A.DLet if discrete else A.Let
+            return ctor(leaves[0], A.Var(current), wrapped)
+        mid = len(leaves) // 2
+        left_leaves, right_leaves = leaves[:mid], leaves[mid:]
+        left_name = left_leaves[0] if len(left_leaves) == 1 else A.fresh_name("v")
+        right_name = right_leaves[0] if len(right_leaves) == 1 else A.fresh_name("v")
+        inner = wrapped
+        if len(right_leaves) > 1:
+            inner = go(right_name, right_leaves, inner)
+        if len(left_leaves) > 1:
+            inner = go(left_name, left_leaves, inner)
+        ctor = A.DLetPair if discrete else A.LetPair
+        return ctor(left_name, right_name, A.Var(current), inner)
+
+    return go(source, names, body)

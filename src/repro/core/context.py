@@ -1,0 +1,257 @@
+"""Typing contexts for Bean (Section 3.2).
+
+A judgment ``Φ | Γ ⊢ e : τ`` uses two contexts:
+
+* ``Φ`` — the *discrete* context: reusable variables that can carry **no**
+  backward error.  Bindings ``z : α`` have no grade.
+* ``Γ`` — the *linear* context: restricted-use variables.  Bindings
+  ``x :_r σ`` carry a grade ``r`` bounding the backward error the program
+  may assign to ``x``.
+
+The operations implemented here are exactly those the type system needs:
+disjoint union ``Γ, Δ``; the grade shift ``q + Γ`` that pushes ``q``
+backward error through a judgment; pointwise ``max`` (used by the
+algorithmic ``case`` rule); the subcontext order ``Γ ⊑ Δ``; and *skeletons*
+(grade-erased contexts, the input of the inference algorithm in §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .errors import BeanTypeError, LinearityError
+from .grades import Grade, ZERO
+from .types import Type
+
+__all__ = ["Binding", "LinearContext", "DiscreteContext", "Skeleton"]
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A graded linear binding ``x :_grade ty``."""
+
+    grade: Grade
+    ty: Type
+
+
+class LinearContext:
+    """An immutable linear typing context ``x1 :_r1 σ1, ..., xn :_rn σn``."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[str, Binding]] = None) -> None:
+        self._bindings: Dict[str, Binding] = dict(bindings or {})
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def of(cls, **named: Tuple[Grade, Type]) -> "LinearContext":
+        """Build a context from ``name=(grade, type)`` keyword pairs."""
+        return cls({k: Binding(g, t) for k, (g, t) in named.items()})
+
+    def bind(self, name: str, grade: Grade, ty: Type) -> "LinearContext":
+        """Extend with a fresh binding; the name must not already occur."""
+        if name in self._bindings:
+            raise LinearityError(f"variable {name!r} already bound linearly")
+        new = dict(self._bindings)
+        new[name] = Binding(grade, ty)
+        return LinearContext(new)
+
+    def remove(self, *names: str) -> "LinearContext":
+        """Drop ``names`` (missing names are ignored — Γ \\ {x, y})."""
+        new = {k: v for k, v in self._bindings.items() if k not in names}
+        return LinearContext(new)
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __getitem__(self, name: str) -> Binding:
+        return self._bindings[name]
+
+    def get(self, name: str) -> Optional[Binding]:
+        return self._bindings.get(name)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def items(self) -> Iterable[Tuple[str, Binding]]:
+        return self._bindings.items()
+
+    def domain(self) -> frozenset:
+        return frozenset(self._bindings)
+
+    # -- context algebra ------------------------------------------------------
+
+    def disjoint_union(self, other: "LinearContext") -> "LinearContext":
+        """``Γ, Δ`` — fails with :class:`LinearityError` on shared names."""
+        overlap = self._bindings.keys() & other._bindings.keys()
+        if overlap:
+            shared = ", ".join(sorted(overlap))
+            raise LinearityError(
+                f"linear variable(s) used in two subexpressions: {shared}"
+            )
+        # Copy the larger side: benchmark programs union a tiny context into
+        # a large one thousands of times.
+        small, large = self._bindings, other._bindings
+        if len(small) > len(large):
+            small, large = large, small
+        new = dict(large)
+        new.update(small)
+        return LinearContext(new)
+
+    def shift(self, grade: Grade) -> "LinearContext":
+        """``q + Γ`` — add ``q`` to every grade (pushes backward error)."""
+        if grade.is_zero:
+            return self
+        return LinearContext(
+            {k: Binding(b.grade + grade, b.ty) for k, b in self._bindings.items()}
+        )
+
+    def merge_max(self, other: "LinearContext") -> "LinearContext":
+        """Pointwise max of grades over the union of domains.
+
+        Shared names must agree on their type.  Used by the algorithmic
+        ``case`` rule: ``max{Γ2 \\ {x}, Γ3 \\ {y}}`` (Figure 7).
+        """
+        new = dict(self._bindings)
+        for name, b in other._bindings.items():
+            cur = new.get(name)
+            if cur is None:
+                new[name] = b
+            else:
+                if cur.ty != b.ty:
+                    raise BeanTypeError(
+                        f"variable {name!r} has conflicting types "
+                        f"{cur.ty} and {b.ty} across case branches"
+                    )
+                new[name] = Binding(max(cur.grade, b.grade, key=lambda g: g.coeff), b.ty)
+        return LinearContext(new)
+
+    def is_subcontext_of(self, other: "LinearContext") -> bool:
+        """``self ⊑ other``: same-or-smaller domain with tighter grades."""
+        for name, b in self._bindings.items():
+            ob = other.get(name)
+            if ob is None or ob.ty != b.ty or not b.grade <= ob.grade:
+                return False
+        return True
+
+    def skeleton(self) -> "Skeleton":
+        """Erase grades, yielding the inference algorithm's input."""
+        return Skeleton({k: b.ty for k, b in self._bindings.items()})
+
+    # -- rendering -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearContext):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __str__(self) -> str:
+        if not self._bindings:
+            return "∅"
+        parts = [f"{k} :{b.grade} {b.ty}" for k, b in sorted(self._bindings.items())]
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearContext({self._bindings!r})"
+
+
+class DiscreteContext:
+    """An immutable discrete typing context ``z1 : α1, ..., zn : αn``."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[str, Type]] = None) -> None:
+        self._bindings: Dict[str, Type] = dict(bindings or {})
+
+    def bind(self, name: str, ty: Type) -> "DiscreteContext":
+        new = dict(self._bindings)
+        new[name] = ty
+        return DiscreteContext(new)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __getitem__(self, name: str) -> Type:
+        return self._bindings[name]
+
+    def get(self, name: str) -> Optional[Type]:
+        return self._bindings.get(name)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def items(self) -> Iterable[Tuple[str, Type]]:
+        return self._bindings.items()
+
+    def domain(self) -> frozenset:
+        return frozenset(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteContext):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __str__(self) -> str:
+        if not self._bindings:
+            return "∅"
+        parts = [f"{k} : {t}" for k, t in sorted(self._bindings.items())]
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiscreteContext({self._bindings!r})"
+
+
+class Skeleton:
+    """A grade-erased linear context ``Γ•`` — the inference input (§5.1)."""
+
+    __slots__ = ("_types",)
+
+    def __init__(self, types: Optional[Mapping[str, Type]] = None) -> None:
+        self._types: Dict[str, Type] = dict(types or {})
+
+    def bind(self, name: str, ty: Type) -> "Skeleton":
+        new = dict(self._types)
+        new[name] = ty
+        return Skeleton(new)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __getitem__(self, name: str) -> Type:
+        return self._types[name]
+
+    def get(self, name: str) -> Optional[Type]:
+        return self._types.get(name)
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._types)
+
+    def items(self) -> Iterable[Tuple[str, Type]]:
+        return self._types.items()
+
+    def with_zero_grades(self) -> LinearContext:
+        """View the skeleton as a context with all grades zero."""
+        return LinearContext({k: Binding(ZERO, t) for k, t in self._types.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Skeleton):
+            return NotImplemented
+        return self._types == other._types
+
+    def __str__(self) -> str:
+        if not self._types:
+            return "∅"
+        return ", ".join(f"{k} : {t}" for k, t in sorted(self._types.items()))

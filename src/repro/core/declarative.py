@@ -1,0 +1,45 @@
+"""The declarative typing relation of Figure 3, as a decision procedure.
+
+The declarative system allows weakening grades (e.g. the Add rule types
+``add x y`` in any context granting *at least* ``ε`` to each operand), so a
+single term admits many judgments.  By algorithmic soundness and
+completeness (Theorems 5.1 and 5.2), the judgment ``Φ | Γ ⊢ e : σ`` is
+derivable **iff** inference succeeds on the skeleton of Γ and produces a
+subcontext of Γ with result type σ.  That equivalence is exactly how we
+decide derivability here.
+
+An *independent* second implementation of bound inference (used for
+differential testing of the checker itself) lives in
+:mod:`repro.core.pathcost`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from . import ast_nodes as A
+from .checker import InferenceEngine, Judgment
+from .context import DiscreteContext, LinearContext
+from .deepstack import call_with_deep_stack
+from .errors import BeanError
+from .types import Type
+
+__all__ = ["is_derivable"]
+
+
+def is_derivable(
+    phi: DiscreteContext,
+    gamma: LinearContext,
+    expr: A.Expr,
+    ty: Type,
+    judgments: Optional[Mapping[str, Judgment]] = None,
+) -> bool:
+    """Decide whether ``Φ | Γ ⊢ e : ty`` holds in the system of Figure 3."""
+    engine = InferenceEngine(judgments)
+    try:
+        inferred_ctx, inferred_ty = call_with_deep_stack(
+            engine.infer, expr, phi, gamma.skeleton()
+        )
+    except BeanError:
+        return False
+    return inferred_ty == ty and inferred_ctx.is_subcontext_of(gamma)

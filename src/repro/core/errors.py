@@ -1,0 +1,43 @@
+"""Diagnostics raised by the Bean front end."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BeanError",
+    "BeanSyntaxError",
+    "BeanTypeError",
+    "LinearityError",
+    "UnboundVariableError",
+]
+
+
+class BeanError(Exception):
+    """Base class for all Bean front-end errors."""
+
+
+class BeanSyntaxError(BeanError):
+    """Lexing or parsing failure, with source position information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class BeanTypeError(BeanError):
+    """A term does not type-check under Figure 3 / Figure 7."""
+
+
+class LinearityError(BeanTypeError):
+    """A linear variable was duplicated across subexpressions.
+
+    This is the condition Bean's strict linearity exists to reject
+    (Section 2.2.3): duplicated linear variables could accumulate
+    incompatible backward error requirements.
+    """
+
+
+class UnboundVariableError(BeanTypeError):
+    """A variable was used without being bound in either context."""

@@ -1,0 +1,134 @@
+"""Exact grade arithmetic for Bean's coeffect system.
+
+Grades in Bean (Section 3.2 of the paper) are elements of the preordered
+monoid ``(R_{>=0}, +, 0)``; they annotate linear variable bindings and mean
+"this variable may absorb at most this much relative backward error".
+
+Every grade that Bean's typing rules can produce is a non-negative rational
+multiple of the machine constant ``eps = u / (1 - u)`` (the primitive rules
+only ever add ``eps`` or ``eps/2``), so we represent grades *exactly* as a
+:class:`fractions.Fraction` coefficient of ``eps``.  This keeps inference
+exact — the tool reports ``3ε/2`` rather than an approximation — and defers
+floating point to the moment a numeric bound is printed for a concrete unit
+roundoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+__all__ = [
+    "Grade",
+    "ZERO",
+    "EPS",
+    "HALF_EPS",
+    "unit_roundoff",
+    "eps_from_roundoff",
+]
+
+#: Unit roundoff of IEEE-754 binary64 with round-to-nearest.
+BINARY64_UNIT_ROUNDOFF = 2.0**-53
+
+_CoeffLike = Union["Grade", Fraction, int]
+
+
+def unit_roundoff(precision_bits: int = 53) -> float:
+    """Unit roundoff ``u = 2**-p`` for a binary format with ``p`` bits.
+
+    For IEEE binary64 with round-to-nearest this is ``2**-53``
+    (Definition 2.1 of the paper).
+    """
+    if precision_bits <= 0:
+        raise ValueError("precision must be a positive number of bits")
+    return 2.0**-precision_bits
+
+
+def eps_from_roundoff(u: float) -> float:
+    """Olver's model constant ``eps = u / (1 - u)`` (Equation 4)."""
+    if not 0.0 < u < 1.0:
+        raise ValueError(f"unit roundoff must lie in (0, 1), got {u!r}")
+    return u / (1.0 - u)
+
+
+@dataclass(frozen=True, order=False)
+class Grade:
+    """A backward error grade ``coeff * eps`` with an exact coefficient.
+
+    Supports the operations Bean's type system needs: sum (monoid
+    operation), ``max`` via comparison, and the preorder ``<=``.
+    """
+
+    coeff: Fraction
+
+    def __init__(self, coeff: _CoeffLike = 0) -> None:
+        if isinstance(coeff, Grade):
+            coeff = coeff.coeff
+        coeff = Fraction(coeff)
+        if coeff < 0:
+            raise ValueError(f"grades must be non-negative, got {coeff}")
+        object.__setattr__(self, "coeff", coeff)
+
+    # -- monoid ------------------------------------------------------------
+
+    def __add__(self, other: _CoeffLike) -> "Grade":
+        return Grade(self.coeff + Grade(other).coeff)
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar: Union[int, Fraction]) -> "Grade":
+        return Grade(self.coeff * Fraction(scalar))
+
+    __rmul__ = __mul__
+
+    # -- preorder ----------------------------------------------------------
+
+    def __le__(self, other: _CoeffLike) -> bool:
+        return self.coeff <= Grade(other).coeff
+
+    def __lt__(self, other: _CoeffLike) -> bool:
+        return self.coeff < Grade(other).coeff
+
+    def __ge__(self, other: _CoeffLike) -> bool:
+        return self.coeff >= Grade(other).coeff
+
+    def __gt__(self, other: _CoeffLike) -> bool:
+        return self.coeff > Grade(other).coeff
+
+    # -- rendering & evaluation ---------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return self.coeff == 0
+
+    def evaluate(self, u: float = BINARY64_UNIT_ROUNDOFF) -> float:
+        """Numeric value of this grade for unit roundoff ``u``.
+
+        This mirrors the OCaml prototype, which computes bounds with
+        IEEE-754 double arithmetic from the fixed parameter ``eps``.
+        """
+        return float(self.coeff) * eps_from_roundoff(u)
+
+    def __str__(self) -> str:
+        c = self.coeff
+        if c == 0:
+            return "0"
+        if c == 1:
+            return "ε"
+        if c.denominator == 1:
+            return f"{c.numerator}ε"
+        if c.numerator == 1:
+            return f"ε/{c.denominator}"
+        return f"{c.numerator}ε/{c.denominator}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Grade({self.coeff!r})"
+
+
+#: The zero grade (no backward error may be assigned).
+ZERO = Grade(0)
+#: The grade ``ε`` used by Add/Sub/DMul (Figure 3).
+EPS = Grade(1)
+#: The grade ``ε/2`` used by Mul/Div (Figure 3).
+HALF_EPS = Grade(Fraction(1, 2))

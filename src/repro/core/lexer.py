@@ -1,0 +1,161 @@
+"""Tokenizer for Bean's concrete syntax.
+
+The surface syntax mirrors the paper's listings (Section 4)::
+
+    // comments run to end of line
+    ScaleVec (a : !R) (x : vec(2)) : vec(2) :=
+      let (x0, x1) = x in
+      let u = dmul a x0 in
+      let v = dmul a x1 in
+      (u, v)
+
+Keywords: ``let dlet in case of inl inr add sub mul dmul div
+num R unit vec mat``.  ``!`` marks discrete types / promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import BeanSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+KEYWORDS = frozenset(
+    {
+        "let",
+        "dlet",
+        "in",
+        "case",
+        "of",
+        "inl",
+        "inr",
+        "add",
+        "sub",
+        "mul",
+        "dmul",
+        "div",
+        "rnd",
+        "num",
+        "R",
+        "unit",
+        "vec",
+        "mat",
+    }
+)
+
+# Multi-character symbols must come before their prefixes.
+SYMBOLS = (
+    ":=",
+    "=>",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ":",
+    "=",
+    "|",
+    "!",
+    "+",
+    "*",
+    "⊗",
+    "@",
+    "/",
+)
+
+
+class TokenKind:
+    """Token kinds (simple string constants)."""
+
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    INT = "INT"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, sym: str) -> bool:
+        return self.kind == TokenKind.SYMBOL and self.text == sym
+
+    def describe(self) -> str:
+        if self.kind == TokenKind.EOF:
+            return "end of input"
+        return repr(self.text)
+
+
+def _ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _ident_continue(ch: str) -> bool:
+    return ch.isalnum() or ch in "_'"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`BeanSyntaxError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "/" and source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if _ident_start(ch):
+            start = i
+            while i < n and _ident_continue(source[i]):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, line, col)
+            col += i - start
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            yield Token(TokenKind.INT, source[start:i], line, col)
+            col += i - start
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                yield Token(TokenKind.SYMBOL, sym, line, col)
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise BeanSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenKind.EOF, "", line, col)

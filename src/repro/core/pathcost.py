@@ -1,0 +1,181 @@
+"""An independent re-derivation of Bean's inferred bounds, per variable.
+
+:mod:`repro.core.checker` computes all bounds simultaneously, bottom-up,
+with context algebra.  This module computes the bound of **one** variable
+at a time by following its dataflow path to the program result and summing
+the grades charged along the way:
+
+* each primitive charges its operand grade from Figure 3 (``ε`` for
+  add/sub and for dmul's linear operand, ``ε/2`` for mul/div, ``0`` for
+  dmul's discrete operand);
+* a ``let`` charges the grade its body assigns to the bound variable
+  (computed recursively);
+* pair elimination and ``case`` charge the *max* over the bound
+  components/branches — exactly the ``r = max{r1, r2}`` side conditions of
+  Figure 7.
+
+Because strict linearity guarantees a variable flows into at most one
+subexpression, the path is unique and the recursion is well-defined.  The
+two implementations share no code paths, which makes agreement between
+them a meaningful differential test (``tests/test_pathcost_oracle.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from . import ast_nodes as A
+from .deepstack import call_with_deep_stack
+from .errors import BeanTypeError
+from .grades import EPS, HALF_EPS, ZERO, Grade
+
+__all__ = ["variable_demand", "definition_demands"]
+
+
+class _DemandOracle:
+    def __init__(self, param_demands: Mapping[str, Dict[str, Grade]]) -> None:
+        # Demands of previously analyzed definitions: name -> param -> grade.
+        self.param_demands = dict(param_demands)
+        self._fv_cache: Dict[int, frozenset] = {}
+
+    def free_vars(self, expr: A.Expr) -> frozenset:
+        key = id(expr)
+        cached = self._fv_cache.get(key)
+        if cached is None:
+            cached = frozenset(A.free_variables(expr))
+            self._fv_cache[key] = cached
+        return cached
+
+    def demand(self, expr: A.Expr, var: str) -> Grade:
+        """The grade ``expr`` assigns to ``var`` (which must occur free)."""
+        if isinstance(expr, A.Var):
+            if expr.name != var:
+                raise BeanTypeError(f"{var!r} does not occur in {expr!r}")
+            return ZERO
+        if isinstance(expr, (A.Bang, A.Inl, A.Inr)):
+            return self.demand(expr.body, var)
+        if isinstance(expr, A.Rnd):
+            return self.demand(expr.body, var) + EPS
+        if isinstance(expr, A.Pair):
+            side = expr.left if var in self.free_vars(expr.left) else expr.right
+            return self.demand(side, var)
+        if isinstance(expr, A.PrimOp):
+            return self._demand_primop(expr, var)
+        if isinstance(expr, A.Let):
+            return self._demand_let(expr, var)
+        if isinstance(expr, A.DLet):
+            return self._demand_dlet(expr, var)
+        if isinstance(expr, A.LetPair):
+            return self._demand_letpair(expr, var, discrete=False)
+        if isinstance(expr, A.DLetPair):
+            return self._demand_letpair(expr, var, discrete=True)
+        if isinstance(expr, A.Case):
+            return self._demand_case(expr, var)
+        if isinstance(expr, A.Call):
+            return self._demand_call(expr, var)
+        raise BeanTypeError(f"{var!r} does not occur in {expr!r}")
+
+    def _demand_primop(self, expr: A.PrimOp, var: str) -> Grade:
+        in_left = var in self.free_vars(expr.left)
+        if expr.op is A.Op.DMUL:
+            left_charge, right_charge = ZERO, EPS
+        elif expr.op in (A.Op.ADD, A.Op.SUB):
+            left_charge = right_charge = EPS
+        else:
+            left_charge = right_charge = HALF_EPS
+        if in_left:
+            return self.demand(expr.left, var) + left_charge
+        return self.demand(expr.right, var) + right_charge
+
+    def _demand_let(self, expr: A.Let, var: str) -> Grade:
+        if var in self.free_vars(expr.bound):
+            binder_charge = (
+                self.demand(expr.body, expr.name)
+                if expr.name in self.free_vars(expr.body)
+                else ZERO
+            )
+            return self.demand(expr.bound, var) + binder_charge
+        return self.demand(expr.body, var)
+
+    def _demand_dlet(self, expr: A.DLet, var: str) -> Grade:
+        if var in self.free_vars(expr.bound):
+            return self.demand(expr.bound, var)
+        return self.demand(expr.body, var)
+
+    def _demand_letpair(self, expr, var: str, *, discrete: bool) -> Grade:
+        if var in self.free_vars(expr.bound):
+            base = self.demand(expr.bound, var)
+            if discrete:
+                return base
+            body_fv = self.free_vars(expr.body)
+            charges = [
+                self.demand(expr.body, component)
+                for component in (expr.left, expr.right)
+                if component in body_fv
+            ]
+            charge = max(charges, key=lambda g: g.coeff, default=ZERO)
+            return base + charge
+        return self.demand(expr.body, var)
+
+    def _demand_case(self, expr: A.Case, var: str) -> Grade:
+        if var in self.free_vars(expr.scrutinee):
+            charges = []
+            if expr.left_name in self.free_vars(expr.left):
+                charges.append(self.demand(expr.left, expr.left_name))
+            if expr.right_name in self.free_vars(expr.right):
+                charges.append(self.demand(expr.right, expr.right_name))
+            charge = max(charges, key=lambda g: g.coeff, default=ZERO)
+            return self.demand(expr.scrutinee, var) + charge
+        # A variable may occur in either branch (they do not both run).
+        demands = []
+        if var in self.free_vars(expr.left):
+            demands.append(self.demand(expr.left, var))
+        if var in self.free_vars(expr.right):
+            demands.append(self.demand(expr.right, var))
+        if not demands:
+            raise BeanTypeError(f"{var!r} does not occur in {expr!r}")
+        return max(demands, key=lambda g: g.coeff)
+
+    def _demand_call(self, expr: A.Call, var: str) -> Grade:
+        demands = self.param_demands.get(expr.name)
+        if demands is None:
+            raise BeanTypeError(f"call to unanalyzed definition {expr.name!r}")
+        param_names = list(demands)
+        for param_name, arg in zip(param_names, expr.args):
+            if var in self.free_vars(arg):
+                return self.demand(arg, var) + demands[param_name]
+        raise BeanTypeError(f"{var!r} does not occur in {expr!r}")
+
+
+def variable_demand(
+    expr: A.Expr,
+    var: str,
+    param_demands: Optional[Mapping[str, Dict[str, Grade]]] = None,
+) -> Grade:
+    """The backward error grade ``expr`` assigns to free variable ``var``."""
+    oracle = _DemandOracle(param_demands or {})
+    return call_with_deep_stack(oracle.demand, expr, var)
+
+
+def definition_demands(program: A.Program) -> Dict[str, Dict[str, Grade]]:
+    """Per-parameter grades for every definition, via the path oracle.
+
+    Discrete parameters and unused parameters get grade 0, mirroring how
+    :class:`~repro.core.checker.Judgment` reports them.
+    """
+    all_demands: Dict[str, Dict[str, Grade]] = {}
+
+    def analyze(definition: A.Definition) -> Dict[str, Grade]:
+        oracle = _DemandOracle(all_demands)
+        fv = oracle.free_vars(definition.body)
+        demands: Dict[str, Grade] = {}
+        for param in definition.params:
+            if param.name in fv:
+                demands[param.name] = oracle.demand(definition.body, param.name)
+            else:
+                demands[param.name] = ZERO
+        return demands
+
+    for definition in program:
+        all_demands[definition.name] = call_with_deep_stack(analyze, definition)
+    return all_demands

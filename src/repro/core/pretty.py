@@ -1,0 +1,156 @@
+"""Pretty-printer from Bean ASTs back to concrete syntax.
+
+``parse_program(pretty(program))`` round-trips up to desugaring: the
+printer emits the kernel forms (binary pairs, single-variable patterns), so
+re-parsing a printed program yields a structurally identical AST.  This is
+checked by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as A
+from .types import (
+    NUM,
+    UNIT,
+    Discrete,
+    Sum,
+    Tensor,
+    Type,
+)
+
+__all__ = ["pretty_expr", "pretty_type", "pretty_definition", "pretty_program"]
+
+
+def pretty_type(ty: Type) -> str:
+    """Render a type in concrete syntax."""
+    if ty == NUM:
+        return "num"
+    if ty == UNIT:
+        return "unit"
+    if isinstance(ty, Discrete):
+        return f"!{_atom_type(ty.inner)}"
+    if isinstance(ty, Tensor):
+        return f"({pretty_type(ty.left)} * {pretty_type(ty.right)})"
+    if isinstance(ty, Sum):
+        return f"({pretty_type(ty.left)} + {pretty_type(ty.right)})"
+    raise TypeError(f"unknown type {ty!r}")
+
+
+def _atom_type(ty: Type) -> str:
+    text = pretty_type(ty)
+    if text.startswith("("):
+        return text
+    if isinstance(ty, (Tensor, Sum)):
+        return f"({text})"
+    return text
+
+
+def _atom(expr: A.Expr, out: List[str]) -> None:
+    """Emit ``expr`` parenthesized unless it is already atomic."""
+    if isinstance(expr, (A.Var, A.UnitVal, A.Pair)):
+        _emit(expr, out)
+    else:
+        out.append("(")
+        _emit(expr, out)
+        out.append(")")
+
+
+def _emit(expr: A.Expr, out: List[str]) -> None:
+    if isinstance(expr, A.Var):
+        out.append(expr.name)
+    elif isinstance(expr, A.UnitVal):
+        out.append("()")
+    elif isinstance(expr, A.Bang):
+        out.append("!")
+        _atom(expr.body, out)
+    elif isinstance(expr, A.Pair):
+        out.append("(")
+        _emit(expr.left, out)
+        out.append(", ")
+        _emit(expr.right, out)
+        out.append(")")
+    elif isinstance(expr, A.Inl):
+        out.append("inl")
+        if expr.other != UNIT:
+            out.append("{" + pretty_type(expr.other) + "}")
+        out.append(" ")
+        _atom(expr.body, out)
+    elif isinstance(expr, A.Inr):
+        out.append("inr")
+        if expr.other != UNIT:
+            out.append("{" + pretty_type(expr.other) + "}")
+        out.append(" ")
+        _atom(expr.body, out)
+    elif isinstance(expr, (A.Let, A.DLet, A.LetPair, A.DLetPair)):
+        # Iterate down the spine of let-bindings: benchmark programs chain
+        # thousands of lets, and recursing on the body would overflow.
+        while True:
+            if isinstance(expr, A.Let):
+                out.append(f"let {expr.name} = ")
+            elif isinstance(expr, A.DLet):
+                out.append(f"dlet {expr.name} = ")
+            elif isinstance(expr, A.LetPair):
+                out.append(f"let ({expr.left}, {expr.right}) = ")
+            elif isinstance(expr, A.DLetPair):
+                out.append(f"dlet ({expr.left}, {expr.right}) = ")
+            else:
+                _emit(expr, out)
+                break
+            _emit(expr.bound, out)
+            out.append(" in\n")
+            expr = expr.body
+    elif isinstance(expr, A.Case):
+        out.append("case ")
+        _emit(expr.scrutinee, out)
+        out.append(f" of\n  inl ({expr.left_name}) => ")
+        _emit(expr.left, out)
+        out.append(f"\n| inr ({expr.right_name}) => ")
+        _emit(expr.right, out)
+    elif isinstance(expr, A.PrimOp):
+        out.append(f"{expr.op} ")
+        _atom(expr.left, out)
+        out.append(" ")
+        _atom(expr.right, out)
+    elif isinstance(expr, A.Rnd):
+        out.append("rnd ")
+        _atom(expr.body, out)
+    elif isinstance(expr, A.Call):
+        out.append(expr.name)
+        for arg in expr.args:
+            out.append(" ")
+            _atom(arg, out)
+    else:
+        raise TypeError(f"unknown expression {expr!r}")
+
+
+def pretty_expr(expr: A.Expr) -> str:
+    """Render an expression in concrete syntax."""
+    out: List[str] = []
+    _emit(expr, out)
+    return "".join(out)
+
+
+def _pretty_param(p: A.Param) -> str:
+    grade = ""
+    if p.declared_grade is not None:
+        coeff = p.declared_grade.coeff
+        grade = f" @ {coeff.numerator}"
+        if coeff.denominator != 1:
+            grade += f"/{coeff.denominator}"
+    return f"({p.name} : {pretty_type(p.ty)}{grade})"
+
+
+def pretty_definition(definition: A.Definition) -> str:
+    """Render one top-level definition."""
+    params = " ".join(_pretty_param(p) for p in definition.params)
+    header = f"{definition.name} {params}".rstrip()
+    if definition.declared_result is not None:
+        header += f" : {pretty_type(definition.declared_result)}"
+    return f"{header} :=\n{pretty_expr(definition.body)}"
+
+
+def pretty_program(program: A.Program) -> str:
+    """Render a whole program."""
+    return "\n\n".join(pretty_definition(d) for d in program)

@@ -1,0 +1,22 @@
+"""Λ_S: the erasure target of Bean, with ideal/approximate semantics."""
+
+from .checker import DefSignature, check_erased_definition, type_of
+from .eval import IDEAL_PRECISION, EvalError, evaluate
+from .syntax import Const, erase_definition, erase_expr, erase_type, inline_calls
+from .values import (
+    UNIT_VALUE,
+    Value,
+    VInl,
+    VInr,
+    VNum,
+    VPair,
+    VUnit,
+    num,
+    pair_of,
+    to_decimal,
+    values_close,
+    vector_components,
+    vector_value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,117 @@
+"""Simple type checking for Λ_S (Figure 5).
+
+Λ_S typing is a completely standard first-order simply-typed discipline:
+one ungraded context, no linearity.  Lemma D.1 says erasure takes
+well-typed Bean terms to well-typed Λ_S terms; a property test checks that
+correspondence on randomized programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..core import ast_nodes as A
+from ..core.deepstack import call_with_deep_stack
+from ..core.errors import BeanTypeError, UnboundVariableError
+from ..core.types import NUM, UNIT, Num, Sum, Tensor, Type
+from .syntax import Const
+
+__all__ = ["type_of", "check_erased_definition"]
+
+
+def type_of(
+    expr: A.Expr,
+    env: Optional[Mapping[str, Type]] = None,
+    definitions: Optional[Mapping[str, "DefSignature"]] = None,
+) -> Type:
+    """Infer the simple type of a pure Λ_S term."""
+    return call_with_deep_stack(_type_of, expr, dict(env or {}), dict(definitions or {}))
+
+
+class DefSignature:
+    """Parameter and result types of a checked Λ_S definition."""
+
+    def __init__(self, params, result: Type) -> None:
+        self.params = list(params)
+        self.result = result
+
+
+def _type_of(expr: A.Expr, env: Dict[str, Type], defs: Dict) -> Type:
+    if isinstance(expr, A.Var):
+        ty = env.get(expr.name)
+        if ty is None:
+            raise UnboundVariableError(f"unbound Λ_S variable {expr.name!r}")
+        return ty
+    if isinstance(expr, A.UnitVal):
+        return UNIT
+    if isinstance(expr, Const):
+        return NUM
+    if isinstance(expr, A.Pair):
+        return Tensor(_type_of(expr.left, env, defs), _type_of(expr.right, env, defs))
+    if isinstance(expr, A.Inl):
+        return Sum(_type_of(expr.body, env, defs), expr.other)
+    if isinstance(expr, A.Inr):
+        return Sum(expr.other, _type_of(expr.body, env, defs))
+    if isinstance(expr, A.Let):
+        bound_ty = _type_of(expr.bound, env, defs)
+        inner = dict(env)
+        inner[expr.name] = bound_ty
+        return _type_of(expr.body, inner, defs)
+    if isinstance(expr, A.LetPair):
+        bound_ty = _type_of(expr.bound, env, defs)
+        if not isinstance(bound_ty, Tensor):
+            raise BeanTypeError(f"let-pair on non-tensor type {bound_ty}")
+        inner = dict(env)
+        inner[expr.left] = bound_ty.left
+        inner[expr.right] = bound_ty.right
+        return _type_of(expr.body, inner, defs)
+    if isinstance(expr, A.Case):
+        scrut_ty = _type_of(expr.scrutinee, env, defs)
+        if not isinstance(scrut_ty, Sum):
+            raise BeanTypeError(f"case on non-sum type {scrut_ty}")
+        left_env = dict(env)
+        left_env[expr.left_name] = scrut_ty.left
+        right_env = dict(env)
+        right_env[expr.right_name] = scrut_ty.right
+        left_ty = _type_of(expr.left, left_env, defs)
+        right_ty = _type_of(expr.right, right_env, defs)
+        if left_ty != right_ty:
+            raise BeanTypeError(f"case branches disagree: {left_ty} vs {right_ty}")
+        return left_ty
+    if isinstance(expr, A.PrimOp):
+        if expr.op is A.Op.DMUL:
+            raise BeanTypeError("dmul is not a Λ_S operation (erase first)")
+        for side in (expr.left, expr.right):
+            ty = _type_of(side, env, defs)
+            if not isinstance(ty, Num):
+                raise BeanTypeError(f"{expr.op} requires num operands, got {ty}")
+        return Sum(NUM, UNIT) if expr.op is A.Op.DIV else NUM
+    if isinstance(expr, A.Rnd):
+        ty = _type_of(expr.body, env, defs)
+        if not isinstance(ty, Num):
+            raise BeanTypeError(f"rnd requires a num operand, got {ty}")
+        return NUM
+    if isinstance(expr, A.Call):
+        sig = defs.get(expr.name)
+        if sig is None:
+            raise UnboundVariableError(f"call to unknown Λ_S definition {expr.name!r}")
+        if len(expr.args) != len(sig.params):
+            raise BeanTypeError(f"{expr.name!r}: wrong argument count")
+        for expected, arg in zip(sig.params, expr.args):
+            actual = _type_of(arg, env, defs)
+            if actual != expected:
+                raise BeanTypeError(
+                    f"{expr.name!r}: argument type {actual}, expected {expected}"
+                )
+        return sig.result
+    raise BeanTypeError(f"not a Λ_S term: {expr!r}")
+
+
+def check_erased_definition(
+    definition: A.Definition,
+    definitions: Optional[Mapping[str, DefSignature]] = None,
+) -> DefSignature:
+    """Type check an erased definition and return its signature."""
+    env = {p.name: p.ty for p in definition.params}
+    result = type_of(definition.body, env, definitions)
+    return DefSignature([p.ty for p in definition.params], result)

@@ -1,0 +1,52 @@
+"""Bean programs: the paper's examples, scalable generators, and sin/cos."""
+
+from .examples import (
+    EXAMPLES_SOURCE,
+    example_judgments,
+    example_program,
+    paper_expected_grades,
+)
+from .generators import (
+    BENCHMARK_FAMILIES,
+    dot_prod,
+    horner,
+    mat_vec_mul,
+    poly_val,
+    vec_sum,
+)
+from .kernels import (
+    axpy,
+    continued_fraction,
+    norm_squared,
+    scal,
+    weighted_sum,
+)
+from .solvers import (
+    forward_substitution,
+    mat_mul_columnwise,
+    mat_mul_shared,
+)
+from .transcendental import glibc_cos, glibc_sin
+
+__all__ = [
+    "EXAMPLES_SOURCE",
+    "example_program",
+    "example_judgments",
+    "paper_expected_grades",
+    "BENCHMARK_FAMILIES",
+    "dot_prod",
+    "horner",
+    "poly_val",
+    "mat_vec_mul",
+    "vec_sum",
+    "glibc_sin",
+    "glibc_cos",
+    "scal",
+    "axpy",
+    "norm_squared",
+    "weighted_sum",
+    "continued_fraction",
+    "forward_substitution",
+    "mat_mul_columnwise",
+    "mat_mul_shared",
+]

@@ -1,0 +1,239 @@
+"""Generators for the Table 1 benchmark programs, at any input size.
+
+Each generator emits a Bean :class:`~repro.core.ast_nodes.Definition`
+mirroring the analyses described in Section 5.2.1:
+
+* a **single linear input** (the vector or matrix receiving backward
+  error), with all remaining inputs discrete;
+* sequential (left-to-right) accumulation, which is what the paper's
+  reported bounds correspond to (e.g. DotProd at size n infers ``n·ε``).
+
+Two knobs exist for the ablation benchmarks:
+
+* ``order="balanced"`` switches summations to a balanced adder tree, which
+  provably tightens the inferred bound from ``Θ(n)·ε`` to ``Θ(log n)·ε``;
+* ``dot_prod(..., alloc="both")`` splits multiplication error across both
+  vectors with ``mul`` (the Section 2.2 DotProd2 allocation) instead of
+  pushing it all onto the linear vector with ``dmul``.
+
+Op counts match the paper's Ops column exactly
+(:func:`expected_flops`), and the inferred bounds match the closed forms in
+:mod:`repro.analysis.standard_bounds`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..core import DNUM, Definition, Discrete, Param, vector
+from ..core import builders as B
+from ..core.ast_nodes import Expr, fresh_name
+
+__all__ = [
+    "dot_prod",
+    "vec_sum",
+    "horner",
+    "poly_val",
+    "mat_vec_mul",
+    "expected_flops",
+    "BENCHMARK_FAMILIES",
+    "TABLE1_SIZES",
+]
+
+
+def _sum_chain(terms: Sequence[Expr], order: str) -> Expr:
+    """Sum expressions with ``add``, sequentially or as a balanced tree.
+
+    Returns a let-structured expression so every ``add`` sees variables,
+    mirroring the paper's listings.
+    """
+    if order not in ("sequential", "balanced"):
+        raise ValueError(f"unknown summation order {order!r}")
+    terms = list(terms)
+    if len(terms) == 1:
+        return terms[0]
+    bindings: List = []
+
+    def name_of(e: Expr) -> str:
+        n = fresh_name("s")
+        bindings.append((n, e))
+        return n
+
+    if order == "sequential":
+        acc = name_of(terms[0])
+        for t in terms[1:]:
+            rhs = name_of(t)
+            acc = name_of(B.add(acc, rhs))
+    else:
+        names = [name_of(t) for t in terms]
+        while len(names) > 1:
+            nxt = []
+            for i in range(0, len(names) - 1, 2):
+                nxt.append(name_of(B.add(names[i], names[i + 1])))
+            if len(names) % 2:
+                nxt.append(names[-1])
+            names = nxt
+        acc = names[0]
+    *init, (last_name, last_expr) = bindings
+    assert last_name == acc
+    return B.let_chain(init, last_expr)
+
+
+def dot_prod(n: int, *, order: str = "sequential", alloc: str = "single") -> Definition:
+    """Dot product of two n-vectors.
+
+    ``alloc="single"`` (the Table 1 configuration) keeps ``y`` discrete and
+    assigns all backward error to ``x`` via ``dmul``; ``alloc="both"``
+    makes both vectors linear and splits multiplication error with ``mul``.
+    """
+    if n < 1:
+        raise ValueError("dot product needs at least one component")
+    xs = [f"x{i}" for i in range(n)]
+    ys = [f"y{i}" for i in range(n)]
+    products = []
+    bindings = []
+    for i in range(n):
+        p = f"p{i}"
+        if alloc == "single":
+            bindings.append((p, B.dmul(ys[i], xs[i])))
+        elif alloc == "both":
+            bindings.append((p, B.mul(xs[i], ys[i])))
+        else:
+            raise ValueError(f"unknown allocation {alloc!r}")
+        products.append(B.var(p))
+    body = B.let_chain(bindings, _sum_chain(products, order))
+    body = B.destructure_vector("x", xs, body)
+    if alloc == "single":
+        params = [
+            Param("x", vector(n)),
+            Param("y", Discrete(vector(n))),
+        ]
+        body = B.destructure_vector("y", ys, body, discrete=True)
+    else:
+        params = [Param("x", vector(n)), Param("y", vector(n))]
+        body = B.destructure_vector("y", ys, body)
+    return Definition(f"DotProd{n}", params, body)
+
+
+def vec_sum(n: int, *, order: str = "sequential") -> Definition:
+    """Sum of the n components of a linear vector."""
+    if n < 2:
+        raise ValueError("summation needs at least two components")
+    xs = [f"x{i}" for i in range(n)]
+    body = _sum_chain([B.var(x) for x in xs], order)
+    body = B.destructure_vector("x", xs, body)
+    return Definition(f"Sum{n}", [Param("x", vector(n))], body)
+
+
+def horner(n: int) -> Definition:
+    """Degree-n polynomial evaluation by Horner's scheme.
+
+    Coefficients ``a = (a0 .. an)`` form the linear input; the evaluation
+    point ``z`` is discrete.  2n flops, matching Table 1.
+    """
+    if n < 1:
+        raise ValueError("Horner needs degree >= 1")
+    coeffs = [f"a{i}" for i in range(n + 1)]
+    bindings = []
+    acc = coeffs[n]
+    for i in range(n - 1, -1, -1):
+        t = f"t{i}"
+        s = f"acc{i}"
+        bindings.append((t, B.dmul("z", acc)))
+        bindings.append((s, B.add(coeffs[i], t)))
+        acc = s
+    *init, (last_name, last_expr) = bindings
+    body = B.let_chain(init, last_expr)
+    body = B.destructure_vector("a", coeffs, body)
+    params = [Param("a", vector(n + 1)), Param("z", DNUM)]
+    return Definition(f"Horner{n}", params, body)
+
+
+def poly_val(n: int, *, order: str = "sequential") -> Definition:
+    """Degree-n polynomial evaluation by the naive scheme.
+
+    Term k costs k multiplications (``z * (z * ... * a_k)``), so the total
+    is n(n+1)/2 + n flops, matching Table 1.
+    """
+    if n < 1:
+        raise ValueError("PolyVal needs degree >= 1")
+    coeffs = [f"a{i}" for i in range(n + 1)]
+    bindings = []
+    terms = [B.var(coeffs[0])]
+    for k in range(1, n + 1):
+        acc = coeffs[k]
+        for j in range(k):
+            t = f"m{k}_{j}"
+            bindings.append((t, B.dmul("z", acc)))
+            acc = t
+        terms.append(B.var(acc))
+    body = B.let_chain(bindings, _sum_chain(terms, order))
+    body = B.destructure_vector("a", coeffs, body)
+    params = [Param("a", vector(n + 1)), Param("z", DNUM)]
+    return Definition(f"PolyVal{n}", params, body)
+
+
+def mat_vec_mul(n: int, *, order: str = "sequential") -> Definition:
+    """Product of an n x n matrix (linear) with an n-vector (discrete)."""
+    if n < 2:
+        raise ValueError("matrix-vector product needs n >= 2")
+    rows = [[f"m{i}_{j}" for j in range(n)] for i in range(n)]
+    zs = [f"z{j}" for j in range(n)]
+    bindings = []
+    outputs = []
+    row_sums = []
+    for i in range(n):
+        products = []
+        for j in range(n):
+            p = f"p{i}_{j}"
+            bindings.append((p, B.dmul(zs[j], rows[i][j])))
+            products.append(B.var(p))
+        u = f"u{i}"
+        row_sums.append((u, _sum_chain(products, order)))
+        outputs.append(u)
+    body: Expr = B.tuple_(*outputs)
+    for u, expr in reversed(row_sums):
+        body = B.let_(u, expr, body)
+    body = B.let_chain(bindings, body)
+    flat = [name for row in rows for name in row]
+    body = B.destructure_vector("M", flat, body)
+    body = B.destructure_vector("z", zs, body, discrete=True)
+    params = [
+        Param("M", vector(n * n)),
+        Param("z", Discrete(vector(n))),
+    ]
+    return Definition(f"MatVecMul{n}", params, body)
+
+
+def expected_flops(family: str, n: int) -> int:
+    """Closed-form op counts matching the paper's Ops column."""
+    if family == "DotProd":
+        return 2 * n - 1
+    if family == "Sum":
+        return n - 1
+    if family == "Horner":
+        return 2 * n
+    if family == "PolyVal":
+        return n * (n + 1) // 2 + n
+    if family == "MatVecMul":
+        return n * (2 * n - 1)
+    raise ValueError(f"unknown benchmark family {family!r}")
+
+
+#: Generator for each Table 1 family, keyed by the paper's benchmark name.
+BENCHMARK_FAMILIES: Dict[str, Callable[[int], Definition]] = {
+    "DotProd": dot_prod,
+    "Horner": horner,
+    "PolyVal": poly_val,
+    "MatVecMul": mat_vec_mul,
+    "Sum": vec_sum,
+}
+
+#: The input sizes reported in Table 1, per family.
+TABLE1_SIZES: Dict[str, List[int]] = {
+    "DotProd": [20, 50, 100, 500],
+    "Horner": [20, 50, 100, 500],
+    "PolyVal": [10, 20, 50, 100],
+    "MatVecMul": [5, 10, 20, 50],
+    "Sum": [50, 100, 500, 1000],
+}

@@ -1,0 +1,216 @@
+"""A small library of BLAS-style kernels in Bean, with closed-form bounds.
+
+These extend the paper's case studies (Section 4) with the level-1 BLAS
+operations a downstream user would reach for first.  Every kernel's
+inferred bound has a closed form, verified exactly by the test suite:
+
+======================  ====================  ==========================
+kernel                  error assigned to     bound
+======================  ====================  ==========================
+``scal``                the vector            ``ε``  (one dmul per lane)
+``axpy``                x and y               x: ``2ε``, y: ``ε``
+``weighted_sum``        the weights           ``n·ε``
+``continued_fraction``  deepest coefficients  grows with nesting depth
+``norm_squared``        —                     REJECTED (see below)
+======================  ====================  ==========================
+
+``norm_squared`` is the interesting one: Σxᵢ² is *backward stable*
+(perturb each xᵢ by e^{δᵢ/2}) yet **Bean rejects it** — squaring needs
+``xᵢ`` twice, and neither occurrence can be made discrete without
+giving up the bound on x.  This is a concrete instance of the
+incompleteness the paper documents in Remark 1 (sound, not complete);
+the function below exists so the test suite can pin the rejection.
+The typeable route is the two-copy formulation: ``DotProd(x, x)`` with
+``alloc="both"`` types at ``(n − ½)·ε`` per copy, mirroring the
+numerical analyst's "one perturbation per occurrence" bookkeeping.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core import DNUM, NUM, Definition, Discrete, Grade, Param, vector
+from ..core import builders as B
+from ..core.ast_nodes import Expr, fresh_name
+
+__all__ = [
+    "scal",
+    "axpy",
+    "norm_squared",
+    "weighted_sum",
+    "continued_fraction",
+    "scal_bound",
+    "axpy_bounds",
+    "norm_squared_bound",
+    "weighted_sum_bound",
+]
+
+# fresh_name is re-exported use in downstream generator code.
+_ = fresh_name
+
+
+def scal(n: int) -> Definition:
+    """``a * x`` for a discrete scalar and a linear n-vector: ε per lane."""
+    if n < 1:
+        raise ValueError("scal needs n >= 1")
+    xs = [f"x{i}" for i in range(n)]
+    outs = []
+    bindings: List[Tuple[str, Expr]] = []
+    for i, x in enumerate(xs):
+        out = f"u{i}"
+        bindings.append((out, B.dmul("a", x)))
+        outs.append(out)
+    body = B.let_chain(bindings, B.tuple_(*outs) if n > 1 else B.var(outs[0]))
+    body = B.destructure_vector("x", xs, body)
+    return Definition(
+        f"Scal{n}", [Param("a", DNUM), Param("x", vector(n))], body
+    )
+
+
+def scal_bound() -> Grade:
+    return Grade(1)
+
+
+def axpy(n: int) -> Definition:
+    """``a*x + y`` lanewise (the BLAS axpy): x absorbs 2ε, y absorbs ε.
+
+    The n = 2 instance is exactly the paper's ``SVecAdd`` judgment.
+    """
+    if n < 1:
+        raise ValueError("axpy needs n >= 1")
+    xs = [f"x{i}" for i in range(n)]
+    ys = [f"y{i}" for i in range(n)]
+    outs = []
+    bindings: List[Tuple[str, Expr]] = []
+    for i in range(n):
+        scaled = f"s{i}"
+        out = f"u{i}"
+        bindings.append((scaled, B.dmul("a", xs[i])))
+        bindings.append((out, B.add(scaled, ys[i])))
+        outs.append(out)
+    body = B.let_chain(bindings, B.tuple_(*outs) if n > 1 else B.var(outs[0]))
+    body = B.destructure_vector("y", ys, body)
+    body = B.destructure_vector("x", xs, body)
+    params = [Param("a", DNUM), Param("x", vector(n)), Param("y", vector(n))]
+    return Definition(f"Axpy{n}", params, body)
+
+
+def axpy_bounds() -> Tuple[Grade, Grade]:
+    """(bound on x, bound on y)."""
+    return Grade(2), Grade(1)
+
+
+def norm_squared(n: int) -> Definition:
+    """``Σ xᵢ²`` over a single linear vector — **deliberately ill-typed**.
+
+    Each lane squares its component (``dlet zi = !xi in dmul zi xi``),
+    which mentions ``xi`` in both the promotion and the multiplication:
+    strict linearity rejects it.  The computation *is* backward stable
+    (``x̃ᵢ = xᵢ·e^{δᵢ/2}``), so this is a live witness of the
+    incompleteness the paper concedes in Remark 1.  The typeable
+    alternative is the two-copy trick: call ``dot_prod(n, alloc="both")``
+    on ``(x, x)``.
+    """
+    if n < 1:
+        raise ValueError("norm_squared needs n >= 1")
+    xs = [f"x{i}" for i in range(n)]
+    bindings: List[Tuple[str, Expr]] = []
+    squares = []
+    promotions: List[Tuple[str, str]] = []
+    for i, x in enumerate(xs):
+        z = f"z{i}"
+        sq = f"q{i}"
+        promotions.append((z, x))
+        bindings.append((sq, B.dmul(z, x)))
+        squares.append(sq)
+    acc = squares[0]
+    for i, sq in enumerate(squares[1:], start=1):
+        nxt = f"acc{i}"
+        bindings.append((nxt, B.add(acc, sq)))
+        acc = nxt
+    *init, (last_name, last_expr) = bindings
+    body = B.let_chain(init, last_expr)
+    for z, x in reversed(promotions):
+        body = B.dlet(z, B.bang(x), body)
+    body = B.destructure_vector("x", xs, body)
+    return Definition(f"NormSq{n}", [Param("x", vector(n))], body)
+
+
+def norm_squared_bound(n: int) -> Grade:
+    """What the *two-copy* formulation infers per copy: ``(n − ½)·ε``."""
+    return Grade(Fraction(2 * n - 1, 2))
+
+
+def weighted_sum(n: int) -> Definition:
+    """``Σ wᵢ·xᵢ`` with the points discrete and the weights linear —
+    a quadrature rule whose backward error lands on the weights."""
+    if n < 1:
+        raise ValueError("weighted_sum needs n >= 1")
+    ws = [f"w{i}" for i in range(n)]
+    zs = [f"z{i}" for i in range(n)]
+    bindings: List[Tuple[str, Expr]] = []
+    terms = []
+    for i in range(n):
+        t = f"t{i}"
+        bindings.append((t, B.dmul(zs[i], ws[i])))
+        terms.append(t)
+    acc = terms[0]
+    for i, t in enumerate(terms[1:], start=1):
+        nxt = f"s{i}"
+        bindings.append((nxt, B.add(acc, t)))
+        acc = nxt
+    *init, (last_name, last_expr) = bindings
+    body = B.let_chain(init, last_expr) if init else last_expr
+    body = B.destructure_vector("w", ws, body)
+    if n > 1:
+        body = B.destructure_vector("z", zs, body, discrete=True)
+        z_param = Param("z", Discrete(vector(n)))
+    else:
+        z_param = Param(zs[0], DNUM)
+    return Definition(f"WeightedSum{n}", [Param("w", vector(n)), z_param], body)
+
+
+def weighted_sum_bound(n: int) -> Grade:
+    return Grade(Fraction(n))
+
+
+def continued_fraction(depth: int) -> Definition:
+    """Evaluate ``b0 + a1/(b1 + a2/(b2 + ... a_d/b_d))`` bottom-up.
+
+    All partial numerators ``a`` and denominators ``b`` are linear
+    scalars.  Every division is trapped: a zero denominator anywhere
+    propagates ``inr ()`` outward through nested cases, LinSolve-style.
+    The innermost coefficients accumulate the most backward error
+    (``ε/2`` per enclosing division plus ``ε`` per enclosing addition);
+    the test suite checks the inferred gradient against the path oracle
+    and the closed form ``(3k/2)·ε`` at nesting depth k.
+    """
+    if depth < 1:
+        raise ValueError("continued fractions need depth >= 1")
+
+    def trapped(k: int) -> Expr:
+        if k == depth:
+            return B.inl(f"b{depth}")
+        inner = trapped(k + 1)
+        d = f"d{k}"
+        q = f"q{k}"
+        x = f"x{k}"
+        e1 = f"e{k}"
+        e2 = f"f{k}"
+        return B.case(
+            inner,
+            d,
+            B.let_(
+                q,
+                B.div(f"a{k + 1}", d),
+                B.case(q, x, B.inl(B.add(f"b{k}", x)), e1, B.inr(e1, NUM)),
+            ),
+            e2,
+            B.inr(e2, NUM),
+        )
+
+    body = trapped(0)
+    params = [Param(f"b{k}", vector(1)) for k in range(depth + 1)]
+    params += [Param(f"a{k}", vector(1)) for k in range(1, depth + 1)]
+    return Definition(f"ContFrac{depth}", params, body)

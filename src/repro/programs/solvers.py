@@ -1,0 +1,201 @@
+"""Linear-algebra solvers in Bean, generalizing Section 4.3 to any size.
+
+:func:`forward_substitution` generates an n×n lower-triangular solver in
+the style of the paper's 2×2 ``LinSolve``: each computed unknown is
+promoted with ``!``/``dlet`` so later rows may reuse it, every division
+is guarded with ``case``, and failures propagate through the coproduct.
+
+The inferred bounds have closed forms (verified by the test suite),
+generalizing the paper's ``A : 5ε/2, b : 3ε/2``:
+
+* ``b`` absorbs ``(i + ½)·ε`` at row i → max ``(n − ½)·ε``;
+* ``A`` absorbs ``(i − j + 1 + ½)·ε`` at entry (i, j<i) and ``ε/2`` on
+  the diagonal → max ``(n + ½)·ε``.
+
+:func:`mat_mul_columnwise` generates C = A·B under the *columnwise*
+backward error allocation (a separate perturbed copy of A per output
+column), each copy absorbing ``n·ε``; :func:`mat_mul_shared` is the
+single-ΔA formulation that Bean — faithfully to the numerical analysis —
+rejects for linearity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..core import DNUM, Definition, Discrete, Grade, Param, Sum, UNIT, vector
+from ..core import builders as B
+from ..core.ast_nodes import Expr
+from ..core.types import tensor_of
+
+__all__ = [
+    "forward_substitution",
+    "mat_mul_shared",
+    "mat_mul_columnwise",
+    "forward_substitution_bound_A",
+    "forward_substitution_bound_b",
+    "mat_mul_bound",
+]
+
+
+def forward_substitution(n: int) -> Definition:
+    """An n×n lower-triangular solver ``A x = b`` with error trapping.
+
+    Parameters: ``A : vec(n*n)`` (row-major; strictly-upper entries are
+    ignored, as the paper does for ``a01``) and ``b : vec(n)``, both
+    linear.  Returns the solution tuple or ``inr ()`` on a zero pivot.
+    The first n−1 solution components are discrete (they were promoted
+    for reuse); the last is linear, exactly as in the paper's listing.
+    """
+    if n < 1:
+        raise ValueError("forward substitution needs n >= 1")
+    a = [[f"a{i}_{j}" for j in range(n)] for i in range(n)]
+    bs = [f"b{i}" for i in range(n)]
+
+    if n == 1:
+        success_ty = vector(1)
+    else:
+        success_ty = tensor_of([Discrete(vector(1))] * (n - 1) + [vector(1)])
+
+    def solution_tuple() -> Expr:
+        parts: List[Expr] = [B.var(f"dx{i}") for i in range(n - 1)]
+        parts.append(B.var(f"x{n - 1}"))
+        return B.tuple_(*parts) if len(parts) > 1 else parts[0]
+
+    def row(i: int) -> Expr:
+        """Solve row i, assuming dx0..dx(i-1) are in scope (discrete)."""
+        bindings = []
+        residual = bs[i]
+        for j in range(i):
+            prod = f"s{i}_{j}"
+            bindings.append((prod, B.dmul(f"dx{j}", a[i][j])))
+            nxt = f"r{i}_{j}"
+            bindings.append((nxt, B.sub(residual, prod)))
+            residual = nxt
+        quotient = f"q{i}"
+        bindings.append((quotient, B.div(residual, a[i][i])))
+        if i == n - 1:
+            on_success: Expr = B.inl(solution_tuple(), UNIT)
+        else:
+            on_success = B.dlet(f"dx{i}", B.bang(f"x{i}"), row(i + 1))
+        body = B.case(
+            quotient,
+            f"x{i}",
+            on_success,
+            f"e{i}",
+            B.inr(f"e{i}", success_ty),
+        )
+        return B.let_chain(bindings, body)
+
+    body = row(0)
+    body = B.destructure_vector("b", bs, body)
+    body = B.destructure_vector("A", [x for r in a for x in r], body)
+    params = [Param("A", vector(n * n)), Param("b", vector(n))]
+    return Definition(f"ForwardSub{n}", params, body)
+
+
+def forward_substitution_bound_A(n: int) -> Grade:
+    """Closed-form inferred bound on A: ``(n + ½)·ε`` for n ≥ 2, ε/2
+    for n = 1 (just the single division)."""
+    if n == 1:
+        return Grade(Fraction(1, 2))
+    return Grade(Fraction(2 * n + 1, 2))
+
+
+def forward_substitution_bound_b(n: int) -> Grade:
+    """Closed-form inferred bound on b: ``(n − ½)·ε``."""
+    return Grade(Fraction(2 * n - 1, 2))
+
+
+def mat_mul_shared(n: int) -> Definition:
+    """C = A·B with a *single* linear A — deliberately ill-typed.
+
+    Every entry of A feeds all n columns of C, so Bean's strict
+    linearity rejects this program.  That rejection is faithful to the
+    numerical analysis: matrix-matrix products admit only *columnwise*
+    backward error (a different ΔA per column of C; Higham 2002, §3.5) —
+    there is in general no single perturbed A explaining all of C at
+    once.  Use :func:`mat_mul_columnwise` for the typeable formulation.
+    """
+    if n < 2:
+        raise ValueError("matrix product needs n >= 2")
+    a = [[f"a{i}_{j}" for j in range(n)] for i in range(n)]
+    b = [[f"b{i}_{j}" for j in range(n)] for i in range(n)]
+    bindings = []
+    outputs = []
+    for i in range(n):
+        for j in range(n):
+            acc = None
+            for k in range(n):
+                prod = f"p{i}_{j}_{k}"
+                bindings.append((prod, B.dmul(b[k][j], a[i][k])))
+                if acc is None:
+                    acc = prod
+                else:
+                    nxt = f"c{i}_{j}_{k}"
+                    bindings.append((nxt, B.add(acc, prod)))
+                    acc = nxt
+            outputs.append(acc)
+    body = B.let_chain(bindings, B.tuple_(*outputs))
+    body = B.destructure_vector("A", [x for r in a for x in r], body)
+    body = B.destructure_vector(
+        "B", [x for r in b for x in r], body, discrete=True
+    )
+    params = [
+        Param("A", vector(n * n)),
+        Param("B", Discrete(vector(n * n))),
+    ]
+    return Definition(f"MatMulShared{n}", params, body)
+
+
+def mat_mul_columnwise(n: int) -> Definition:
+    """C = A·B with the *columnwise* backward error allocation.
+
+    Column j of C is computed from its own linear copy ``A{j}`` of the
+    matrix (the per-column perturbation ΔA_j of the classical analysis),
+    with B discrete.  Each copy absorbs ``n·ε`` — the same bound as one
+    matrix-vector product, which is exactly Higham's columnwise result.
+    """
+    if n < 2:
+        raise ValueError("matrix product needs n >= 2")
+    b = [[f"b{i}_{j}" for j in range(n)] for i in range(n)]
+    bindings = []
+    outputs = []
+    copies = []
+    for j in range(n):
+        copy = [[f"A{j}_{i}_{k}" for k in range(n)] for i in range(n)]
+        copies.append(copy)
+        for i in range(n):
+            acc = None
+            for k in range(n):
+                prod = f"p{i}_{j}_{k}"
+                bindings.append((prod, B.dmul(b[k][j], copy[i][k])))
+                if acc is None:
+                    acc = prod
+                else:
+                    nxt = f"c{i}_{j}_{k}"
+                    bindings.append((nxt, B.add(acc, prod)))
+                    acc = nxt
+            outputs.append(acc)
+    body = B.let_chain(bindings, B.tuple_(*outputs))
+    for j in range(n):
+        flat = [x for row in copies[j] for x in row]
+        body = B.destructure_vector(f"A{j}", flat, body)
+    body = B.destructure_vector(
+        "B", [x for r in b for x in r], body, discrete=True
+    )
+    params = [Param(f"A{j}", vector(n * n)) for j in range(n)]
+    params.append(Param("B", Discrete(vector(n * n))))
+    return Definition(f"MatMulCol{n}", params, body)
+
+
+def mat_mul_bound(n: int) -> Grade:
+    """Closed-form bound on each A-copy in :func:`mat_mul_columnwise`:
+    ``n·ε``."""
+    return Grade(Fraction(n))
+
+
+# Re-exported types referenced in annotations/docs.
+_ = Sum
+_ = DNUM

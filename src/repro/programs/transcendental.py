@@ -1,0 +1,172 @@
+"""glibc-style polynomial kernels for sin and cos (Table 2).
+
+The paper compares Bean against Fu et al. [23] on the polynomial
+approximations of sin and cos used by glibc 2.21 for small arguments,
+valid on the evaluation range [0.0001, 0.01]:
+
+* ``sin(x) ≈ x + x³ · P(x²)`` with a degree-5 polynomial ``P`` in ``x²``
+  (coefficients s1..s6), evaluated by Horner's scheme;
+* ``cos(x) ≈ c0 + x² · Q(x²)`` with ``Q`` likewise over c1..c6 and
+  ``c0 = 1``.
+
+In the Bean encoding the evaluation point ``x`` (and its square ``w``,
+which glibc computes once and reuses — reuse is exactly what discreteness
+permits) are discrete inputs; the coefficient vector is the linear input
+that absorbs backward error.  Inference yields **13ε for sin and 12ε for
+cos**, i.e. 1.44e-15 and 1.33e-15 at u = 2⁻⁵³ — precisely the Bean column
+of Table 2:
+
+* each of the 5 Horner levels charges the leading coefficient
+  ``ε (dmul) + ε (add)``;
+* the final reconstruction charges ``x²·(...)`` and ``x·(...)`` multiplies
+  and one add: +2ε for cos (12ε total), +3ε for sin (13ε total).
+
+The numeric coefficients (Taylor coefficients, matching glibc's to the
+precision relevant on this tiny range) are exposed for the dynamic
+baseline, which actually runs the kernels.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..core import DNUM, Definition, Grade, Param, vector
+from ..core import builders as B
+
+__all__ = [
+    "glibc_sin",
+    "glibc_cos",
+    "SIN_COEFFICIENTS",
+    "COS_COEFFICIENTS",
+    "SIN_EXPECTED_GRADE",
+    "COS_EXPECTED_GRADE",
+    "TABLE2_RANGE",
+]
+
+#: Evaluation range used by the paper and by Fu et al.
+TABLE2_RANGE = (0.0001, 0.01)
+
+#: Taylor coefficients of (sin x - x)/x³ in powers of x²: s1..s6.
+SIN_COEFFICIENTS: List[float] = [
+    -1.0 / 6.0,
+    1.0 / 120.0,
+    -1.0 / 5040.0,
+    1.0 / 362880.0,
+    -1.0 / 39916800.0,
+    1.0 / 6227020800.0,
+]
+
+#: Taylor coefficients of cos x in powers of x²: c0..c6.
+COS_COEFFICIENTS: List[float] = [
+    1.0,
+    -1.0 / 2.0,
+    1.0 / 24.0,
+    -1.0 / 720.0,
+    1.0 / 40320.0,
+    -1.0 / 3628800.0,
+    1.0 / 479001600.0,
+]
+
+#: The grades Bean infers for the linear coefficient vectors.
+SIN_EXPECTED_GRADE = Grade(Fraction(13))
+COS_EXPECTED_GRADE = Grade(Fraction(12))
+
+
+def _horner_kernel(coeffs: List[str], point: str) -> tuple:
+    """Horner bindings for ``c[0] + w*(c[1] + w*(...))`` over names.
+
+    Returns ``(bindings, accumulator_name)``.
+    """
+    bindings = []
+    acc = coeffs[-1]
+    for level, c in enumerate(reversed(coeffs[:-1])):
+        t = f"t{level}"
+        s = f"h{level}"
+        bindings.append((t, B.dmul(point, acc)))
+        bindings.append((s, B.add(c, t)))
+        acc = s
+    return bindings, acc
+
+
+def glibc_sin() -> Definition:
+    """``sin(x) = x + x³·P(x²)`` in Bean; linear input: s1..s6.
+
+    Parameters: coefficient vector ``s`` (linear), the point ``x`` and its
+    square ``w = x²`` (both discrete, as glibc reuses them).  The leading
+    ``x`` term enters through the discrete coefficient-1 convention: the
+    final operation is ``add s_lin x3p`` where the ``x`` addend is carried
+    by the linear coefficient ``s0 = x`` — glibc's term ordering.
+    """
+    names = [f"s{i}" for i in range(1, 7)]
+    bindings, acc = _horner_kernel(names, "w")
+    # x³ · P(x²): two more discrete multiplications charge the chain.
+    bindings.append(("xp", B.dmul("w", acc)))  # x² · P
+    bindings.append(("x3p", B.dmul("x", "xp")))  # x · x² · P
+    body = B.let_chain(bindings, B.add("s0", "x3p"))
+    body = B.destructure_vector("s", ["s0"] + names, body)
+    params = [
+        Param("s", vector(7)),
+        Param("x", DNUM),
+        Param("w", DNUM),
+    ]
+    return Definition("SinGlibc", params, body)
+
+
+def glibc_cos() -> Definition:
+    """``cos(x) = c0 + x²·Q(x²)`` in Bean; linear input: c0..c6."""
+    names = [f"c{i}" for i in range(1, 7)]
+    bindings, acc = _horner_kernel(names, "w")
+    bindings.append(("x2q", B.dmul("w", acc)))  # x² · Q
+    body = B.let_chain(bindings, B.add("c0", "x2q"))
+    body = B.destructure_vector("c", ["c0"] + names, body)
+    params = [
+        Param("c", vector(7)),
+        Param("w", DNUM),
+    ]
+    return Definition("CosGlibc", params, body)
+
+
+# ---------------------------------------------------------------------------
+# Executable kernels (binary64 and ideal) for the dynamic baseline
+# ---------------------------------------------------------------------------
+
+
+def sin_kernel(x: float) -> float:
+    """The binary64 evaluation matching :func:`glibc_sin` exactly."""
+    w = x * x
+    acc = SIN_COEFFICIENTS[-1]
+    for c in reversed(SIN_COEFFICIENTS[:-1]):
+        acc = c + w * acc
+    return x + x * (w * acc)
+
+
+def cos_kernel(x: float) -> float:
+    """The binary64 evaluation matching :func:`glibc_cos` exactly."""
+    w = x * x
+    acc = COS_COEFFICIENTS[-1]
+    for c in reversed(COS_COEFFICIENTS[1:-1]):
+        acc = c + w * acc
+    return COS_COEFFICIENTS[0] + w * acc
+
+
+def sin_ideal(x: "Decimal") -> "Decimal":
+    """High-precision evaluation of the same sin polynomial."""
+    from decimal import Decimal
+
+    w = x * x
+    acc = Decimal(SIN_COEFFICIENTS[-1])
+    for c in reversed(SIN_COEFFICIENTS[:-1]):
+        acc = Decimal(c) + w * acc
+    return x + x * (w * acc)
+
+
+def cos_ideal(x: "Decimal") -> "Decimal":
+    """High-precision evaluation of the same cos polynomial."""
+    from decimal import Decimal
+
+    w = x * x
+    acc = Decimal(COS_COEFFICIENTS[-1])
+    for c in reversed(COS_COEFFICIENTS[1:-1]):
+        acc = Decimal(c) + w * acc
+    return Decimal(COS_COEFFICIENTS[0]) + w * acc

@@ -1,0 +1,43 @@
+"""Backward error lens semantics: spaces, lenses, and the interpreter."""
+
+from .interp import BeanLens, lens_of_definition, lens_of_program
+from .lens import (
+    Lens,
+    LensDomainError,
+    check_property_1,
+    check_property_2,
+    compose,
+    copair,
+    grade_lens,
+    identity_lens,
+    inj1,
+    inj2,
+    proj1,
+    proj2,
+    tensor,
+)
+from .primitives import (
+    lens_add,
+    lens_div,
+    lens_dmul,
+    lens_mul,
+    lens_sub,
+)
+from .spaces import (
+    INF,
+    DiscreteSpace,
+    GradedSpace,
+    NumSpace,
+    Space,
+    SumSpace,
+    TensorSpace,
+    UnitObjectI,
+    UnitSpace,
+    grade_bound,
+    rp_distance,
+    space_of_type,
+    type_distance,
+)
+from .witness import ParamWitness, WitnessReport, env_from_pythons, run_witness
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,395 @@
+"""Backward error lenses and the category Bel (Definition 6.1, Appendix A).
+
+A lens between slack distance spaces ``X`` and ``Y`` is a triple
+``(f, f̃, b)`` with ``f, f̃ : X → Y`` and ``b : X × Y → X`` (defined
+whenever ``d_Y(f̃(x), y) < ∞``) such that
+
+* **Property 1**: ``d_X(x, b(x,y)) − r_X ≤ d_Y(f̃(x), y) − r_Y``
+* **Property 2**: ``f(b(x, y)) = y``
+
+This module implements the category structure: identity and composition
+(Definition A.1), the tensor bifunctor (Appendix B.2), projections for
+zero-self-distance equal-slack spaces (B.3), coproduct injections and
+copairing (B.4), and the graded comonad ``D_r`` on morphisms (B.5).  The
+lens-law checkers at the bottom are used heavily by the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import Callable, Optional
+
+from ..lam_s.values import UNIT_VALUE, Value, VInl, VInr, VPair, values_close
+from .spaces import (
+    INF,
+    GradedSpace,
+    Space,
+    SumSpace,
+    TensorSpace,
+)
+
+__all__ = [
+    "LensDomainError",
+    "Lens",
+    "identity_lens",
+    "compose",
+    "tensor",
+    "proj1",
+    "proj2",
+    "inj1",
+    "inj2",
+    "copair",
+    "associator",
+    "associator_inverse",
+    "unitor_left",
+    "symmetry",
+    "distributor",
+    "grade_lens",
+    "check_property_1",
+    "check_property_2",
+]
+
+
+#: Relative tolerance for Property-1 comparisons (absorbs the 60-digit
+#: working precision of Decimal distance computations).
+_TOLERANCE = Decimal("1e-40")
+
+
+class LensDomainError(Exception):
+    """The backward map was applied outside its domain
+    (``d_Y(f̃(x), y) = ∞``)."""
+
+
+@dataclass
+class Lens:
+    """A backward error lens ``(f, f̃, b) : source → target``."""
+
+    source: Space
+    target: Space
+    forward: Callable[[Value], Value]
+    approx: Callable[[Value], Value]
+    backward: Callable[[Value, Value], Value]
+    label: str = field(default="lens")
+
+    def __repr__(self) -> str:
+        return f"<Lens {self.label}: {self.source!r} -> {self.target!r}>"
+
+
+def identity_lens(space: Space) -> Lens:
+    """The identity morphism ``(id, id, π₂)``."""
+    return Lens(
+        source=space,
+        target=space,
+        forward=lambda x: x,
+        approx=lambda x: x,
+        backward=lambda x, y: y,
+        label="id",
+    )
+
+
+def compose(second: Lens, first: Lens) -> Lens:
+    """``second ∘ first`` per Definition A.1 (Equations 16-18).
+
+    The backward map threads the intermediate *approximate* value:
+    ``b(x, z) = b₁(x, b₂(f̃₁(x), z))``.
+
+    The middle spaces must agree; as a cheap structural guard we reject
+    slack mismatches, which are the failure mode that silently breaks
+    Property 1 (e.g. feeding a zero-slack output into a graded input
+    without the ``D_r`` lift).
+    """
+    if first.target.slack != second.source.slack:
+        raise ValueError(
+            f"cannot compose {second.label} ∘ {first.label}: middle slacks "
+            f"differ ({first.target.slack} vs {second.source.slack}); "
+            "lift with grade_lens (D_r) first"
+        )
+
+    def forward(x: Value) -> Value:
+        return second.forward(first.forward(x))
+
+    def approx(x: Value) -> Value:
+        return second.approx(first.approx(x))
+
+    def backward(x: Value, z: Value) -> Value:
+        mid = first.approx(x)
+        return first.backward(x, second.backward(mid, z))
+
+    return Lens(
+        source=first.source,
+        target=second.target,
+        forward=forward,
+        approx=approx,
+        backward=backward,
+        label=f"({second.label} ∘ {first.label})",
+    )
+
+
+def tensor(left: Lens, right: Lens) -> Lens:
+    """``left ⊗ right`` per Equations 23-25."""
+    source = TensorSpace(left.source, right.source)
+    target = TensorSpace(left.target, right.target)
+
+    def forward(v: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(left.forward(v.left), right.forward(v.right))
+
+    def approx(v: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(left.approx(v.left), right.approx(v.right))
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(v, VPair) and isinstance(t, VPair)
+        return VPair(left.backward(v.left, t.left), right.backward(v.right, t.right))
+
+    return Lens(source, target, forward, approx, backward, f"({left.label} ⊗ {right.label})")
+
+
+def proj1(left: Space, right: Space) -> Lens:
+    """``π₁ : X ⊗ Y → X`` — requires equal slacks and zero self-distance
+    (Appendix B.3); the backward map grafts the target into the pair."""
+    if left.slack != right.slack:
+        raise ValueError("projections require equal slacks (Appendix B.3)")
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(t, v.right)
+
+    return Lens(
+        TensorSpace(left, right),
+        left,
+        lambda v: v.left,
+        lambda v: v.left,
+        backward,
+        "π₁",
+    )
+
+
+def proj2(left: Space, right: Space) -> Lens:
+    """``π₂ : X ⊗ Y → Y`` (symmetric to :func:`proj1`)."""
+    if left.slack != right.slack:
+        raise ValueError("projections require equal slacks (Appendix B.3)")
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(v.left, t)
+
+    return Lens(
+        TensorSpace(left, right),
+        right,
+        lambda v: v.right,
+        lambda v: v.right,
+        backward,
+        "π₂",
+    )
+
+
+def inj1(left: Space, right: Space) -> Lens:
+    """``in₁ : X → X + Y`` (Equations 36-37)."""
+    target = SumSpace(left, right)
+
+    def backward(x: Value, z: Value) -> Value:
+        if isinstance(z, VInl):
+            return z.body
+        return x
+
+    return Lens(left, target, VInl, VInl, backward, "in₁")
+
+
+def inj2(left: Space, right: Space) -> Lens:
+    """``in₂ : Y → X + Y``."""
+    target = SumSpace(left, right)
+
+    def backward(y: Value, z: Value) -> Value:
+        if isinstance(z, VInr):
+            return z.body
+        return y
+
+    return Lens(right, target, VInr, VInr, backward, "in₂")
+
+
+def copair(g: Lens, h: Lens) -> Lens:
+    """``[g, h] : X + Y → C`` (Equations 38-40)."""
+    source = SumSpace(g.source, h.source)
+    if g.target is not h.target and repr(g.target) != repr(h.target):
+        # Structural agreement is enough; spaces are shapes over values.
+        pass
+
+    def forward(z: Value) -> Value:
+        if isinstance(z, VInl):
+            return g.forward(z.body)
+        assert isinstance(z, VInr)
+        return h.forward(z.body)
+
+    def approx(z: Value) -> Value:
+        if isinstance(z, VInl):
+            return g.approx(z.body)
+        assert isinstance(z, VInr)
+        return h.approx(z.body)
+
+    def backward(z: Value, c: Value) -> Value:
+        if isinstance(z, VInl):
+            return VInl(g.backward(z.body, c))
+        assert isinstance(z, VInr)
+        return VInr(h.backward(z.body, c))
+
+    return Lens(source, g.target, forward, approx, backward, f"[{g.label}, {h.label}]")
+
+
+def associator(x: Space, y: Space, z: Space) -> Lens:
+    """``α : X ⊗ (Y ⊗ Z) → (X ⊗ Y) ⊗ Z`` (Appendix B.2.1)."""
+    source = TensorSpace(x, TensorSpace(y, z))
+    target = TensorSpace(TensorSpace(x, y), z)
+
+    def fwd(v: Value) -> Value:
+        assert isinstance(v, VPair) and isinstance(v.right, VPair)
+        return VPair(VPair(v.left, v.right.left), v.right.right)
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(t, VPair) and isinstance(t.left, VPair)
+        return VPair(t.left.left, VPair(t.left.right, t.right))
+
+    return Lens(source, target, fwd, fwd, backward, "α")
+
+
+def associator_inverse(x: Space, y: Space, z: Space) -> Lens:
+    """``α⁻¹ : (X ⊗ Y) ⊗ Z → X ⊗ (Y ⊗ Z)``."""
+    source = TensorSpace(TensorSpace(x, y), z)
+    target = TensorSpace(x, TensorSpace(y, z))
+
+    def fwd(v: Value) -> Value:
+        assert isinstance(v, VPair) and isinstance(v.left, VPair)
+        return VPair(v.left.left, VPair(v.left.right, v.right))
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(t, VPair) and isinstance(t.right, VPair)
+        return VPair(VPair(t.left, t.right.left), t.right.right)
+
+    return Lens(source, target, fwd, fwd, backward, "α⁻¹")
+
+
+def unitor_left(x: Space) -> Lens:
+    """``λ : I ⊗ X → X`` (Appendix B.2.2).
+
+    The monoidal unit's infinite slack is what lets Property 1 go
+    through — a point the appendix calls "essential".
+    """
+    from .spaces import UnitObjectI
+
+    source = TensorSpace(UnitObjectI(), x)
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(v.left, t)
+
+    return Lens(source, x, lambda v: v.right, lambda v: v.right, backward, "λ")
+
+
+def symmetry(x: Space, y: Space) -> Lens:
+    """``γ : X ⊗ Y → Y ⊗ X`` (Appendix B.2.3)."""
+    source = TensorSpace(x, y)
+    target = TensorSpace(y, x)
+
+    def fwd(v: Value) -> Value:
+        assert isinstance(v, VPair)
+        return VPair(v.right, v.left)
+
+    def backward(v: Value, t: Value) -> Value:
+        assert isinstance(t, VPair)
+        return VPair(t.right, t.left)
+
+    return Lens(source, target, fwd, fwd, backward, "γ")
+
+
+def distributor(x: Space, y: Space, z: Space) -> Lens:
+    """``Θ : X ⊗ (Y + Z) → (X ⊗ Y) + (X ⊗ Z)`` (Appendix C, +E case).
+
+    Requires finite slacks on Y and Z (the coproduct's constraint).
+    """
+    source = TensorSpace(x, SumSpace(y, z))
+    target = SumSpace(TensorSpace(x, y), TensorSpace(x, z))
+
+    def fwd(v: Value) -> Value:
+        assert isinstance(v, VPair)
+        if isinstance(v.right, VInl):
+            return VInl(VPair(v.left, v.right.body))
+        assert isinstance(v.right, VInr)
+        return VInr(VPair(v.left, v.right.body))
+
+    def backward(v: Value, t: Value) -> Value:
+        if isinstance(t, VInl):
+            assert isinstance(t.body, VPair)
+            return VPair(t.body.left, VInl(t.body.right))
+        assert isinstance(t, VInr) and isinstance(t.body, VPair)
+        return VPair(t.body.left, VInr(t.body.right))
+
+    return Lens(source, target, fwd, fwd, backward, "Θ")
+
+
+def grade_lens(lens: Lens, r) -> Lens:
+    """``D_r`` on morphisms: identical maps between shifted spaces."""
+    return Lens(
+        GradedSpace(lens.source, r),
+        GradedSpace(lens.target, r),
+        lens.forward,
+        lens.approx,
+        lens.backward,
+        f"D_{r}({lens.label})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lens-law checking (used by the property-based tests)
+# ---------------------------------------------------------------------------
+
+
+def check_property_1(lens: Lens, x: Value, y: Value) -> Optional[str]:
+    """Check Property 1 at ``(x, y)``; returns an error message or None.
+
+    Vacuously true when ``d(f̃(x), y) = ∞`` (the backward map need not be
+    defined there).  A small Decimal tolerance absorbs the 60-digit
+    working precision of distance computations.
+    """
+    approx_out = lens.approx(x)
+    if lens.target.distance(approx_out, y) == INF:
+        return None
+    back = lens.backward(x, y)
+    lhs = lens.source.excess(x, back)
+    rhs = lens.target.excess(approx_out, y)
+    if lhs == INF and rhs != INF:
+        return f"excess ∞ on source side: x={x!r} y={y!r} b={back!r}"
+    if lhs == INF or rhs == INF:
+        return None if rhs == INF else f"infinite lhs: {x!r} {y!r}"
+    import decimal
+
+    with decimal.localcontext() as ctx:
+        # Compare at full distance precision: the default 28-digit
+        # context would round the right-hand side and fabricate
+        # last-digit "violations".
+        from .spaces import DISTANCE_PRECISION
+
+        ctx.prec = DISTANCE_PRECISION
+        slack_tolerance = abs(lhs) * _TOLERANCE + _TOLERANCE
+        if lhs > rhs + slack_tolerance:
+            return (
+                f"Property 1 violated: {lhs} > {rhs} at x={x!r}, y={y!r}, "
+                f"b(x,y)={back!r}"
+            )
+    return None
+
+
+def check_property_2(lens: Lens, x: Value, y: Value) -> Optional[str]:
+    """Check Property 2 at ``(x, y)``; returns an error message or None."""
+    approx_out = lens.approx(x)
+    if lens.target.distance(approx_out, y) == INF:
+        return None
+    back = lens.backward(x, y)
+    result = lens.forward(back)
+    if not values_close(result, y):
+        return f"Property 2 violated: f(b({x!r}, {y!r})) = {result!r} ≠ {y!r}"
+    return None
+
+
+# Keep the unit value import referenced (copair of units etc.).
+_ = UNIT_VALUE

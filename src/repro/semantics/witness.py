@@ -1,0 +1,138 @@
+"""Executable backward error witnesses — Theorem 3.1 as a runtime check.
+
+Given a checked Bean definition and concrete inputs, the witness runner
+
+1. evaluates the program under the **approximate** (binary64) semantics,
+   obtaining ``v``;
+2. applies the **backward map** to construct perturbed inputs ``k̃``;
+3. re-evaluates under the **ideal** (high-precision) semantics on ``k̃``
+   and checks ``f(k̃) = v`` (Property 2);
+4. measures ``d_{⟦σᵢ⟧}(kᵢ, k̃ᵢ)`` for every linear parameter and checks
+   it against the inferred grade ``rᵢ`` (Property 1 / the soundness
+   bound), with discrete parameters verified unperturbed.
+
+This is the paper's headline guarantee, made machine-checkable on every
+run; the property-based test-suite drives it with randomized programs and
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from ..core import ast_nodes as A
+from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade
+from ..core.types import is_discrete
+from ..lam_s.values import Value, VNum, values_close, vector_value
+from .interp import BeanLens, lens_of_definition
+from .spaces import INF, grade_bound, type_distance
+
+__all__ = ["ParamWitness", "WitnessReport", "run_witness", "env_from_pythons"]
+
+
+@dataclass(frozen=True)
+class ParamWitness:
+    """Per-parameter outcome of a witness run."""
+
+    name: str
+    original: Value
+    perturbed: Value
+    distance: Decimal
+    bound: Decimal
+    grade: Grade
+
+    @property
+    def within_bound(self) -> bool:
+        return self.distance <= self.bound
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """The full outcome of one witness run."""
+
+    approx_value: Value
+    ideal_on_perturbed: Value
+    exact_match: bool
+    params: Dict[str, ParamWitness]
+
+    @property
+    def sound(self) -> bool:
+        """Did this run satisfy the backward error soundness theorem?"""
+        return self.exact_match and all(
+            w.within_bound for w in self.params.values()
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"approximate result : {self.approx_value!r}",
+            f"ideal on perturbed : {self.ideal_on_perturbed!r}",
+            f"results match      : {self.exact_match}",
+        ]
+        for w in self.params.values():
+            status = "ok" if w.within_bound else "VIOLATION"
+            lines.append(
+                f"  {w.name}: d = {w.distance:.3e} <= {w.bound:.3e} ({w.grade})  [{status}]"
+            )
+        return "\n".join(lines)
+
+
+def env_from_pythons(
+    definition: A.Definition,
+    inputs: Mapping[str, Union[Value, float, int, Sequence]],
+) -> Dict[str, Value]:
+    """Build a value environment from plain Python data.
+
+    Scalars map to ``VNum``; flat sequences map to balanced vector values
+    (matching ``vec(n)`` parameter types).  Already-built values pass
+    through.
+    """
+    env: Dict[str, Value] = {}
+    for param in definition.params:
+        if param.name not in inputs:
+            raise KeyError(f"missing input for parameter {param.name!r}")
+        raw = inputs[param.name]
+        if isinstance(raw, Value):
+            env[param.name] = raw
+        elif isinstance(raw, (int, float)):
+            env[param.name] = VNum(float(raw))
+        else:
+            env[param.name] = vector_value([float(c) for c in raw])
+    return env
+
+
+def run_witness(
+    definition: A.Definition,
+    inputs: Mapping[str, Union[Value, float, int, Sequence]],
+    *,
+    program: Optional[A.Program] = None,
+    u: float = BINARY64_UNIT_ROUNDOFF,
+    lens: Optional[BeanLens] = None,
+) -> WitnessReport:
+    """Run the soundness theorem end-to-end on one concrete input."""
+    if lens is None:
+        lens = lens_of_definition(definition, program=program)
+    env = env_from_pythons(definition, inputs)
+    approx_value = lens.approx(env)
+    perturbed = lens.backward(env, approx_value)
+    ideal_value = lens.ideal(perturbed)
+    exact = values_close(ideal_value, approx_value)
+
+    params: Dict[str, ParamWitness] = {}
+    for param in definition.params:
+        original = env[param.name]
+        new = perturbed[param.name]
+        if is_discrete(param.ty):
+            # Theorem 3.1(2): discrete inputs carry no backward error.
+            distance = Decimal(0) if values_close(original, new) else INF
+            bound = Decimal(0)
+            grade = Grade(0)
+        else:
+            distance = type_distance(param.ty, original, new)
+            grade = lens.judgment.grade_of(param.name)
+            bound = grade_bound(grade, u)
+        params[param.name] = ParamWitness(
+            param.name, original, new, distance, bound, grade
+        )
+    return WitnessReport(approx_value, ideal_value, exact, params)

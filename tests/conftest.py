@@ -1,0 +1,28 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,  # deep-stack worker threads make timings noisy
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=40,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def example_program():
+    from repro.programs.examples import example_program as _program
+
+    return _program()
+
+
+@pytest.fixture(scope="session")
+def example_judgments():
+    from repro.programs.examples import example_judgments as _judgments
+
+    return _judgments()

@@ -1,0 +1,159 @@
+"""Random well-typed Bean program generation for property-based tests.
+
+:func:`random_definition` builds straight-line numeric programs by
+construction, so every generated program is well-typed and strictly
+linear by design:
+
+* ``n_linear`` linear ``num`` parameters and ``n_discrete`` discrete
+  parameters form the initial *pool* of one-use values;
+* each step draws one or two unused values from the pool, combines them
+  with a random primitive (``dmul`` uses a discrete variable on the
+  left; all discrete variables are reusable), lets the result, and puts
+  it back in the pool;
+* optionally, results are promoted with ``!``/``dlet`` and reused
+  discretely, and a final ``div``+``case`` exercises the coproduct path;
+* the program returns the last bound value (or a pair of the last two).
+
+The companion :func:`random_inputs` draws inputs that avoid exact zeros,
+overflow, and underflow — the regime the paper's standard rounding model
+assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core import NUM, Definition, Param
+from repro.core import builders as B
+from repro.core.types import DNUM
+
+__all__ = ["random_definition", "random_inputs", "DefinitionSpec"]
+
+
+class DefinitionSpec:
+    """A generated definition plus the metadata tests need."""
+
+    def __init__(self, definition: Definition, linear: List[str], discrete: List[str]):
+        self.definition = definition
+        self.linear = linear
+        self.discrete = discrete
+
+    def __repr__(self) -> str:
+        from repro.core import pretty_definition
+
+        return pretty_definition(self.definition)
+
+
+def random_definition(
+    seed: int,
+    *,
+    n_linear: int = 3,
+    n_discrete: int = 1,
+    n_steps: int = 6,
+    allow_case: bool = True,
+    allow_promote: bool = True,
+) -> DefinitionSpec:
+    """Generate a well-typed, strictly linear Bean definition."""
+    rng = random.Random(seed)
+    n_linear = max(1, n_linear)
+    linear_params = [f"x{i}" for i in range(n_linear)]
+    discrete_params = [f"z{i}" for i in range(n_discrete)]
+
+    pool: List[str] = list(linear_params)  # one-use numeric values
+    discretes: List[str] = list(discrete_params)  # reusable numeric values
+    bindings: List[Tuple[str, object]] = []
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def draw() -> str:
+        return pool.pop(rng.randrange(len(pool)))
+
+    for _ in range(n_steps):
+        choice = rng.random()
+        if choice < 0.15 and discretes and pool:
+            # dmul: discrete on the left, pool value on the right.
+            name = fresh("d")
+            bindings.append((name, B.dmul(rng.choice(discretes), draw())))
+            pool.append(name)
+        elif choice < 0.25 and allow_promote and len(pool) >= 2:
+            # Promote a pool value to a reusable discrete variable
+            # (keep at least one linear value in the pool).
+            value = draw()
+            banged = fresh("bq")
+            dname = fresh("dz")
+            bindings.append((banged, B.bang(value)))
+            bindings.append(("__dlet__" + dname, banged))
+            discretes.append(dname)
+        elif choice < 0.32 and pool:
+            # Explicit rounding step (the §2.2.1 extension).
+            name = fresh("rn")
+            bindings.append((name, B.rnd(draw())))
+            pool.append(name)
+        elif len(pool) >= 2:
+            op = rng.choice([B.add, B.sub, B.mul])
+            name = fresh("t")
+            bindings.append((name, op(draw(), draw())))
+            pool.append(name)
+        elif pool and discretes:
+            name = fresh("d")
+            bindings.append((name, B.dmul(rng.choice(discretes), draw())))
+            pool.append(name)
+
+    assert pool, "generator invariant: the pool never drains completely"
+
+    if allow_case and rng.random() < 0.4 and len(pool) >= 2:
+        # A division feeding a case: both branches return num + unit.
+        quotient = fresh("q")
+        bindings.append((quotient, B.div(draw(), draw())))
+        payload = fresh("p")
+        result_expr: object = B.case(
+            quotient,
+            payload,
+            B.inl(payload),
+            "err",
+            B.inr("err", NUM),
+        )
+    else:
+        if len(pool) >= 2 and rng.random() < 0.3:
+            result_expr = B.pair(draw(), draw())
+        else:
+            result_expr = B.var(draw())
+
+    # Assemble: thread dlet promotions correctly.
+    expr = result_expr
+    for name, bound in reversed(bindings):
+        if name.startswith("__dlet__"):
+            expr = B.dlet(name[len("__dlet__"):], bound, expr)
+        else:
+            expr = B.let_(name, bound, expr)
+
+    params = [Param(p, NUM) for p in linear_params] + [
+        Param(z, DNUM) for z in discrete_params
+    ]
+    definition = Definition(f"Gen{seed & 0xFFFF}", params, expr)
+    return DefinitionSpec(definition, linear_params, discrete_params)
+
+
+def random_inputs(
+    spec: DefinitionSpec, seed: int, *, positive: bool = False
+) -> Dict[str, float]:
+    """Draw benign inputs (no zeros, no overflow) for a generated spec."""
+    rng = random.Random(seed)
+
+    def draw() -> float:
+        magnitude = rng.uniform(0.5, 4.0)
+        if positive:
+            return magnitude
+        return magnitude if rng.random() < 0.5 else -magnitude
+
+    inputs: Dict[str, float] = {}
+    for name in spec.linear:
+        inputs[name] = draw()
+    for name in spec.discrete:
+        inputs[name] = draw()
+    return inputs

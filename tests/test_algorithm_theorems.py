@@ -1,0 +1,89 @@
+"""Algorithmic soundness & completeness (Theorems 5.1 / 5.2) and the
+weakening lemma (Lemma G.1), on randomized well-typed programs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import check_definition
+from repro.core.context import Binding, LinearContext
+from repro.core.declarative import is_derivable
+from repro.core.grades import Grade
+from repro.core.types import is_discrete
+from strategies import random_definition
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.tuples(
+    st.integers(min_value=1, max_value=5),  # linear params
+    st.integers(min_value=0, max_value=2),  # discrete params
+    st.integers(min_value=1, max_value=10),  # steps
+)
+
+
+def _judgment_contexts(spec):
+    judgment = check_definition(spec.definition)
+    gamma = LinearContext(
+        {
+            p.name: Binding(judgment.grade_of(p.name), p.ty)
+            for p in spec.definition.params
+            if not is_discrete(p.ty)
+        }
+    )
+    return judgment, gamma
+
+
+@given(seeds, sizes)
+def test_soundness_inferred_judgment_is_derivable(seed, size):
+    """Theorem 5.1: what the algorithm infers is a real derivation."""
+    n_lin, n_disc, steps = size
+    spec = random_definition(seed, n_linear=n_lin, n_discrete=n_disc, n_steps=steps)
+    judgment, gamma = _judgment_contexts(spec)
+    assert is_derivable(
+        judgment.discrete, gamma, spec.definition.body, judgment.result
+    )
+
+
+@given(seeds, sizes, st.integers(min_value=1, max_value=7))
+def test_completeness_weaker_contexts_also_derivable(seed, size, extra):
+    """Lemma G.1 / Theorem 5.2: adding grade slack keeps derivability, and
+    inference from the weaker skeleton returns a subcontext of it."""
+    n_lin, n_disc, steps = size
+    spec = random_definition(seed, n_linear=n_lin, n_discrete=n_disc, n_steps=steps)
+    judgment, gamma = _judgment_contexts(spec)
+    weaker = gamma.shift(Grade(extra))
+    assert is_derivable(
+        judgment.discrete, weaker, spec.definition.body, judgment.result
+    )
+    assert judgment.linear.is_subcontext_of(weaker)
+
+
+@given(seeds, sizes)
+def test_tightness_strictly_tighter_context_fails(seed, size):
+    """The inferred context is minimal: subtracting anything from a
+    *used* variable's grade breaks derivability."""
+    n_lin, n_disc, steps = size
+    spec = random_definition(seed, n_linear=n_lin, n_discrete=n_disc, n_steps=steps)
+    judgment, gamma = _judgment_contexts(spec)
+    for name, binding in judgment.linear.items():
+        if binding.grade.coeff == 0:
+            continue
+        tightened = LinearContext(
+            {
+                n: Binding(
+                    Grade(b.grade.coeff / 2) if n == name else b.grade, b.ty
+                )
+                for n, b in gamma.items()
+            }
+        )
+        assert not is_derivable(
+            judgment.discrete, tightened, spec.definition.body, judgment.result
+        )
+        break  # one variable suffices per example
+
+
+@given(seeds)
+def test_inference_deterministic(seed):
+    spec = random_definition(seed)
+    j1 = check_definition(spec.definition)
+    j2 = check_definition(spec.definition)
+    assert j1.linear == j2.linear
+    assert j1.result == j2.result

@@ -1,0 +1,71 @@
+"""Tests for the float-level error metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    componentwise_backward_error,
+    relative_error,
+    rp,
+    ulps_between,
+)
+
+
+class TestRP:
+    def test_equal(self):
+        assert rp(2.5, 2.5) == 0.0
+
+    def test_both_zero(self):
+        assert rp(0.0, 0.0) == 0.0
+
+    def test_sign_mismatch(self):
+        assert rp(1.0, -1.0) == math.inf
+
+    def test_zero_one_side(self):
+        assert rp(0.0, 1.0) == math.inf
+
+    def test_log_ratio(self):
+        assert rp(math.e, 1.0) == pytest.approx(1.0)
+
+    def test_agrees_with_decimal_version(self):
+        from repro.lam_s.values import VNum
+        from repro.semantics.spaces import rp_distance
+
+        assert rp(3.7, 2.9) == pytest.approx(float(rp_distance(VNum(3.7), VNum(2.9))))
+
+
+class TestRelativeError:
+    def test_zero_exact_zero_approx(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_exact_nonzero_approx(self):
+        assert relative_error(1.0, 0.0) == math.inf
+
+    def test_value(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+
+class TestComponentwise:
+    def test_max_taken(self):
+        d = componentwise_backward_error([1.0, 2.0], [1.0, 2.0 * math.e])
+        assert d == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert componentwise_backward_error([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            componentwise_backward_error([1.0], [1.0, 2.0])
+
+
+class TestUlps:
+    def test_adjacent(self):
+        assert ulps_between(1.0, math.nextafter(1.0, 2.0)) == 1
+
+    def test_same(self):
+        assert ulps_between(2.5, 2.5) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ulps_between(math.nan, 1.0)

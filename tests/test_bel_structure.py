@@ -1,0 +1,125 @@
+"""Tests for the structural morphisms of Bel (Appendix B.2 / C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lam_s.values import UNIT_VALUE, VInl, VInr, VNum, VPair
+from repro.semantics.lens import (
+    associator,
+    associator_inverse,
+    check_property_1,
+    check_property_2,
+    compose,
+    distributor,
+    symmetry,
+    unitor_left,
+)
+from repro.semantics.spaces import GradedSpace, NumSpace, UnitSpace
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).filter(
+    lambda x: x == 0.0 or abs(x) > 1e-6
+)
+
+
+def assert_laws(lens, x, y):
+    msg = check_property_1(lens, x, y)
+    assert msg is None, msg
+    msg = check_property_2(lens, x, y)
+    assert msg is None, msg
+
+
+def spaces():
+    return NumSpace(), GradedSpace(NumSpace(), 1e-12), NumSpace()
+
+
+class TestAssociator:
+    @given(finite, finite, finite)
+    def test_laws(self, a, b, c):
+        x, y, z = spaces()
+        lens = associator(x, y, z)
+        v = VPair(VNum(a), VPair(VNum(b), VNum(c)))
+        assert_laws(lens, v, lens.approx(v))
+
+    @given(finite, finite, finite)
+    def test_isomorphism(self, a, b, c):
+        x, y, z = spaces()
+        forward = associator(x, y, z)
+        backward = associator_inverse(x, y, z)
+        v = VPair(VNum(a), VPair(VNum(b), VNum(c)))
+        assert backward.forward(forward.forward(v)) == v
+        w = VPair(VPair(VNum(a), VNum(b)), VNum(c))
+        assert forward.forward(backward.forward(w)) == w
+
+    @given(finite, finite, finite)
+    def test_round_trip_is_identity_lens(self, a, b, c):
+        x, y, z = spaces()
+        lens = compose(associator_inverse(x, y, z), associator(x, y, z))
+        v = VPair(VNum(a), VPair(VNum(b), VNum(c)))
+        assert lens.forward(v) == v
+        assert lens.backward(v, v) == v
+
+
+class TestUnitor:
+    @given(finite)
+    def test_laws(self, a):
+        lens = unitor_left(NumSpace())
+        v = VPair(UNIT_VALUE, VNum(a))
+        assert_laws(lens, v, VNum(a))
+
+    @given(finite, finite)
+    def test_perturbed_target(self, a, b):
+        # The infinite slack of I is what makes Property 1 hold even for
+        # far-away targets on the X side.
+        lens = unitor_left(NumSpace())
+        v = VPair(UNIT_VALUE, VNum(a))
+        if (a > 0) == (b > 0) and a != 0 and b != 0:
+            assert_laws(lens, v, VNum(b))
+
+
+class TestSymmetry:
+    @given(finite, finite)
+    def test_laws(self, a, b):
+        lens = symmetry(NumSpace(), GradedSpace(NumSpace(), 1e-13))
+        v = VPair(VNum(a), VNum(b))
+        assert_laws(lens, v, lens.approx(v))
+
+    @given(finite, finite)
+    def test_involution(self, a, b):
+        lens = symmetry(NumSpace(), NumSpace())
+        v = VPair(VNum(a), VNum(b))
+        assert lens.forward(lens.forward(v)) == v
+
+
+class TestDistributor:
+    def _lens(self):
+        return distributor(NumSpace(), NumSpace(), UnitSpace())
+
+    @given(finite, finite)
+    def test_laws_inl(self, a, b):
+        lens = self._lens()
+        v = VPair(VNum(a), VInl(VNum(b)))
+        assert_laws(lens, v, lens.approx(v))
+
+    @given(finite)
+    def test_laws_inr(self, a):
+        lens = self._lens()
+        v = VPair(VNum(a), VInr(UNIT_VALUE))
+        assert_laws(lens, v, lens.approx(v))
+
+    def test_forward_shape(self):
+        lens = self._lens()
+        out = lens.forward(VPair(VNum(1.0), VInl(VNum(2.0))))
+        assert out == VInl(VPair(VNum(1.0), VNum(2.0)))
+
+    def test_backward_restores_shape(self):
+        lens = self._lens()
+        v = VPair(VNum(1.0), VInl(VNum(2.0)))
+        t = VInl(VPair(VNum(1.5), VNum(2.5)))
+        assert lens.backward(v, t) == VPair(VNum(1.5), VInl(VNum(2.5)))
+
+    def test_requires_finite_summand_slack(self):
+        from repro.semantics.spaces import UnitObjectI
+
+        with pytest.raises(ValueError):
+            distributor(NumSpace(), UnitObjectI(), NumSpace())

@@ -1,0 +1,98 @@
+"""Fast checks of the table drivers (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.bench.table1 import PAPER_TABLE1, format_table1, run_table1
+from repro.bench.table2 import PAPER_TABLE2, format_table2, run_table2
+from repro.bench.table3 import PAPER_TABLE3, format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def table1_small():
+    sizes = {
+        "DotProd": [20, 50],
+        "Horner": [20, 50],
+        "PolyVal": [10, 20],
+        "MatVecMul": [5, 10],
+        "Sum": [50, 100],
+    }
+    return run_table1(sizes=sizes)
+
+
+class TestTable1:
+    def test_bean_equals_std_everywhere(self, table1_small):
+        assert all(r.grades_match_std for r in table1_small)
+
+    def test_matches_paper_printed_values(self, table1_small):
+        for row in table1_small:
+            assert row.matches_paper, f"{row.family}-{row.size}"
+
+    def test_ops_column(self, table1_small):
+        by_key = {(r.family, r.size): r.ops for r in table1_small}
+        assert by_key[("DotProd", 20)] == 39
+        assert by_key[("PolyVal", 10)] == 65
+        assert by_key[("MatVecMul", 5)] == 45
+        assert by_key[("Sum", 50)] == 49
+        assert by_key[("Horner", 20)] == 40
+
+    def test_formatting(self, table1_small):
+        text = format_table1(table1_small)
+        assert "Benchmark" in text and "2.22e-15" in text
+
+    def test_paper_catalog_complete(self):
+        assert sum(len(v) for v in PAPER_TABLE1.values()) == 20
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table2(samples=8)
+
+    def test_bean_bounds_match_paper(self, rows):
+        for row in rows:
+            assert row.bean_bound == pytest.approx(
+                PAPER_TABLE2[row.benchmark], abs=0.01e-15
+            )
+
+    def test_dynamic_orders_of_magnitude(self, rows):
+        by_name = {r.benchmark: r for r in rows}
+        assert by_name["sin"].dynamic_bound < 1e-15
+        assert 1e-10 < by_name["cos"].dynamic_bound < 1e-7
+
+    def test_bean_is_fast(self, rows):
+        for row in rows:
+            assert row.bean_ms < 100  # paper reports ~1ms; allow CI slack
+
+    def test_formatting(self, rows):
+        text = format_table2(rows)
+        assert "Fu et al." in text and "quoted" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table3()
+
+    def test_all_three_tools_match_paper(self, rows):
+        for row in rows:
+            paper = PAPER_TABLE3[row.family]
+            for value in (row.bean_forward, row.numfuzz_like, row.gappa_like):
+                assert value == pytest.approx(paper, rel=5e-3)
+
+    def test_tools_agree_tightly(self, rows):
+        for row in rows:
+            assert row.bean_forward == pytest.approx(row.numfuzz_like, rel=1e-12)
+            assert row.bean_forward == pytest.approx(row.gappa_like, rel=1e-9)
+
+    def test_ops_column(self, rows):
+        by_family = {r.family: r.ops for r in rows}
+        assert by_family == {
+            "Sum": 499,
+            "DotProd": 999,
+            "Horner": 1000,
+            "PolyVal": 5150,
+        }
+
+    def test_formatting(self, rows):
+        text = format_table3(rows)
+        assert "NumFuzz~" in text and "Gappa~" in text

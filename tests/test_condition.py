@@ -1,0 +1,67 @@
+"""Tests for condition numbers and forward-from-backward conversion."""
+
+import math
+
+import pytest
+
+from repro.analysis.condition import (
+    condition_number_dot_product,
+    condition_number_polynomial,
+    condition_number_sum,
+    forward_bound_from_backward,
+)
+from repro.core.grades import Grade
+
+
+class TestSum:
+    def test_positive_data_is_one(self):
+        assert condition_number_sum([1.0, 2.0, 3.0]) == 1.0
+
+    def test_cancellation_blows_up(self):
+        assert condition_number_sum([1.0, -0.999999]) > 1e5
+
+    def test_exact_zero_is_inf(self):
+        assert condition_number_sum([1.0, -1.0]) == math.inf
+
+
+class TestDotProduct:
+    def test_positive_data_is_one(self):
+        assert condition_number_dot_product([1.0, 2.0], [3.0, 4.0]) == 1.0
+
+    def test_orthogonal_is_inf(self):
+        # The paper's Section 2.1.2 motivating case.
+        assert condition_number_dot_product([1.0, 1.0], [1.0, -1.0]) == math.inf
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            condition_number_dot_product([1.0], [1.0, 2.0])
+
+
+class TestPolynomial:
+    def test_positive_coefficients_at_positive_point(self):
+        assert condition_number_polynomial([1.0, 2.0, 3.0], 0.5) == 1.0
+
+    def test_mixed_signs_amplifies(self):
+        kappa = condition_number_polynomial([1.0, -1.0], 0.999999)
+        assert kappa > 1e5
+
+    def test_root_is_inf(self):
+        assert condition_number_polynomial([1.0, -1.0], 1.0) == math.inf
+
+
+class TestConversion:
+    def test_kappa_one_passthrough(self):
+        grade = Grade(499)
+        assert forward_bound_from_backward(grade, 1.0, 2.0**-52) == pytest.approx(
+            1.11e-13, abs=0.005e-13
+        )
+
+    def test_kappa_scales(self):
+        grade = Grade(10)
+        assert forward_bound_from_backward(grade, 7.0) == pytest.approx(
+            7 * grade.evaluate()
+        )
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            forward_bound_from_backward(Grade(1), -1.0)

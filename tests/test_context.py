@@ -1,0 +1,138 @@
+"""Tests for the typing-context algebra (Section 3.2 operations)."""
+
+import pytest
+
+from repro.core.context import Binding, DiscreteContext, LinearContext, Skeleton
+from repro.core.errors import BeanTypeError, LinearityError
+from repro.core.grades import EPS, HALF_EPS, ZERO, Grade
+from repro.core.types import NUM, UNIT, Tensor
+
+
+def ctx(**named):
+    return LinearContext({k: Binding(g, t) for k, (g, t) in named.items()})
+
+
+class TestLinearContext:
+    def test_empty(self):
+        empty = LinearContext()
+        assert len(empty) == 0
+        assert "x" not in empty
+        assert str(empty) == "∅"
+
+    def test_bind_and_lookup(self):
+        c = LinearContext().bind("x", EPS, NUM)
+        assert "x" in c
+        assert c["x"].grade == EPS
+        assert c["x"].ty == NUM
+
+    def test_bind_existing_rejected(self):
+        c = LinearContext().bind("x", EPS, NUM)
+        with pytest.raises(LinearityError):
+            c.bind("x", ZERO, NUM)
+
+    def test_remove(self):
+        c = ctx(x=(EPS, NUM), y=(ZERO, NUM))
+        assert "x" not in c.remove("x")
+        assert "y" in c.remove("x")
+        # Removing absent names is allowed (Γ \ {x, y} semantics).
+        assert len(c.remove("nope")) == 2
+
+    def test_immutability(self):
+        c = LinearContext()
+        c.bind("x", EPS, NUM)
+        assert "x" not in c
+
+
+class TestDisjointUnion:
+    def test_union(self):
+        c = ctx(x=(EPS, NUM)).disjoint_union(ctx(y=(ZERO, NUM)))
+        assert set(c) == {"x", "y"}
+
+    def test_overlap_is_linearity_error(self):
+        with pytest.raises(LinearityError, match="x"):
+            ctx(x=(EPS, NUM)).disjoint_union(ctx(x=(ZERO, NUM)))
+
+    def test_union_with_empty(self):
+        c = ctx(x=(EPS, NUM))
+        assert c.disjoint_union(LinearContext()) == c
+
+
+class TestShift:
+    def test_shift_adds_to_every_grade(self):
+        c = ctx(x=(EPS, NUM), y=(HALF_EPS, NUM)).shift(EPS)
+        assert c["x"].grade == Grade(2)
+        assert c["y"].grade.coeff == EPS.coeff + HALF_EPS.coeff
+
+    def test_shift_zero_is_identity(self):
+        c = ctx(x=(EPS, NUM))
+        assert c.shift(ZERO) is c
+
+    def test_shift_empty(self):
+        assert len(LinearContext().shift(EPS)) == 0
+
+
+class TestMergeMax:
+    def test_pointwise_max(self):
+        a = ctx(x=(EPS, NUM), y=(ZERO, NUM))
+        b = ctx(x=(HALF_EPS, NUM), z=(EPS, NUM))
+        m = a.merge_max(b)
+        assert m["x"].grade == EPS
+        assert m["y"].grade == ZERO
+        assert m["z"].grade == EPS
+
+    def test_type_conflict_rejected(self):
+        with pytest.raises(BeanTypeError):
+            ctx(x=(EPS, NUM)).merge_max(ctx(x=(EPS, UNIT)))
+
+
+class TestSubcontext:
+    def test_reflexive(self):
+        c = ctx(x=(EPS, NUM))
+        assert c.is_subcontext_of(c)
+
+    def test_tighter_grades(self):
+        tight = ctx(x=(HALF_EPS, NUM))
+        loose = ctx(x=(EPS, NUM))
+        assert tight.is_subcontext_of(loose)
+        assert not loose.is_subcontext_of(tight)
+
+    def test_smaller_domain(self):
+        small = ctx(x=(EPS, NUM))
+        big = ctx(x=(EPS, NUM), y=(ZERO, NUM))
+        assert small.is_subcontext_of(big)
+        assert not big.is_subcontext_of(small)
+
+    def test_type_mismatch(self):
+        assert not ctx(x=(EPS, NUM)).is_subcontext_of(ctx(x=(EPS, UNIT)))
+
+
+class TestSkeleton:
+    def test_from_context(self):
+        sk = ctx(x=(EPS, NUM), y=(ZERO, Tensor(NUM, NUM))).skeleton()
+        assert sk["x"] == NUM
+        assert set(sk) == {"x", "y"}
+
+    def test_with_zero_grades(self):
+        sk = Skeleton({"x": NUM})
+        c = sk.with_zero_grades()
+        assert c["x"].grade == ZERO
+
+    def test_bind(self):
+        sk = Skeleton().bind("x", NUM)
+        assert "x" in sk
+        assert sk.get("y") is None
+
+
+class TestDiscreteContext:
+    def test_bind_lookup(self):
+        phi = DiscreteContext().bind("z", NUM)
+        assert phi["z"] == NUM
+        assert "w" not in phi
+
+    def test_str(self):
+        assert str(DiscreteContext()) == "∅"
+        assert "z : num" in str(DiscreteContext().bind("z", NUM))
+
+    def test_equality(self):
+        assert DiscreteContext({"z": NUM}) == DiscreteContext({"z": NUM})
+        assert DiscreteContext({"z": NUM}) != DiscreteContext({"z": UNIT})

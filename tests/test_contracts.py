@@ -1,0 +1,88 @@
+"""Tests for stability contracts (``@`` grade annotations on parameters)."""
+
+import pytest
+
+from repro.core import (
+    BeanTypeError,
+    check_program,
+    parse_program,
+    pretty_program,
+)
+from repro.core.grades import Grade
+from fractions import Fraction
+
+OK = """
+DotProd2 (x : vec(2) @ 3/2) (y : vec(2) @ 2) : num :=
+  let (x0, x1) = x in
+  let (y0, y1) = y in
+  let v = mul x0 y0 in
+  let w = mul x1 y1 in
+  add v w
+"""
+
+
+class TestParsing:
+    def test_integer_annotation(self):
+        program = parse_program("F (x : num @ 2) := add x y2\nG (x : num @ 2) (w : num) := add x w")
+        assert program["G"].params[0].declared_grade == Grade(2)
+
+    def test_fraction_annotation(self):
+        program = parse_program(OK)
+        assert program["DotProd2"].params[0].declared_grade == Grade(Fraction(3, 2))
+
+    def test_no_annotation_is_none(self):
+        program = parse_program("F (x : num) := x")
+        assert program["F"].params[0].declared_grade is None
+
+    def test_zero_denominator_rejected(self):
+        from repro.core import BeanSyntaxError
+
+        with pytest.raises(BeanSyntaxError):
+            parse_program("F (x : num @ 1/0) := x")
+
+
+class TestChecking:
+    def test_satisfied_contract(self):
+        judgments = check_program(parse_program(OK))
+        assert judgments["DotProd2"].grade_of("x").coeff == Fraction(3, 2)
+
+    def test_exact_boundary_accepted(self):
+        src = OK.replace("@ 2", "@ 3/2")  # y's true grade is exactly 3ε/2
+        check_program(parse_program(src))
+
+    def test_violated_contract(self):
+        src = OK.replace("@ 3/2", "@ 1")
+        with pytest.raises(BeanTypeError, match="stability contract violated"):
+            check_program(parse_program(src))
+
+    def test_violation_message_names_grades(self):
+        src = OK.replace("@ 3/2", "@ 1")
+        with pytest.raises(BeanTypeError, match="3ε/2"):
+            check_program(parse_program(src))
+
+    def test_contract_on_discrete_param_rejected(self):
+        src = "F (z : !R @ 1) (x : num) := dmul z x"
+        with pytest.raises(BeanTypeError, match="discrete"):
+            check_program(parse_program(src))
+
+    def test_unused_param_trivially_satisfies(self):
+        src = "F (x : num @ 0) (y : num) := y"
+        check_program(parse_program(src))
+
+    def test_zero_contract_on_used_param(self):
+        src = "F (x : num @ 0) (y : num) := add x y"
+        with pytest.raises(BeanTypeError, match="contract"):
+            check_program(parse_program(src))
+
+
+class TestPrinting:
+    def test_roundtrip(self):
+        program = parse_program(OK)
+        printed = pretty_program(program)
+        assert "@ 3/2" in printed
+        reparsed = parse_program(printed)
+        assert reparsed["DotProd2"].params == program["DotProd2"].params
+
+    def test_integer_contract_prints_without_denominator(self):
+        program = parse_program("F (x : num @ 2) (y : num) := add x y")
+        assert "@ 2)" in pretty_program(program)

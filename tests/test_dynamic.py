@@ -1,0 +1,92 @@
+"""Tests for the Fu-et-al-style dynamic backward error estimator."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.analysis.dynamic import (
+    FU_PUBLISHED,
+    estimate_multivariate,
+    estimate_scalar,
+)
+from repro.programs.transcendental import (
+    TABLE2_RANGE,
+    cos_ideal,
+    cos_kernel,
+    sin_ideal,
+    sin_kernel,
+)
+
+
+class TestScalar:
+    def test_identity_kernel_zero_error(self):
+        est = estimate_scalar(lambda x: x, lambda d: d, (0.5, 2.0), samples=8)
+        assert est.max_backward_error == 0.0
+
+    def test_square_kernel_order_u(self):
+        # x*x rounds once: backward error ~ u/2 on the input (split as x̃²).
+        est = estimate_scalar(
+            lambda x: x * x, lambda d: d * d, (0.5, 2.0), samples=16
+        )
+        assert est.max_backward_error < 1e-15
+        assert est.max_backward_error > 0.0
+
+    def test_sin_matches_published_order(self):
+        est = estimate_scalar(sin_kernel, sin_ideal, TABLE2_RANGE, samples=16)
+        published = FU_PUBLISHED["sin"]["backward_bound"]
+        assert est.max_backward_error == pytest.approx(published, rel=1.0)
+
+    def test_cos_matches_published_order(self):
+        est = estimate_scalar(cos_kernel, cos_ideal, TABLE2_RANGE, samples=16)
+        published = FU_PUBLISHED["cos"]["backward_bound"]
+        # Same order of magnitude (sampling-dependent).
+        assert published / 30 < est.max_backward_error < published * 30
+
+    def test_deterministic_given_seed(self):
+        a = estimate_scalar(sin_kernel, sin_ideal, TABLE2_RANGE, samples=8, seed=1)
+        b = estimate_scalar(sin_kernel, sin_ideal, TABLE2_RANGE, samples=8, seed=1)
+        assert a.max_backward_error == b.max_backward_error
+
+    def test_str(self):
+        est = estimate_scalar(lambda x: x, lambda d: d, (0.5, 2.0), samples=2)
+        assert "backward error" in str(est)
+
+
+class TestMultivariate:
+    def test_dot_product_small_error(self):
+        def kernel(p):
+            return p[0] * p[1] + p[2] * p[3]
+
+        def ideal(p):
+            return p[0] * p[1] + p[2] * p[3]
+
+        est = estimate_multivariate(
+            kernel, ideal, [[1.3, 2.7, 0.9, 1.1]], penalty=1e8
+        )
+        # Heuristic search: the perturbation estimate must be far below
+        # any macroscopic scale (Fu et al.'s estimates are of this kind).
+        assert est.max_backward_error < 1e-6
+
+    def test_respects_perturb_indices(self):
+        def kernel(p):
+            return p[0] + p[1]
+
+        def ideal(p):
+            return p[0] + p[1]
+
+        est = estimate_multivariate(
+            kernel, ideal, [[1.0, 2.0]], perturb_indices=[1], penalty=1e8
+        )
+        assert math.isfinite(est.max_backward_error)
+
+
+class TestPublishedConstants:
+    def test_all_benchmarks_present(self):
+        assert set(FU_PUBLISHED) == {"sin", "cos"}
+
+    def test_values_quoted_from_table6(self):
+        assert FU_PUBLISHED["sin"]["backward_bound"] == 1.10e-16
+        assert FU_PUBLISHED["cos"]["backward_bound"] == 5.43e-09
+        assert FU_PUBLISHED["sin"]["timing_ms"] == 1280.0
+        assert FU_PUBLISHED["cos"]["timing_ms"] == 1310.0

@@ -1,0 +1,90 @@
+"""Tests for the empirical error-measurement harness."""
+
+import pytest
+
+from repro.analysis.empirical import (
+    measure_backward_error,
+    measure_forward_error,
+    tightness_study,
+)
+from repro.programs.generators import dot_prod, vec_sum
+from repro.programs.examples import example_program
+
+
+class TestMeasureBackward:
+    def test_reports_per_parameter(self):
+        observed = measure_backward_error(
+            dot_prod(4), {"x": [1.1, 2.2, 3.3, 4.4], "y": [0.5, 0.6, 0.7, 0.8]}
+        )
+        assert "x" in observed
+        assert observed["x"] >= 0.0
+
+    def test_observed_below_static_bound(self):
+        from repro.core import check_definition
+
+        definition = vec_sum(8)
+        judgment = check_definition(definition)
+        observed = measure_backward_error(
+            definition, {"x": [0.1 * (i + 1) for i in range(8)]}
+        )
+        assert observed["x"] <= judgment.grade_of("x").evaluate()
+
+    def test_exact_computation_zero_error(self):
+        # Sums of small integers are exact in binary64.
+        observed = measure_backward_error(vec_sum(4), {"x": [1.0, 2.0, 3.0, 4.0]})
+        assert observed.get("x", 0.0) == 0.0
+
+
+class TestMeasureForward:
+    def test_zero_for_exact(self):
+        assert measure_forward_error(vec_sum(3), {"x": [1.0, 2.0, 3.0]}) == 0.0
+
+    def test_positive_for_inexact(self):
+        err = measure_forward_error(vec_sum(3), {"x": [0.1, 0.2, 0.3]})
+        assert 0.0 < err < 1e-15
+
+    def test_handles_inl_results(self):
+        from repro.core import parse_program
+
+        program = parse_program("F (x : num) (y : num) := div x y")
+        err = measure_forward_error(
+            program["F"], {"x": 1.0, "y": 3.0}, program=program
+        )
+        assert err < 1e-15
+
+    def test_rejects_structured_results(self):
+        # ScaleVec returns a pair; scalar forward error is undefined.
+        program = example_program()
+        with pytest.raises(TypeError):
+            measure_forward_error(
+                program["ScaleVec"], {"a": 2.0, "x": [1.0, 2.0]}, program=program
+            )
+
+
+class TestTightnessStudy:
+    def test_sum_study(self):
+        summary = tightness_study(
+            vec_sum(8),
+            lambda rng: {"x": [rng.uniform(0.1, 10.0) for _ in range(8)]},
+            runs=30,
+            seed=1,
+        )
+        assert summary.sound
+        assert 0.0 < summary.max_utilization <= 1.0
+        assert summary.mean_utilization <= summary.max_utilization
+
+    def test_str(self):
+        summary = tightness_study(
+            vec_sum(4),
+            lambda rng: {"x": [rng.uniform(1, 2) for _ in range(4)]},
+            runs=5,
+        )
+        assert "violations" in str(summary)
+
+    def test_deterministic(self):
+        def sampler(rng):
+            return {"x": [rng.uniform(0.5, 1.5) for _ in range(4)]}
+
+        a = tightness_study(vec_sum(4), sampler, runs=10, seed=7)
+        b = tightness_study(vec_sum(4), sampler, runs=10, seed=7)
+        assert a == b

@@ -1,0 +1,172 @@
+"""Tests for the Λ_S big-step evaluators (Figure 6)."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import parse_expression
+from repro.core.ast_nodes import Program
+from repro.lam_s import (
+    EvalError,
+    UNIT_VALUE,
+    VInl,
+    VInr,
+    VNum,
+    VPair,
+    evaluate,
+    values_close,
+)
+from repro.programs.generators import vec_sum
+from repro.lam_s.values import vector_value
+
+floats = st.floats(
+    min_value=-1e10, max_value=1e10, allow_nan=False, allow_infinity=False
+)
+
+
+def run(src, env=None, mode="approx", **kw):
+    return evaluate(parse_expression(src), env or {}, mode=mode, **kw)
+
+
+class TestArithmetic:
+    def test_add_approx_is_binary64(self):
+        result = run("add x y", {"x": VNum(0.1), "y": VNum(0.2)})
+        assert result.as_float() == 0.1 + 0.2  # exactly the float sum
+
+    def test_add_ideal_is_exact(self):
+        from decimal import localcontext
+
+        result = run("add x y", {"x": VNum(0.1), "y": VNum(0.2)}, mode="ideal")
+        # Decimal sum of the exact binary values of 0.1 and 0.2, at the
+        # evaluator's working precision.
+        with localcontext() as ctx:
+            ctx.prec = 50
+            expected = Decimal(0.1) + Decimal(0.2)
+        assert result.as_decimal() == expected
+
+    def test_sub(self):
+        assert run("sub x y", {"x": VNum(5.0), "y": VNum(3.0)}).as_float() == 2.0
+
+    def test_mul(self):
+        assert run("mul x y", {"x": VNum(5.0), "y": VNum(3.0)}).as_float() == 15.0
+
+    def test_dmul_evaluates_like_mul(self):
+        assert run("dmul x y", {"x": VNum(5.0), "y": VNum(3.0)}).as_float() == 15.0
+
+    def test_div_success(self):
+        result = run("div x y", {"x": VNum(6.0), "y": VNum(3.0)})
+        assert result == VInl(VNum(2.0))
+
+    def test_div_by_zero_returns_inr(self):
+        result = run("div x y", {"x": VNum(6.0), "y": VNum(0.0)})
+        assert result == VInr(UNIT_VALUE)
+
+    def test_div_by_zero_ideal(self):
+        result = run("div x y", {"x": VNum(6.0), "y": VNum(0.0)}, mode="ideal")
+        assert result == VInr(UNIT_VALUE)
+
+    @given(floats, floats)
+    def test_ideal_vs_approx_add(self, x, y):
+        """Ideal and approximate sums agree to relative 2u."""
+        approx = run("add x y", {"x": VNum(x), "y": VNum(y)}).as_decimal()
+        ideal = run("add x y", {"x": VNum(x), "y": VNum(y)}, mode="ideal").as_decimal()
+        if ideal != 0:
+            assert abs(approx - ideal) / abs(ideal) <= Decimal(2) ** -52
+
+
+class TestStructures:
+    def test_unit(self):
+        assert run("()") == UNIT_VALUE
+
+    def test_pair(self):
+        result = run("(x, y)", {"x": VNum(1.0), "y": VNum(2.0)})
+        assert result == VPair(VNum(1.0), VNum(2.0))
+
+    def test_let(self):
+        assert run("let v = add x y in mul v z",
+                   {"x": VNum(1.0), "y": VNum(2.0), "z": VNum(4.0)}).as_float() == 12.0
+
+    def test_let_pair(self):
+        env = {"p": VPair(VNum(3.0), VNum(4.0))}
+        assert run("let (a, b) = p in add a b", env).as_float() == 7.0
+
+    def test_case_inl(self):
+        env = {"s": VInl(VNum(10.0))}
+        assert run("case s of inl (a) => a | inr (b) => b", env).as_float() == 10.0
+
+    def test_case_inr(self):
+        env = {"s": VInr(VNum(20.0))}
+        assert run("case s of inl (a) => a | inr (b) => b", env).as_float() == 20.0
+
+    def test_bang_transparent(self):
+        assert run("!x", {"x": VNum(1.5)}).as_float() == 1.5
+
+    def test_injection(self):
+        assert run("inl x", {"x": VNum(1.0)}) == VInl(VNum(1.0))
+
+
+class TestErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError, match="unbound"):
+            run("ghost")
+
+    def test_letpair_of_scalar(self):
+        with pytest.raises(EvalError, match="pair"):
+            run("let (a, b) = x in a", {"x": VNum(1.0)})
+
+    def test_case_of_non_sum(self):
+        with pytest.raises(EvalError, match="sum"):
+            run("case x of inl (a) => a | inr (b) => b", {"x": VNum(1.0)})
+
+    def test_arith_on_pair(self):
+        with pytest.raises(EvalError, match="non-number"):
+            run("add x y", {"x": VPair(VNum(1.0), VNum(2.0)), "y": VNum(1.0)})
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run("x", {"x": VNum(1.0)}, mode="quantum")
+
+    def test_unknown_call(self):
+        with pytest.raises(EvalError, match="unknown"):
+            run("F x", {"x": VNum(1.0)})
+
+
+class TestDeterminismAndNormalization:
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_deterministic(self, seed):
+        from strategies import random_definition, random_inputs
+
+        spec = random_definition(seed)
+        env = {k: VNum(v) for k, v in random_inputs(spec, seed).items()}
+        first = evaluate(spec.definition.body, env, mode="approx")
+        second = evaluate(spec.definition.body, env, mode="approx")
+        assert first == second
+
+    def test_deep_program_evaluates(self):
+        definition = vec_sum(500)
+        env = {"x": vector_value([1.0] * 500)}
+        result = evaluate(definition.body, env, mode="approx")
+        assert result.as_float() == 500.0
+
+    def test_calls_via_program(self):
+        from repro.core import parse_program
+
+        program = parse_program(
+            """
+            Double (x : num) (y : num) := add x y
+            Main (a : num) (b : num) := Double a b
+            """
+        )
+        env = {"a": VNum(2.0), "b": VNum(3.0)}
+        result = evaluate(program["Main"].body, env, mode="approx", program=program)
+        assert result.as_float() == 5.0
+
+
+class TestPrecisionControl:
+    def test_custom_precision(self):
+        env = {"x": VNum(1.0), "y": VNum(3.0)}
+        low = evaluate(parse_expression("div x y"), env, mode="ideal", precision=5)
+        high = evaluate(parse_expression("div x y"), env, mode="ideal", precision=40)
+        assert len(str(high.body.as_decimal())) > len(str(low.body.as_decimal()))

@@ -1,0 +1,38 @@
+"""The shipped examples/ scripts must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_script_runs(script, capsys, monkeypatch):
+    # Scripts use asserts internally; a clean run is the test.
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_expected_scripts_present():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3
+
+
+def test_bean_sources_check(tmp_path):
+    from repro.core import check_program, parse_program
+
+    for bean in sorted((EXAMPLES_DIR / "bean").glob("*.bean")):
+        program = parse_program(bean.read_text())
+        check_program(program)
+
+
+# Guard against scripts mutating global interpreter state.
+def test_no_recursion_limit_leak():
+    assert sys.getrecursionlimit() < 10_000_000

@@ -1,0 +1,129 @@
+"""Tests for blame traces (repro.core.explain / repro-bean explain)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import check_definition, check_program, parse_program
+from repro.core.explain import explain_variable, format_trace
+from repro.core.types import is_discrete
+from repro.programs.generators import dot_prod, horner, vec_sum
+from strategies import random_definition
+
+
+def trace_of(src, var, name=None):
+    program = parse_program(src)
+    judgments = check_program(program)
+    definition = program[name] if name else program.main
+    return explain_variable(judgments[definition.name], definition, var, program=program)
+
+
+class TestCharges:
+    def test_single_op(self):
+        trace = trace_of("F (x : num) (y : num) := add x y", "x")
+        assert str(trace.total) == "ε"
+        assert len(trace.charges) == 1
+        assert trace.charges[0].reason == "operand of add"
+
+    def test_chain_attributes_via(self):
+        src = """
+        F (x : num) (y : num) (w : num) :=
+          let v = mul x y in
+          add v w
+        """
+        trace = trace_of(src, "x")
+        assert str(trace.total) == "3ε/2"
+        assert [str(c.grade) for c in trace.charges] == ["ε/2", "ε"]
+        assert trace.charges[1].via == "v"
+
+    def test_rnd_charge(self):
+        trace = trace_of("F (x : num) := rnd x", "x")
+        assert trace.charges[0].reason == "explicit rounding"
+
+    def test_dmul_linear_side_only(self):
+        trace = trace_of("F (z : !R) (x : num) := dmul z x", "x")
+        assert str(trace.total) == "ε"
+
+    def test_unused_variable_empty_trace(self):
+        trace = trace_of("F (x : num) (y : num) := x", "y")
+        assert trace.total.is_zero
+        assert trace.charges == []
+
+    def test_charges_sum_to_total(self):
+        trace = trace_of(
+            "F (x : num) (y : num) (w : num) := add (mul x y) (rnd w)", "w"
+        )
+        assert trace.check()
+
+    def test_case_worst_branch(self):
+        src = """
+        F (s : num + num) (x : num) (w : num) :=
+          case s of
+            inl (a) => add a x
+          | inr (b) => mul b w
+        """
+        trace = trace_of(src, "x")
+        assert str(trace.total) == "ε"
+
+
+class TestAgainstInference:
+    @pytest.mark.parametrize(
+        "make,param",
+        [
+            (lambda: dot_prod(6), "x"),
+            (lambda: vec_sum(9), "x"),
+            (lambda: horner(4), "a"),
+        ],
+        ids=["dotprod", "sum", "horner"],
+    )
+    def test_generators(self, make, param):
+        definition = make()
+        judgment = check_definition(definition)
+        trace = explain_variable(judgment, definition, param)
+        assert trace.total.coeff == judgment.grade_of(param).coeff
+        assert trace.check()
+
+    def test_paper_examples(self, example_program, example_judgments):
+        for definition in example_program:
+            judgment = example_judgments[definition.name]
+            for p in definition.params:
+                if is_discrete(p.ty):
+                    continue
+                trace = explain_variable(
+                    judgment, definition, p.name, program=example_program
+                )
+                # explain_variable internally asserts agreement; also:
+                assert trace.total.coeff == judgment.grade_of(p.name).coeff
+
+    @given(st.integers(min_value=0, max_value=8000))
+    def test_random_programs(self, seed):
+        spec = random_definition(seed, n_linear=3, n_discrete=1, n_steps=7)
+        judgment = check_definition(spec.definition)
+        for param in spec.linear:
+            explain_variable(judgment, spec.definition, param)
+            # the function raises AssertionError on any disagreement
+
+
+class TestRendering:
+    def test_format_contains_grades_and_sites(self):
+        trace = trace_of("F (x : num) (y : num) := add x y", "x")
+        text = format_trace(trace)
+        assert "x : ε" in text
+        assert "add x y" in text
+
+    def test_format_empty(self):
+        trace = trace_of("F (x : num) (y : num) := x", "y")
+        assert "no backward error" in format_trace(trace)
+
+    def test_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.bean"
+        path.write_text("F (x : num) (y : num) := add (mul x y) w2\n")
+        path.write_text(
+            "F (x : num) (y : num) (w : num) := add (mul x y) w\n"
+        )
+        assert main(["explain", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "x : 3ε/2" in out
+        assert "operand of mul" in out

@@ -1,0 +1,115 @@
+"""Tests for the NumFuzz-like forward error analyzer, including an
+empirical soundness check against real executions."""
+
+import random
+
+import pytest
+
+from repro.analysis.forward import UNBOUNDED, forward_error_bound, forward_error_value
+from repro.analysis.metrics import rp
+from repro.core import check_program, parse_program
+from repro.lam_s import VNum, evaluate
+from repro.programs.generators import dot_prod, horner, poly_val, vec_sum
+
+
+def bound_of(src, name=None):
+    program = parse_program(src)
+    check_program(program)
+    definition = program[name] if name else program.main
+    return forward_error_bound(definition, program)
+
+
+class TestRules:
+    def test_input_is_exact(self):
+        assert bound_of("F (x : num) := x").coeff == 0
+
+    def test_add_costs_one(self):
+        assert bound_of("F (x : num) (y : num) := add x y").coeff == 1
+
+    def test_mul_costs_sum_plus_one(self):
+        src = "F (a : num) (b : num) (c : num) := mul (add a b) c"
+        assert bound_of(src).coeff == 2  # 1 (add) + 0 + 1 (mul)
+
+    def test_dmul_like_mul(self):
+        src = "F (z : !R) (x : num) := dmul z x"
+        assert bound_of(src).coeff == 1
+
+    def test_sub_unbounded(self):
+        assert bound_of("F (x : num) (y : num) := sub x y") is UNBOUNDED
+
+    def test_div_bounded(self):
+        assert bound_of("F (x : num) (y : num) := div x y").coeff == 1
+
+    def test_case_takes_worst_branch(self):
+        src = """
+        F (s : num + num) (x : num) (y : num) (w : num) :=
+          case s of
+            inl (a) => add a x
+          | inr (b) => mul (mul b y) w
+        """
+        assert bound_of(src).coeff == 2
+
+    def test_calls_analyzed_through(self):
+        src = """
+        Mul3 (a : num) (b : num) (c : num) := mul (mul a b) c
+        Main (x : num) (y : num) (z : num) := Mul3 x y z
+        """
+        assert bound_of(src, "Main").coeff == 2
+
+    def test_pair_worst_component(self):
+        src = "F (a : num) (b : num) (c : num) := (add a b, c)"
+        assert bound_of(src).coeff == 1
+
+
+class TestTable3Values:
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (lambda: vec_sum(500), 499),
+            (lambda: dot_prod(500), 500),
+            (lambda: horner(500), 1000),
+            (lambda: poly_val(100), 101),
+        ],
+        ids=["Sum500", "DotProd500", "Horner500", "PolyVal100"],
+    )
+    def test_paper_rows(self, make, expected):
+        assert forward_error_bound(make()).coeff == expected
+
+    def test_numeric_value_u52(self):
+        value = forward_error_value(vec_sum(500), u=2.0**-52)
+        assert value == pytest.approx(1.11e-13, abs=0.005e-13)
+
+    def test_unbounded_value_is_none(self):
+        program = parse_program("F (x : num) (y : num) := sub x y")
+        assert forward_error_value(program["F"]) is None
+
+
+class TestEmpiricalSoundness:
+    """On positive data, the static bound dominates observed RP error."""
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_sum_bound_holds(self, n):
+        rng = random.Random(n)
+        definition = vec_sum(n)
+        bound = forward_error_bound(definition).evaluate()
+        from repro.lam_s.values import vector_value
+
+        xs = [rng.uniform(0.1, 1000.0) for _ in range(n)]
+        env = {"x": vector_value(xs)}
+        approx = evaluate(definition.body, env, mode="approx").as_float()
+        exact = float(evaluate(definition.body, env, mode="ideal").as_decimal())
+        assert rp(approx, exact) <= bound
+
+    def test_horner_bound_holds(self):
+        rng = random.Random(11)
+        definition = horner(8)
+        bound = forward_error_bound(definition).evaluate()
+        from repro.lam_s.values import vector_value
+
+        env = {
+            "a": vector_value([rng.uniform(0.1, 10.0) for _ in range(9)]),
+            "z": VNum(rng.uniform(0.1, 2.0)),
+        }
+        approx = evaluate(definition.body, env, mode="approx").as_float()
+        exact = float(evaluate(definition.body, env, mode="ideal").as_decimal())
+        assert rp(approx, exact) <= bound

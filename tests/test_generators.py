@@ -1,0 +1,139 @@
+"""Tests for the Table 1 benchmark program generators."""
+
+import math
+
+import pytest
+
+from repro.core import check_definition, check_program, count_flops
+from repro.core.ast_nodes import Program
+from repro.programs.generators import (
+    BENCHMARK_FAMILIES,
+    TABLE1_SIZES,
+    dot_prod,
+    expected_flops,
+    horner,
+    mat_vec_mul,
+    poly_val,
+    vec_sum,
+)
+
+SMALL_SIZES = {
+    "DotProd": [1, 2, 3, 7, 20],
+    "Horner": [1, 2, 5, 11],
+    "PolyVal": [1, 2, 5, 9],
+    "MatVecMul": [2, 3, 5],
+    "Sum": [2, 3, 8, 50],
+}
+
+CLOSED_FORM_GRADE = {
+    "DotProd": lambda n: n,
+    "Horner": lambda n: 2 * n,
+    "PolyVal": lambda n: n + 1,
+    "MatVecMul": lambda n: n,
+    "Sum": lambda n: n - 1,
+}
+
+CASES = [(f, n) for f, sizes in SMALL_SIZES.items() for n in sizes]
+
+
+@pytest.mark.parametrize("family,n", CASES, ids=[f"{f}-{n}" for f, n in CASES])
+def test_flops_match_paper_formula(family, n):
+    definition = BENCHMARK_FAMILIES[family](n)
+    assert count_flops(definition.body) == expected_flops(family, n)
+
+
+@pytest.mark.parametrize("family,n", CASES, ids=[f"{f}-{n}" for f, n in CASES])
+def test_inferred_grade_closed_form(family, n):
+    definition = BENCHMARK_FAMILIES[family](n)
+    judgment = check_definition(definition)
+    assert judgment.max_linear_grade().coeff == CLOSED_FORM_GRADE[family](n)
+
+
+class TestTable1Catalog:
+    def test_all_families_listed(self):
+        assert set(BENCHMARK_FAMILIES) == set(TABLE1_SIZES)
+
+    def test_sizes_match_paper(self):
+        assert TABLE1_SIZES["DotProd"] == [20, 50, 100, 500]
+        assert TABLE1_SIZES["Sum"] == [50, 100, 500, 1000]
+
+    def test_expected_flops_unknown_family(self):
+        with pytest.raises(ValueError):
+            expected_flops("Nope", 3)
+
+
+class TestOrders:
+    @pytest.mark.parametrize("n", [4, 8, 16, 33])
+    def test_balanced_sum_logarithmic(self, n):
+        judgment = check_definition(vec_sum(n, order="balanced"))
+        assert judgment.max_linear_grade().coeff == math.ceil(math.log2(n))
+
+    def test_balanced_same_flop_count(self):
+        assert count_flops(vec_sum(33, order="balanced").body) == 32
+
+    def test_balanced_dotprod(self):
+        judgment = check_definition(dot_prod(8, order="balanced"))
+        # 1 dmul + log2(8) adds on the critical path.
+        assert judgment.max_linear_grade().coeff == 1 + 3
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            vec_sum(8, order="mystery")
+
+
+class TestAllocations:
+    def test_dotprod_both_splits_error(self):
+        judgment = check_definition(dot_prod(4, alloc="both"))
+        from fractions import Fraction
+
+        expected = Fraction(1, 2) + 3  # ε/2 per mul + 3 adds
+        assert judgment.grade_of("x").coeff == expected
+        assert judgment.grade_of("y").coeff == expected
+
+    def test_dotprod_single_discrete_y(self):
+        from repro.core.types import is_discrete
+
+        definition = dot_prod(4)
+        assert is_discrete(definition.params[1].ty)
+
+    def test_unknown_alloc(self):
+        with pytest.raises(ValueError):
+            dot_prod(4, alloc="nope")
+
+
+class TestValidation:
+    def test_dot_prod_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            dot_prod(0)
+
+    def test_sum_needs_two(self):
+        with pytest.raises(ValueError):
+            vec_sum(1)
+
+    def test_matvec_needs_two(self):
+        with pytest.raises(ValueError):
+            mat_vec_mul(1)
+
+    def test_horner_positive_degree(self):
+        with pytest.raises(ValueError):
+            horner(0)
+
+    def test_polyval_positive_degree(self):
+        with pytest.raises(ValueError):
+            poly_val(0)
+
+
+class TestEdgeSizes:
+    def test_dotprod_1(self):
+        judgment = check_definition(dot_prod(1))
+        assert judgment.max_linear_grade().coeff == 1  # one dmul, no adds
+
+    def test_generated_definitions_are_self_contained(self):
+        # Generated definitions type-check inside a fresh program too.
+        program = Program([dot_prod(3), vec_sum(4)])
+        judgments = check_program(program)
+        assert len(judgments) == 2
+
+    def test_matvec_per_element_grades_uniform(self):
+        judgment = check_definition(mat_vec_mul(3))
+        assert judgment.grade_of("M").coeff == 3

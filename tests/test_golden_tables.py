@@ -1,0 +1,93 @@
+"""Golden regression tests: the exact digits the paper prints.
+
+Unlike :mod:`test_bench_tables` (which checks closeness), these pin the
+*formatted* numbers so any drift in grade arithmetic, unit-roundoff
+handling, or formatting shows up as a diff against the paper's tables.
+"""
+
+import pytest
+
+from repro.bench.table1 import format_table1, run_table1
+from repro.bench.table3 import format_table3, run_table3
+
+TABLE1_GOLDEN_CELLS = [
+    # (family, size, printed bound) — every cell of the paper's Table 1.
+    ("DotProd", 20, "2.22e-15"),
+    ("DotProd", 50, "5.55e-15"),
+    ("DotProd", 100, "1.11e-14"),
+    ("DotProd", 500, "5.55e-14"),
+    ("Horner", 20, "4.44e-15"),
+    ("Horner", 50, "1.11e-14"),
+    ("Horner", 100, "2.22e-14"),
+    ("Horner", 500, "1.11e-13"),
+    ("PolyVal", 10, "1.22e-15"),
+    ("PolyVal", 20, "2.33e-15"),
+    ("PolyVal", 50, "5.66e-15"),
+    ("PolyVal", 100, "1.12e-14"),
+    ("MatVecMul", 5, "5.55e-16"),
+    ("MatVecMul", 10, "1.11e-15"),
+    ("MatVecMul", 20, "2.22e-15"),
+    ("MatVecMul", 50, "5.55e-15"),
+    ("Sum", 50, "5.44e-15"),
+    ("Sum", 100, "1.10e-14"),
+    ("Sum", 500, "5.54e-14"),
+    ("Sum", 1000, "1.11e-13"),
+]
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    # Only the bound values matter here; reuse the smaller sizes where
+    # possible but include every golden cell.
+    sizes = {}
+    for family, n, _ in TABLE1_GOLDEN_CELLS:
+        sizes.setdefault(family, []).append(n)
+    return {(r.family, r.size): r for r in run_table1(sizes=sizes)}
+
+
+class TestTable1Golden:
+    @pytest.mark.parametrize(
+        "family,size,printed",
+        TABLE1_GOLDEN_CELLS,
+        ids=[f"{f}-{n}" for f, n, _ in TABLE1_GOLDEN_CELLS],
+    )
+    def test_cell(self, table1_rows, family, size, printed):
+        row = table1_rows[(family, size)]
+        assert f"{row.bean_bound:.2e}" == printed
+        assert f"{row.std_bound:.2e}" == printed
+
+    def test_formatted_table_contains_all_values(self, table1_rows):
+        text = format_table1(list(table1_rows.values()))
+        for _, _, printed in TABLE1_GOLDEN_CELLS:
+            assert printed in text
+
+
+class TestTable3Golden:
+    def test_exact_printed_digits(self):
+        rows = {r.family: r for r in run_table3()}
+        golden = {
+            "Sum": "1.11e-13",
+            "DotProd": "1.11e-13",
+            "Horner": "2.22e-13",
+            "PolyVal": "2.24e-14",
+        }
+        for family, printed in golden.items():
+            row = rows[family]
+            assert f"{row.bean_forward:.2e}" == printed
+            assert f"{row.numfuzz_like:.2e}" == printed
+            assert f"{row.gappa_like:.2e}" == printed
+
+    def test_formatted(self):
+        text = format_table3(run_table3())
+        assert "2.24e-14" in text
+
+
+class TestTable2Golden:
+    def test_bean_column_digits(self):
+        from repro.programs.transcendental import (
+            COS_EXPECTED_GRADE,
+            SIN_EXPECTED_GRADE,
+        )
+
+        assert f"{SIN_EXPECTED_GRADE.evaluate():.2e}" == "1.44e-15"
+        assert f"{COS_EXPECTED_GRADE.evaluate():.2e}" == "1.33e-15"

@@ -1,0 +1,139 @@
+"""Tests for the grade monoid (Section 3.2)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grades import (
+    EPS,
+    HALF_EPS,
+    ZERO,
+    Grade,
+    eps_from_roundoff,
+    unit_roundoff,
+)
+
+nonneg_fractions = st.fractions(min_value=0, max_value=1000)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert ZERO.coeff == 0
+        assert ZERO.is_zero
+
+    def test_eps(self):
+        assert EPS.coeff == 1
+
+    def test_half_eps(self):
+        assert HALF_EPS.coeff == Fraction(1, 2)
+
+    def test_from_int(self):
+        assert Grade(3).coeff == 3
+
+    def test_from_fraction(self):
+        assert Grade(Fraction(7, 2)).coeff == Fraction(7, 2)
+
+    def test_from_grade(self):
+        assert Grade(EPS) == EPS
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Grade(-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EPS.coeff = Fraction(2)  # type: ignore[misc]
+
+
+class TestMonoid:
+    def test_add(self):
+        assert (EPS + HALF_EPS).coeff == Fraction(3, 2)
+
+    def test_add_int(self):
+        assert (EPS + 2).coeff == 3
+
+    def test_radd(self):
+        assert (2 + EPS).coeff == 3
+
+    def test_identity(self):
+        assert EPS + ZERO == EPS
+
+    def test_scalar_multiplication(self):
+        assert (EPS * 4).coeff == 4
+        assert (4 * HALF_EPS).coeff == 2
+
+    @given(nonneg_fractions, nonneg_fractions, nonneg_fractions)
+    def test_associativity(self, a, b, c):
+        assert (Grade(a) + Grade(b)) + Grade(c) == Grade(a) + (Grade(b) + Grade(c))
+
+    @given(nonneg_fractions, nonneg_fractions)
+    def test_commutativity(self, a, b):
+        assert Grade(a) + Grade(b) == Grade(b) + Grade(a)
+
+
+class TestOrder:
+    def test_le(self):
+        assert HALF_EPS <= EPS
+        assert not EPS <= HALF_EPS
+
+    def test_lt_gt(self):
+        assert ZERO < HALF_EPS < EPS
+        assert EPS > HALF_EPS > ZERO
+
+    @given(nonneg_fractions, nonneg_fractions, nonneg_fractions)
+    def test_order_respects_addition(self, a, b, c):
+        # The preorder is monotone for the monoid operation.
+        if Grade(a) <= Grade(b):
+            assert Grade(a) + Grade(c) <= Grade(b) + Grade(c)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "coeff,text",
+        [
+            (0, "0"),
+            (1, "ε"),
+            (2, "2ε"),
+            (Fraction(1, 2), "ε/2"),
+            (Fraction(3, 2), "3ε/2"),
+            (Fraction(5, 4), "5ε/4"),
+        ],
+    )
+    def test_str(self, coeff, text):
+        assert str(Grade(coeff)) == text
+
+
+class TestEvaluation:
+    def test_unit_roundoff_default(self):
+        assert unit_roundoff() == 2.0**-53
+
+    def test_unit_roundoff_single(self):
+        assert unit_roundoff(24) == 2.0**-24
+
+    def test_unit_roundoff_invalid(self):
+        with pytest.raises(ValueError):
+            unit_roundoff(0)
+
+    def test_eps_from_roundoff(self):
+        u = 2.0**-53
+        assert eps_from_roundoff(u) == u / (1 - u)
+
+    def test_eps_from_roundoff_invalid(self):
+        with pytest.raises(ValueError):
+            eps_from_roundoff(1.5)
+        with pytest.raises(ValueError):
+            eps_from_roundoff(0.0)
+
+    def test_evaluate_binary64(self):
+        # 20ε at u = 2^-53 is the paper's DotProd-20 bound, 2.22e-15.
+        value = Grade(20).evaluate()
+        assert abs(value - 2.22e-15) < 0.005e-15
+
+    def test_evaluate_other_precision(self):
+        u = 2.0**-24
+        assert Grade(2).evaluate(u) == pytest.approx(2 * u / (1 - u))
+
+    def test_zero_evaluates_to_zero(self):
+        assert ZERO.evaluate() == 0.0

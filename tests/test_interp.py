@@ -1,0 +1,119 @@
+"""Tests for the lens interpreter: the pairing property (Lemma D.7)
+and backward-map behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import parse_program
+from repro.lam_s import VNum, erase_expr, evaluate, values_close, vector_value
+from repro.semantics.interp import lens_of_definition, lens_of_program
+from repro.semantics.lens import LensDomainError
+from strategies import random_definition, random_inputs
+
+
+class TestPairing:
+    """U_ap⟦e⟧ = ⟦Λ(e)⟧_ap and U_id⟦e⟧ = ⟦Λ(e)⟧_id (Lemma D.7):
+    the lens's forward/approximate components coincide with the Λ_S
+    operational semantics of the erased program."""
+
+    @given(st.integers(min_value=0, max_value=4000))
+    def test_approx_component(self, seed):
+        spec = random_definition(seed)
+        lens = lens_of_definition(spec.definition)
+        env = {k: VNum(v) for k, v in random_inputs(spec, seed + 9).items()}
+        via_lens = lens.approx(env)
+        via_opsem = evaluate(erase_expr(spec.definition.body), env, mode="approx")
+        assert values_close(via_lens, via_opsem)
+
+    @given(st.integers(min_value=0, max_value=4000))
+    def test_ideal_component(self, seed):
+        spec = random_definition(seed)
+        lens = lens_of_definition(spec.definition)
+        env = {k: VNum(v) for k, v in random_inputs(spec, seed + 9).items()}
+        via_lens = lens.ideal(env)
+        via_opsem = evaluate(erase_expr(spec.definition.body), env, mode="ideal")
+        assert values_close(via_lens, via_opsem)
+
+
+class TestBackwardMap:
+    def test_discrete_params_never_perturbed(self, example_program):
+        lens = lens_of_program(example_program, "ScaleVec")
+        env = {"a": VNum(3.0), "x": vector_value([1.0, 2.0])}
+        out = lens.approx(env)
+        perturbed = lens.backward(env, out)
+        assert perturbed["a"] == env["a"]
+
+    def test_linear_params_perturbed_not_original(self, example_program):
+        lens = lens_of_program(example_program, "DotProd2")
+        env = {"x": vector_value([1.1, 2.2]), "y": vector_value([3.3, 4.4])}
+        out = lens.approx(env)
+        perturbed = lens.backward(env, out)
+        # The witness differs from the input (rounding happened) ...
+        assert perturbed["x"] != env["x"]
+        # ... but reproduces the float output exactly under ideal eval.
+        assert values_close(lens.ideal(perturbed), out)
+
+    def test_backward_domain_error_wrong_branch(self, example_program):
+        from repro.lam_s import UNIT_VALUE, VInr
+
+        lens = lens_of_program(example_program, "LinSolve")
+        env = {
+            "A": vector_value([2.0, 0.0, 1.0, 3.0]),
+            "b": vector_value([4.0, 5.0]),
+        }
+        # The run takes the inl branch; an inr target is out of domain.
+        with pytest.raises(LensDomainError):
+            lens.backward(env, VInr(UNIT_VALUE))
+
+    def test_backward_unknown_target_shape(self, example_program):
+        lens = lens_of_program(example_program, "DotProd2")
+        env = {"x": vector_value([1.0, 2.0]), "y": vector_value([3.0, 4.0])}
+        with pytest.raises(LensDomainError):
+            # Sign-flipped target: infinite distance from the output.
+            lens.backward(env, VNum(-lens.approx(env).as_float()))
+
+    def test_case_backward_follows_taken_branch(self, example_program):
+        lens = lens_of_program(example_program, "LinSolve")
+        env = {
+            "A": vector_value([0.0, 0.0, 1.0, 3.0]),  # singular
+            "b": vector_value([4.0, 5.0]),
+        }
+        out = lens.approx(env)
+        perturbed = lens.backward(env, out)
+        # Error branch: nothing needed perturbing.
+        assert values_close(lens.ideal(perturbed), out)
+
+    def test_call_composition(self, example_program):
+        lens = lens_of_program(example_program, "SMatVecMul")
+        env = {
+            "M": vector_value([4.0, 1.0, 2.0, 3.0]),
+            "v": vector_value([0.5, 0.25]),
+            "u": vector_value([1.0, -2.0]),
+            "a": VNum(3.0),
+            "b": VNum(0.125),
+        }
+        out = lens.approx(env)
+        perturbed = lens.backward(env, out)
+        assert values_close(lens.ideal(perturbed), out)
+        for name in ("v", "a", "b"):
+            assert perturbed[name] == env[name]  # discrete: untouched
+
+
+class TestConstruction:
+    def test_lens_of_program_defaults_to_main(self, example_program):
+        lens = lens_of_program(example_program)
+        assert lens.definition.name == example_program.main.name
+
+    def test_lens_of_definition_without_program(self):
+        program = parse_program("F (x : num) (y : num) := add x y")
+        lens = lens_of_definition(program["F"])
+        env = {"x": VNum(1.0), "y": VNum(2.0)}
+        assert lens.approx(env).as_float() == 3.0
+
+    def test_backward_rejects_unknown_names(self, example_program):
+        lens = lens_of_program(example_program, "DotProd2")
+        env = {"x": vector_value([1.0, 2.0]), "y": vector_value([3.0, 4.0])}
+        out = lens.approx(env)
+        perturbed = lens.backward(env, out)
+        assert set(perturbed) == {"x", "y"}

@@ -1,0 +1,163 @@
+"""Tests for the BLAS-style kernel library (programs/kernels.py)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import LinearityError, check_definition
+from repro.core.pathcost import variable_demand
+from repro.lam_s import evaluate, vector_value, vector_components
+from repro.programs.generators import dot_prod
+from repro.programs.kernels import (
+    axpy,
+    axpy_bounds,
+    continued_fraction,
+    norm_squared,
+    norm_squared_bound,
+    scal,
+    scal_bound,
+    weighted_sum,
+    weighted_sum_bound,
+)
+from repro.semantics.witness import run_witness
+
+
+class TestScal:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_bound(self, n):
+        judgment = check_definition(scal(n))
+        assert judgment.grade_of("x").coeff == scal_bound().coeff
+
+    def test_computes(self):
+        definition = scal(3)
+        env = {"a": vector_value([2.0]), "x": vector_value([1.0, 2.0, 3.0])}
+        from repro.lam_s import VNum
+
+        env["a"] = VNum(2.0)
+        out = evaluate(definition.body, env, mode="approx")
+        assert [c.as_float() for c in vector_components(out)] == [2.0, 4.0, 6.0]
+
+    def test_witness(self):
+        report = run_witness(scal(4), {"a": 1.7, "x": [1.0, -2.0, 3.0, -4.0]})
+        assert report.sound
+
+
+class TestAxpy:
+    @pytest.mark.parametrize("n", [1, 2, 6])
+    def test_bounds(self, n):
+        judgment = check_definition(axpy(n))
+        want_x, want_y = axpy_bounds()
+        assert judgment.grade_of("x").coeff == want_x.coeff
+        assert judgment.grade_of("y").coeff == want_y.coeff
+
+    def test_n2_matches_svecadd_judgment(self, example_judgments):
+        """axpy(2) generalizes the paper's SVecAdd: same grades."""
+        judgment = check_definition(axpy(2))
+        paper = example_judgments["SVecAdd"]
+        assert judgment.grade_of("x").coeff == paper.grade_of("x").coeff
+        assert judgment.grade_of("y").coeff == paper.grade_of("y").coeff
+
+    def test_witness(self):
+        report = run_witness(
+            axpy(3), {"a": 0.3, "x": [1.0, 2.0, 3.0], "y": [-1.0, 0.5, 2.0]}
+        )
+        assert report.sound
+
+
+class TestNormSquared:
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_rejected_for_linearity(self, n):
+        """Remark 1 live: backward stable but untypeable."""
+        with pytest.raises(LinearityError):
+            check_definition(norm_squared(n))
+
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_two_copy_alternative_types(self, n):
+        """dot_prod(x, x) with split allocation is the typeable route."""
+        judgment = check_definition(dot_prod(n, alloc="both"))
+        assert judgment.grade_of("x").coeff == norm_squared_bound(n).coeff
+
+    def test_two_copy_witness_on_equal_vectors(self):
+        definition = dot_prod(4, alloc="both")
+        xs = [1.5, -2.0, 0.5, 3.0]
+        report = run_witness(definition, {"x": xs, "y": xs})
+        assert report.sound
+
+
+class TestWeightedSum:
+    @pytest.mark.parametrize("n", [1, 2, 8])
+    def test_bound(self, n):
+        judgment = check_definition(weighted_sum(n))
+        assert judgment.grade_of("w").coeff == weighted_sum_bound(n).coeff
+
+    def test_witness(self):
+        rng = random.Random(2)
+        n = 5
+        report = run_witness(
+            weighted_sum(n),
+            {
+                "w": [rng.uniform(0.1, 1.0) for _ in range(n)],
+                "z": [rng.uniform(-1.0, 1.0) for _ in range(n)],
+            },
+        )
+        assert report.sound
+
+
+class TestContinuedFraction:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_innermost_coefficient_closed_form(self, depth):
+        """a_k and the deepest b absorb (3k/2)·ε."""
+        judgment = check_definition(continued_fraction(depth))
+        for k in range(1, depth + 1):
+            assert judgment.grade_of(f"a{k}").coeff == Fraction(3 * k, 2)
+        assert judgment.grade_of(f"b{depth}").coeff == Fraction(3 * depth, 2)
+        assert judgment.grade_of("b0").coeff == 1
+
+    def test_middle_denominators(self):
+        judgment = check_definition(continued_fraction(4))
+        for k in (1, 2, 3):
+            assert judgment.grade_of(f"b{k}").coeff == Fraction(3 * k, 2) + 1
+
+    def test_pathcost_agrees(self):
+        definition = continued_fraction(3)
+        judgment = check_definition(definition)
+        for p in definition.params:
+            assert (
+                variable_demand(definition.body, p.name).coeff
+                == judgment.grade_of(p.name).coeff
+            )
+
+    def test_evaluates_golden_ratio_tail(self):
+        # 1 + 1/(1 + 1/(1 + 1/1)) = 1 + 1/(1 + 1/2) = 1 + 3/5... compute.
+        definition = continued_fraction(3)
+        from repro.lam_s import VInl, VNum
+
+        env = {f"b{k}": VNum(1.0) for k in range(4)}
+        env.update({f"a{k}": VNum(1.0) for k in range(1, 4)})
+        out = evaluate(definition.body, env, mode="approx")
+        assert isinstance(out, VInl)
+        assert out.body.as_float() == pytest.approx(1 + 1 / (1 + 1 / (1 + 1 / 1.0)))
+
+    def test_zero_denominator_traps(self):
+        definition = continued_fraction(2)
+        from repro.lam_s import VInr, VNum
+
+        env = {
+            "b0": VNum(1.0),
+            "b1": VNum(-1.0),
+            "b2": VNum(1.0),
+            "a1": VNum(1.0),
+            "a2": VNum(1.0),
+        }
+        # b1 + a2/b2 = -1 + 1 = 0 -> outer division traps.
+        out = evaluate(definition.body, env, mode="approx")
+        assert isinstance(out, VInr)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_witness(self, depth):
+        rng = random.Random(depth)
+        inputs = {f"b{k}": rng.uniform(1.0, 3.0) for k in range(depth + 1)}
+        inputs.update({f"a{k}": rng.uniform(0.5, 2.0) for k in range(1, depth + 1)})
+        report = run_witness(continued_fraction(depth), inputs)
+        assert report.sound, report.describe()

@@ -1,0 +1,212 @@
+"""Property-based verification of the backward error lens laws.
+
+Every primitive lens (Appendix C) and every categorical construction
+(Appendix A/B) must satisfy, wherever ``d(f̃(x), y) < ∞``:
+
+* Property 1:  d_X(x, b(x,y)) − r_X  ≤  d_Y(f̃(x), y) − r_Y
+* Property 2:  f(b(x, y)) = y
+
+We check these pointwise on randomized inputs, with targets drawn as the
+lens's own approximate output (the composition-relevant case) and as
+independently perturbed values (the general case).
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lam_s.values import UNIT_VALUE, VInl, VInr, VNum, VPair
+from repro.semantics.lens import (
+    LensDomainError,
+    check_property_1,
+    check_property_2,
+    compose,
+    copair,
+    grade_lens,
+    identity_lens,
+    inj1,
+    inj2,
+    proj1,
+    proj2,
+    tensor,
+)
+from repro.semantics.primitives import (
+    lens_add,
+    lens_div,
+    lens_dmul,
+    lens_mul,
+    lens_sub,
+)
+from repro.semantics.spaces import NumSpace, UnitSpace
+
+finite = st.floats(min_value=-1e8, max_value=1e8, allow_nan=False).filter(
+    lambda x: x == 0.0 or abs(x) > 1e-8
+)
+scale = st.floats(min_value=-1e-13, max_value=1e-13)
+
+PRIMITIVES = {
+    "add": lens_add(),
+    "sub": lens_sub(),
+    "mul": lens_mul(),
+    "div": lens_div(),
+    "dmul": lens_dmul(),
+}
+
+
+def assert_laws(lens, x, y):
+    msg = check_property_1(lens, x, y)
+    assert msg is None, msg
+    msg = check_property_2(lens, x, y)
+    assert msg is None, msg
+
+
+class TestPrimitiveLenses:
+    @pytest.mark.parametrize("name", list(PRIMITIVES))
+    @given(finite, finite)
+    def test_laws_at_own_output(self, name, a, b):
+        """Target = the lens's own approximate output (Theorem 3.1's use)."""
+        lens = PRIMITIVES[name]
+        x = VPair(VNum(a), VNum(b))
+        y = lens.approx(x)
+        assert_laws(lens, x, y)
+
+    @pytest.mark.parametrize("name", list(PRIMITIVES))
+    @given(finite, finite, scale)
+    def test_laws_at_perturbed_target(self, name, a, b, delta):
+        """Target = e^δ-perturbed approximate output (general domain)."""
+        lens = PRIMITIVES[name]
+        x = VPair(VNum(a), VNum(b))
+        y = lens.approx(x)
+        if isinstance(y, VNum):
+            y = VNum(y.as_float() * math.exp(delta))
+        elif isinstance(y, VInl):
+            y = VInl(VNum(y.body.as_float() * math.exp(delta)))
+        assert_laws(lens, x, y)
+
+    def test_add_zero_case(self):
+        lens = lens_add()
+        x = VPair(VNum(1.0), VNum(-1.0))
+        assert_laws(lens, x, VNum(0.0))
+
+    def test_div_by_zero_case(self):
+        lens = lens_div()
+        x = VPair(VNum(3.0), VNum(0.0))
+        y = lens.approx(x)
+        assert y == VInr(UNIT_VALUE)
+        assert_laws(lens, x, y)
+
+    def test_dmul_leaves_first_operand(self):
+        lens = lens_dmul()
+        x = VPair(VNum(3.0), VNum(5.0))
+        back = lens.backward(x, VNum(15.0000000001))
+        assert back.left.as_float() == 3.0
+
+    def test_mul_negative_signs_preserved(self):
+        lens = lens_mul()
+        x = VPair(VNum(-2.0), VNum(3.0))
+        y = lens.approx(x)
+        back = lens.backward(x, y)
+        assert back.left.as_float() < 0
+        assert back.right.as_float() > 0
+
+    def test_div_negative_signs_preserved(self):
+        lens = lens_div()
+        x = VPair(VNum(-6.0), VNum(3.0))
+        y = lens.approx(x)
+        back = lens.backward(x, y)
+        assert back.left.as_float() < 0
+        assert_laws(lens, x, y)
+
+    def test_backward_domain_error_on_sign_flip(self):
+        lens = lens_add()
+        x = VPair(VNum(1.0), VNum(2.0))
+        with pytest.raises(LensDomainError):
+            lens.backward(x, VNum(-3.0))
+
+
+class TestCategoryStructure:
+    @given(finite)
+    def test_identity_laws(self, a):
+        lens = identity_lens(NumSpace())
+        assert_laws(lens, VNum(a), VNum(a))
+
+    @given(finite, finite, finite)
+    def test_composition_preserves_laws(self, a, b, c):
+        """(mul ∘ (D_{ε/2}(add) ⊗ id)) — the composite the Mul typing
+        rule denotes (the inner add is lifted by the operand grade, just
+        as Figure 3 charges ε/2 + r to mul operands)."""
+        add = lens_add()
+        mul = lens_mul()
+        half = mul.source.right.r
+        lifted = grade_lens(add, half)
+        idn = identity_lens(mul.source.right)
+        lens = compose(mul, tensor(lifted, idn))
+        x = VPair(VPair(VNum(a), VNum(b)), VNum(c))
+        y = lens.approx(x)
+        assert_laws(lens, x, y)
+
+    def test_composition_rejects_slack_mismatch(self):
+        """Feeding a zero-slack output into a graded input without the
+        D_r lift is categorically ill-typed; compose refuses it."""
+        with pytest.raises(ValueError, match="slack"):
+            compose(lens_mul(), tensor(lens_add(), identity_lens(lens_mul().source.right)))
+
+    @given(finite, finite, finite, finite)
+    def test_tensor_preserves_laws(self, a, b, c, d):
+        lens = tensor(lens_add(), lens_mul())
+        x = VPair(VPair(VNum(a), VNum(b)), VPair(VNum(c), VNum(d)))
+        y = lens.approx(x)
+        assert_laws(lens, x, y)
+
+    @given(finite, finite)
+    def test_projections(self, a, b):
+        p1 = proj1(NumSpace(), NumSpace())
+        p2 = proj2(NumSpace(), NumSpace())
+        x = VPair(VNum(a), VNum(b))
+        assert_laws(p1, x, VNum(a))
+        assert_laws(p2, x, VNum(b))
+        assert p1.forward(x) == VNum(a)
+
+    def test_projection_requires_equal_slack(self):
+        from repro.semantics.spaces import GradedSpace
+
+        with pytest.raises(ValueError):
+            proj1(GradedSpace(NumSpace(), 1), NumSpace())
+
+    @given(finite)
+    def test_injections(self, a):
+        i1 = inj1(NumSpace(), UnitSpace())
+        x = VNum(a)
+        assert_laws(i1, x, VInl(x))
+        i2 = inj2(UnitSpace(), NumSpace())
+        assert_laws(i2, x, VInr(x))
+
+    @given(finite, finite)
+    def test_copair(self, a, b):
+        # [add, id] : (R ⊗ R) + R → R-ish; use matching targets.
+        add = lens_add()
+        idn = identity_lens(NumSpace())
+        lens = copair(add, idn)
+        left = VInl(VPair(VNum(a), VNum(b)))
+        assert_laws(lens, left, lens.approx(left))
+        right = VInr(VNum(a))
+        assert_laws(lens, right, lens.approx(right))
+
+    @given(finite, finite)
+    def test_graded_functor_preserves_laws(self, a, b):
+        lens = grade_lens(lens_add(), 1e-10)
+        x = VPair(VNum(a), VNum(b))
+        assert_laws(lens, x, lens.approx(x))
+
+    @given(finite, finite)
+    def test_composition_backward_threads_approximant(self, a, b):
+        """b(x, z) = b₁(x, b₂(f̃₁(x), z)) — Equation 18, directly."""
+        add = lens_add()
+        idn = identity_lens(add.target)
+        lens = compose(idn, add)
+        x = VPair(VNum(a), VNum(b))
+        y = lens.approx(x)
+        expected = add.backward(x, idn.backward(add.approx(x), y))
+        assert lens.backward(x, y) == expected

@@ -1,0 +1,91 @@
+"""Tests for the Bean tokenizer."""
+
+import pytest
+
+from repro.core.errors import BeanSyntaxError
+from repro.core.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_empty_input_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == TokenKind.EOF
+
+    def test_keywords(self):
+        assert texts("let in dlet case of inl inr") == [
+            "let", "in", "dlet", "case", "of", "inl", "inr",
+        ]
+        assert all(t.kind == TokenKind.KEYWORD for t in tokenize("let in")[:-1])
+
+    def test_identifiers(self):
+        toks = tokenize("foo x0 a_b x'")
+        assert [t.text for t in toks[:-1]] == ["foo", "x0", "a_b", "x'"]
+        assert all(t.kind == TokenKind.IDENT for t in toks[:-1])
+
+    def test_R_is_keyword(self):
+        assert tokenize("R")[0].kind == TokenKind.KEYWORD
+
+    def test_integers(self):
+        toks = tokenize("42 7")
+        assert [t.text for t in toks[:-1]] == ["42", "7"]
+        assert all(t.kind == TokenKind.INT for t in toks[:-1])
+
+    def test_symbols(self):
+        assert texts(":= => ( ) , : = | ! + *") == [
+            ":=", "=>", "(", ")", ",", ":", "=", "|", "!", "+", "*",
+        ]
+
+    def test_assign_not_split(self):
+        toks = tokenize("x := y")
+        assert toks[1].text == ":="
+
+    def test_line_comment(self):
+        assert texts("x // the rest is ignored\ny") == ["x", "y"]
+
+    def test_hash_comment(self):
+        assert texts("x # ignored\ny") == ["x", "y"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(BeanSyntaxError):
+            tokenize("x ` y")
+
+    def test_contract_symbols(self):
+        assert texts("@ / 3") == ["@", "/", "3"]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 1)
+        assert (toks[2].line, toks[2].column) == (3, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(BeanSyntaxError) as exc:
+            tokenize("ok\n   $")
+        assert exc.value.line == 2
+        assert exc.value.column == 4
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        tok = Token(TokenKind.KEYWORD, "let", 1, 1)
+        assert tok.is_keyword("let")
+        assert not tok.is_keyword("in")
+
+    def test_is_symbol(self):
+        tok = Token(TokenKind.SYMBOL, "(", 1, 1)
+        assert tok.is_symbol("(")
+        assert not tok.is_symbol(")")
+
+    def test_describe_eof(self):
+        assert Token(TokenKind.EOF, "", 1, 1).describe() == "end of input"

@@ -1,0 +1,124 @@
+"""Strict linearity: the programs Bean must reject — and the escape
+hatches it provides (Section 2.2.3, Remark 1)."""
+
+import pytest
+
+from repro.core import (
+    LinearityError,
+    check_program,
+    parse_program,
+)
+from repro.core.grades import ZERO
+
+
+class TestRejections:
+    def test_duplicated_operand(self):
+        # f(x) = x + x: x used twice.
+        with pytest.raises(LinearityError):
+            check_program(parse_program("F (x : num) := add x x"))
+
+    def test_paper_remark_1(self):
+        # f(x, y) = x*y + y is backward stable but rejected (Remark 1).
+        with pytest.raises(LinearityError):
+            check_program(
+                parse_program("F (x : num) (y : num) := add (mul x y) y")
+            )
+
+    def test_quadratic_with_mul_rejected(self):
+        # h(x, a, b) = a*x^2 + b*x with mul: x appears in both terms.
+        src = """
+        H (x : num) (a : num) (b : num) :=
+          let x2 = mul x x in
+          let t1 = mul a x2 in
+          let t2 = mul b x in
+          add t1 t2
+        """
+        with pytest.raises(LinearityError):
+            check_program(parse_program(src))
+
+    def test_duplication_through_pair(self):
+        with pytest.raises(LinearityError):
+            check_program(parse_program("F (x : num) := (x, x)"))
+
+    def test_duplication_through_let(self):
+        src = """
+        F (x : num) :=
+          let y = add x x in
+          y
+        """
+        with pytest.raises(LinearityError):
+            check_program(parse_program(src))
+
+    def test_duplication_across_call_arguments(self):
+        src = """
+        G (a : num) (b : num) := add a b
+        F (x : num) := G x x
+        """
+        with pytest.raises(LinearityError):
+            check_program(parse_program(src))
+
+    def test_error_message_names_variable(self):
+        with pytest.raises(LinearityError, match="x"):
+            check_program(parse_program("F (x : num) := add x x"))
+
+
+class TestEscapeHatches:
+    def test_quadratic_with_dmul_accepted(self):
+        # The paper's fix (Section 2.2.3): make x discrete, assign error
+        # to the coefficients only.  h(x,a,b) = a*x^2 + b*x IS typeable.
+        src = """
+        H (x : !R) (a : num) (b : num) :=
+          let t1p = dmul x a in
+          let t1 = dmul x t1p in
+          let t2 = dmul x b in
+          add t1 t2
+        """
+        j = check_program(parse_program(src))["H"]
+        # a: 2 dmuls + add = 3ε; b: 1 dmul + add = 2ε.
+        assert j.grade_of("a").coeff == 3
+        assert j.grade_of("b").coeff == 2
+
+    def test_bang_then_reuse_discretely(self):
+        # LinSolve's pattern: promote a computed value, then reuse it.
+        src = """
+        F (x : num) (a : num) (b : num) :=
+          dlet z = !x in
+          let t1 = dmul z a in
+          let t2 = dmul z b in
+          add t1 t2
+        """
+        j = check_program(parse_program(src))["F"]
+        assert j.grade_of("x") == ZERO  # no error ever assigned to x
+
+    def test_discrete_param_reused_freely(self):
+        src = """
+        F (z : !R) (a : num) (b : num) :=
+          let t1 = dmul z a in
+          let t2 = dmul z b in
+          add t1 t2
+        """
+        check_program(parse_program(src))  # does not raise
+
+    def test_case_branches_may_share(self):
+        # Only one branch executes, so sharing across branches is fine.
+        src = """
+        F (s : num + unit) (x : num) :=
+          case s of
+            inl (a) => add a x
+          | inr (u) => add x x2
+        """
+        # ... but this one still duplicates x within nothing; make a
+        # correct version:
+        src = """
+        F (s : num + num) (x : num) :=
+          case s of
+            inl (a) => add a x
+          | inr (b) => sub b x
+        """
+        j = check_program(parse_program(src))["F"]
+        assert j.grade_of("x").coeff == 1
+
+    def test_unused_linear_variable_is_fine(self):
+        # Weakening: unused variables simply get bound 0.
+        j = check_program(parse_program("F (x : num) (y : num) := x"))["F"]
+        assert j.grade_of("y") == ZERO

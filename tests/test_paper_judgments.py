@@ -1,0 +1,94 @@
+"""Every typing judgment stated in the paper's prose, reproduced exactly.
+
+Sections 2.2 and 4 state precise inferred grades for each example
+program; this module asserts our inference derives the same grade (exact
+Fraction equality, not numeric closeness), the same result types, and
+the numeric values the paper quotes for u = 2⁻⁵³.
+"""
+
+import pytest
+
+from repro.core import NUM, Discrete, Sum, Tensor, UNIT
+from repro.core.types import matrix, vector
+from repro.programs.examples import paper_expected_grades
+
+EXPECTED = paper_expected_grades()
+
+CASES = [
+    (name, param, grade)
+    for name, grades in EXPECTED.items()
+    for param, grade in grades.items()
+]
+
+
+@pytest.mark.parametrize(
+    "name,param,expected",
+    CASES,
+    ids=[f"{n}.{p}" for n, p, _ in CASES],
+)
+def test_paper_grade(example_judgments, name, param, expected):
+    assert example_judgments[name].grade_of(param).coeff == expected.coeff
+
+
+class TestResultTypes:
+    def test_dotprod2(self, example_judgments):
+        assert example_judgments["DotProd2"].result == NUM
+
+    def test_matvecex(self, example_judgments):
+        assert example_judgments["MatVecEx"].result == vector(2)
+
+    def test_scalevec(self, example_judgments):
+        assert example_judgments["ScaleVec"].result == vector(2)
+
+    def test_matvecmul(self, example_judgments):
+        assert example_judgments["MatVecMul"].result == vector(2)
+
+    def test_linsolve(self, example_judgments):
+        expected = Sum(Tensor(Discrete(NUM), NUM), UNIT)
+        assert example_judgments["LinSolve"].result == expected
+
+
+class TestNumericValues:
+    """The numeric readings the paper gives for these judgments."""
+
+    def test_dotprod2_value(self, example_judgments):
+        # 3ε/2 at u = 2^-53.
+        bound = example_judgments["DotProd2"].grade_of("x").evaluate()
+        assert bound == pytest.approx(1.5 * (2.0**-53) / (1 - 2.0**-53))
+
+    def test_smatvecmul_m_is_double_matvecmul(self, example_judgments):
+        m_in_pipeline = example_judgments["SMatVecMul"].grade_of("M")
+        m_alone = example_judgments["MatVecMul"].grade_of("M")
+        assert m_in_pipeline.coeff == 2 * m_alone.coeff
+
+    def test_horner_worse_than_polyval_here(self, example_judgments):
+        # Section 4.2's surprise: Horner's max bound exceeds PolyVal's.
+        horner = example_judgments["Horner"].grade_of("a")
+        polyval = example_judgments["PolyVal"].grade_of("a")
+        assert horner.coeff > polyval.coeff
+
+    def test_horneralt_gradient(self, example_judgments):
+        # Horner loads high-order coefficients more heavily.
+        j = example_judgments["HornerAlt"]
+        assert (
+            j.grade_of("a0").coeff
+            < j.grade_of("a1").coeff
+            < j.grade_of("a2").coeff
+        )
+
+    def test_polyvalalt_flat_tail(self, example_judgments):
+        j = example_judgments["PolyValAlt"]
+        assert j.grade_of("a1").coeff == j.grade_of("a2").coeff
+
+
+class TestContexts:
+    def test_discrete_params_in_phi(self, example_judgments):
+        j = example_judgments["ScaleVec"]
+        assert "a" in j.discrete
+        assert "a" not in j.linear
+
+    def test_matvecex_matrix_type(self, example_program):
+        assert example_program["MatVecEx"].params[0].ty == matrix(2, 2)
+
+    def test_all_examples_checked(self, example_judgments):
+        assert set(EXPECTED) <= set(example_judgments)

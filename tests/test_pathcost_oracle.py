@@ -1,0 +1,66 @@
+"""Differential testing: the context-algebra checker vs. the independent
+per-variable path-cost oracle (:mod:`repro.core.pathcost`)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import check_definition, check_program, free_variables
+from repro.core.pathcost import definition_demands, variable_demand
+from repro.core.types import is_discrete
+from repro.programs.examples import example_program
+from repro.programs.generators import dot_prod, horner, mat_vec_mul, poly_val, vec_sum
+from strategies import random_definition
+
+
+def assert_agreement(definition):
+    judgment = check_definition(definition)
+    used = free_variables(definition.body)
+    for param in definition.params:
+        if is_discrete(param.ty) or param.name not in used:
+            continue
+        expected = judgment.grade_of(param.name)
+        actual = variable_demand(definition.body, param.name)
+        assert actual.coeff == expected.coeff, (
+            f"{definition.name}.{param.name}: oracle {actual} != checker {expected}"
+        )
+
+
+class TestPaperExamples:
+    def test_all_examples_agree(self):
+        program = example_program()
+        judgments = check_program(program)
+        demands = definition_demands(program)
+        for definition in program:
+            judgment = judgments[definition.name]
+            for param in definition.params:
+                if is_discrete(param.ty):
+                    continue
+                assert demands[definition.name][param.name].coeff == judgment.grade_of(
+                    param.name
+                ).coeff
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: dot_prod(6),
+            lambda: vec_sum(8),
+            lambda: horner(5),
+            lambda: poly_val(4),
+            lambda: mat_vec_mul(3),
+            lambda: dot_prod(6, order="balanced"),
+            lambda: dot_prod(6, alloc="both"),
+        ],
+        ids=["dotprod", "sum", "horner", "polyval", "matvec", "balanced", "both"],
+    )
+    def test_generator_agreement(self, make):
+        assert_agreement(make())
+
+
+class TestRandomPrograms:
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_random_agreement(self, seed):
+        spec = random_definition(seed, n_linear=4, n_discrete=2, n_steps=8)
+        assert_agreement(spec.definition)

@@ -1,0 +1,159 @@
+"""Tests for simulated reduced-precision formats (binary32/binary16).
+
+Evaluating each operation in binary64 and rounding to p ≤ 25 bits gives
+*correctly rounded* p-bit arithmetic (double rounding is innocuous when
+53 ≥ 2p + 2), so Bean's bounds instantiated at u = 2⁻ᵖ must hold on
+these simulated executions — witness-checked below.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import parse_expression
+from repro.lam_s import VNum, evaluate, vector_value
+from repro.lam_s.eval import round_to_precision
+from repro.programs.generators import dot_prod, horner, vec_sum
+from repro.semantics.interp import lens_of_definition
+from repro.semantics.witness import run_witness
+
+finite = st.floats(
+    min_value=-1e30, max_value=1e30, allow_nan=False
+).filter(lambda x: x == 0.0 or abs(x) > 1e-30)
+
+
+class TestRoundToPrecision:
+    def test_identity_at_53(self):
+        assert round_to_precision(0.1, 53) == 0.1
+
+    def test_zero(self):
+        assert round_to_precision(0.0, 24) == 0.0
+
+    def test_binary32_matches_single_rounding(self):
+        import struct
+
+        rng = random.Random(1)
+        for _ in range(500):
+            x = rng.uniform(-1e6, 1e6)
+            via_struct = struct.unpack("f", struct.pack("f", x))[0]
+            assert round_to_precision(x, 24) == via_struct
+
+    @given(finite)
+    def test_relative_error_within_u(self, x):
+        for p in (11, 24):
+            r = round_to_precision(x, p)
+            assert abs(r - x) <= abs(x) * 2.0**-p
+
+    @given(finite)
+    def test_idempotent(self, x):
+        r = round_to_precision(x, 24)
+        assert round_to_precision(r, 24) == r
+
+    def test_representable_survives(self):
+        assert round_to_precision(1.5, 11) == 1.5
+        assert round_to_precision(2.0**-14, 11) == 2.0**-14
+
+    def test_nearest_even_tie(self):
+        # Exactly halfway between two 2-bit values: 1.25 between 1.0 and 1.5.
+        assert round_to_precision(1.25, 2) == 1.0  # even mantissa wins
+
+
+class TestEvaluatorIntegration:
+    def test_low_precision_is_lossier(self):
+        env = {"x": vector_value([0.1] * 12)}
+        body = vec_sum(12).body
+        f64 = evaluate(body, env).as_float()
+        f32 = evaluate(body, env, precision_bits=24).as_float()
+        f16 = evaluate(body, env, precision_bits=11).as_float()
+        exact = 1.2
+        assert abs(f16 - exact) > abs(f32 - exact) > 0
+
+    def test_ideal_mode_unaffected(self):
+        env = {"x": VNum(0.1), "y": VNum(0.2)}
+        a = evaluate(parse_expression("add x y"), env, mode="ideal")
+        b = evaluate(
+            parse_expression("add x y"), env, mode="ideal", precision_bits=11
+        )
+        assert a == b
+
+    def test_invalid_widths_rejected(self):
+        env = {"x": VNum(1.0)}
+        with pytest.raises(ValueError):
+            evaluate(parse_expression("x"), env, precision_bits=40)
+
+    def test_stochastic_low_precision_rejected(self):
+        env = {"x": VNum(1.0)}
+        with pytest.raises(ValueError):
+            evaluate(
+                parse_expression("x"),
+                env,
+                rounding="stochastic",
+                precision_bits=24,
+            )
+
+    def test_rnd_rounds_at_format_width(self):
+        expr = parse_expression("rnd x")
+        env = {"x": VNum(1.0 + 2.0**-20)}
+        out = evaluate(expr, env, precision_bits=11)
+        assert out.as_float() == 1.0  # 2^-20 is below half-ulp at p=11
+
+
+class TestWitnessSoundnessAtLowPrecision:
+    @pytest.mark.parametrize(
+        "bits,u", [(24, 2.0**-24), (11, 2.0**-11)], ids=["binary32", "binary16"]
+    )
+    def test_sum(self, bits, u):
+        definition = vec_sum(10)
+        lens = lens_of_definition(definition, precision_bits=bits)
+        rng = random.Random(bits)
+        for _ in range(15):
+            xs = [rng.uniform(0.1, 10.0) for _ in range(10)]
+            report = run_witness(definition, {"x": xs}, lens=lens, u=u)
+            assert report.sound, report.describe()
+
+    def test_dot_prod_binary32(self):
+        definition = dot_prod(8)
+        lens = lens_of_definition(definition, precision_bits=24)
+        rng = random.Random(3)
+        # Inputs representable in binary32, as Def. 2.1's x ∈ F^n asks.
+        xs = [round_to_precision(rng.uniform(-4, 4), 24) for _ in range(8)]
+        ys = [round_to_precision(rng.uniform(-4, 4), 24) for _ in range(8)]
+        report = run_witness(definition, {"x": xs, "y": ys}, lens=lens, u=2.0**-24)
+        assert report.sound
+
+    def test_horner_binary16(self):
+        definition = horner(5)
+        lens = lens_of_definition(definition, precision_bits=11)
+        coeffs = [round_to_precision(0.3 * (i + 1), 11) for i in range(6)]
+        report = run_witness(
+            definition,
+            {"a": coeffs, "z": round_to_precision(0.7, 11)},
+            lens=lens,
+            u=2.0**-11,
+        )
+        assert report.sound
+
+    def test_binary64_bound_fails_on_binary16_run(self):
+        """Sanity: a 2⁻⁵³ budget is (vastly) too small for p=11 runs —
+        the check is real, not vacuous."""
+        definition = vec_sum(10)
+        lens = lens_of_definition(definition, precision_bits=11)
+        xs = [0.1 * (i + 1) + 1e-3 for i in range(10)]
+        report = run_witness(definition, {"x": xs}, lens=lens, u=2.0**-53)
+        assert not report.sound
+
+    def test_observed_error_scales_with_format(self):
+        definition = vec_sum(12)
+        xs = [0.1 * (i + 1) + 1e-4 for i in range(12)]
+        observed = {}
+        for bits in (53, 24, 11):
+            lens = lens_of_definition(definition, precision_bits=bits)
+            u = 2.0 ** -bits
+            report = run_witness(definition, {"x": xs}, lens=lens, u=u)
+            assert report.sound
+            observed[bits] = float(report.params["x"].distance)
+        assert observed[11] > observed[24] > observed[53] >= 0
+        assert not math.isinf(observed[11])

@@ -1,0 +1,98 @@
+"""Pretty-printer round-trip tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import parse_expression, parse_program, pretty_program
+from repro.core.pretty import pretty_definition, pretty_expr, pretty_type
+from repro.core.types import NUM, UNIT, Discrete, Sum, Tensor
+from repro.programs.examples import EXAMPLES_SOURCE
+from repro.programs.generators import dot_prod, vec_sum
+from strategies import random_definition
+
+
+class TestTypeRendering:
+    @pytest.mark.parametrize(
+        "ty,text",
+        [
+            (NUM, "num"),
+            (UNIT, "unit"),
+            (Discrete(NUM), "!num"),
+            (Tensor(NUM, NUM), "(num * num)"),
+            (Sum(NUM, UNIT), "(num + unit)"),
+            (Discrete(Tensor(NUM, NUM)), "!(num * num)"),
+        ],
+    )
+    def test_render(self, ty, text):
+        assert pretty_type(ty) == text
+
+    @pytest.mark.parametrize(
+        "ty",
+        [NUM, UNIT, Discrete(NUM), Tensor(NUM, Sum(NUM, UNIT)), Discrete(Tensor(NUM, NUM))],
+    )
+    def test_roundtrip(self, ty):
+        from repro.core import parse_type
+
+        assert parse_type(pretty_type(ty)) == ty
+
+
+class TestExpressionRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x",
+            "()",
+            "(x, y)",
+            "!x",
+            "add x y",
+            "dmul z (mul x y)",
+            "let v = add x y in v",
+            "dlet z = !x in dmul z y",
+            "let (a, b) = p in add a b",
+            "case s of inl (a) => a | inr (b) => b",
+            "inl x",
+            "inr{num} ()",
+            "Foo x (y, z)",
+        ],
+    )
+    def test_parse_pretty_parse(self, source):
+        expr = parse_expression(source)
+        assert parse_expression(pretty_expr(expr)) == expr
+
+
+class TestProgramRoundTrip:
+    def test_paper_examples_roundtrip(self):
+        program = parse_program(EXAMPLES_SOURCE)
+        reparsed = parse_program(pretty_program(program))
+        assert len(reparsed.definitions) == len(program.definitions)
+        for a, b in zip(program, reparsed):
+            assert a.name == b.name
+            assert a.params == b.params
+
+    def test_generated_programs_roundtrip_semantically(self):
+        from repro.core import check_definition
+
+        for definition in (dot_prod(5), vec_sum(6)):
+            printed = pretty_definition(definition)
+            reparsed = parse_program(printed)[definition.name]
+            j1 = check_definition(definition)
+            j2 = check_definition(reparsed)
+            assert j1.result == j2.result
+            for p in definition.params:
+                from repro.core.types import is_discrete
+
+                if not is_discrete(p.ty):
+                    assert j1.grade_of(p.name) == j2.grade_of(p.name)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_random_asts_roundtrip(self, seed):
+        definition = random_definition(seed).definition
+        printed = pretty_definition(definition)
+        reparsed = parse_program(printed)[definition.name]
+        assert reparsed.body == definition.body
+        assert reparsed.params == definition.params
+
+    def test_deep_program_prints_without_overflow(self):
+        text = pretty_definition(vec_sum(800))
+        assert text.count("let") >= 800

@@ -1,0 +1,102 @@
+"""Tests for the one-call analysis report API (repro.analyze)."""
+
+import json
+import math
+
+import pytest
+
+from repro import analyze
+from repro.core import parse_program
+
+SOURCE = """
+Sum3 (x : vec(3)) : num :=
+  let (x0, x1, x2) = x in
+  let s = add x0 x1 in
+  add s x2
+
+Diff (a : num) (b : num) : num :=
+  sub a b
+"""
+
+
+@pytest.fixture(scope="module")
+def report():
+    return analyze(SOURCE, condition_number=1.0)
+
+
+class TestAnalyze:
+    def test_backward_bounds(self, report):
+        sum3 = report["Sum3"]
+        assert str(sum3.backward_bounds["x"]) == "2ε"
+        assert sum3.backward_values["x"] == pytest.approx(
+            2 * (2.0**-53) / (1 - 2.0**-53)
+        )
+
+    def test_forward_bounds(self, report):
+        sum3 = report["Sum3"]
+        assert sum3.forward_bound == pytest.approx(sum3.backward_values["x"])
+        assert sum3.interval_forward_bound == pytest.approx(sum3.forward_bound)
+
+    def test_subtraction_unbounded_forward(self, report):
+        diff = report["Diff"]
+        assert diff.forward_bound is None  # positive-data analyzer gives up
+        assert math.isinf(diff.interval_forward_bound)  # [0.1,1000] overlaps
+        # ... but the backward certificate still exists:
+        assert str(diff.backward_bounds["a"]) == "ε"
+
+    def test_derived_forward(self, report):
+        sum3 = report["Sum3"]
+        assert sum3.derived_forward_bound == pytest.approx(sum3.backward_values["x"])
+
+    def test_flops(self, report):
+        assert report["Sum3"].flops == 2
+        assert report["Diff"].flops == 1
+
+    def test_accepts_program_objects(self):
+        program = parse_program(SOURCE)
+        result = analyze(program)
+        assert result["Sum3"].flops == 2
+
+    def test_unknown_name(self, report):
+        with pytest.raises(KeyError):
+            report["Nope"]
+
+
+class TestRendering:
+    def test_describe(self, report):
+        text = report.describe()
+        assert "Sum3" in text
+        assert "backward error bounds" in text
+        assert "unbounded (subtraction)" in text
+
+    def test_to_dict_json_safe(self, report):
+        payload = json.dumps(report.to_dict())
+        decoded = json.loads(payload)
+        names = [d["name"] for d in decoded["definitions"]]
+        assert names == ["Sum3", "Diff"]
+        assert decoded["definitions"][1]["forward_numfuzz_like"] is None
+
+    def test_custom_roundoff(self):
+        low = analyze(SOURCE, u=2.0**-24)
+        high = analyze(SOURCE, u=2.0**-53)
+        assert low["Sum3"].backward_values["x"] > high["Sum3"].backward_values["x"]
+
+
+class TestCliReport:
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.bean"
+        path.write_text(SOURCE)
+        assert main(["report", str(path), "--kappa", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Sum3" in out and "κ" in out
+
+    def test_report_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "p.bean"
+        path.write_text(SOURCE)
+        assert main(["report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["definitions"][0]["backward"]["x"]["grade"] == "2ε"

@@ -1,0 +1,112 @@
+"""Tests for the explicit rounding operator ``rnd`` (the extension the
+paper sketches in Section 2.2.1)."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.core import (
+    NUM,
+    BeanTypeError,
+    check_program,
+    parse_expression,
+    parse_program,
+)
+from repro.core import ast_nodes as A
+from repro.core.pathcost import variable_demand
+from repro.core.pretty import pretty_expr
+from repro.lam_s import VNum, erase_expr, evaluate, type_of
+from repro.semantics.witness import run_witness
+
+
+class TestSyntax:
+    def test_parse(self):
+        assert parse_expression("rnd x") == A.Rnd(A.Var("x"))
+
+    def test_parse_nested(self):
+        e = parse_expression("rnd (add x y)")
+        assert isinstance(e, A.Rnd)
+        assert isinstance(e.body, A.PrimOp)
+
+    def test_pretty_roundtrip(self):
+        for src in ("rnd x", "rnd (rnd x)", "add (rnd x) y"):
+            e = parse_expression(src)
+            assert parse_expression(pretty_expr(e)) == e
+
+
+class TestTyping:
+    def test_rnd_charges_eps(self):
+        j = check_program(parse_program("F (x : num) := rnd x"))["F"]
+        assert j.grade_of("x").coeff == 1
+
+    def test_double_rounding_charges_twice(self):
+        j = check_program(parse_program("F (x : num) := rnd (rnd x)"))["F"]
+        assert j.grade_of("x").coeff == 2
+
+    def test_rnd_composes_with_ops(self):
+        j = check_program(
+            parse_program("F (x : num) (y : num) := add (rnd x) y")
+        )["F"]
+        assert j.grade_of("x").coeff == 2  # rnd ε + add ε
+        assert j.grade_of("y").coeff == 1
+
+    def test_rnd_requires_num(self):
+        with pytest.raises(BeanTypeError, match="num"):
+            check_program(parse_program("F (x : num * num) := rnd x"))
+
+    def test_pathcost_oracle_agrees(self):
+        expr = parse_expression("add (rnd x) y")
+        assert variable_demand(expr, "x").coeff == 2
+
+    def test_lam_s_typing(self):
+        assert type_of(parse_expression("rnd x"), {"x": NUM}) == NUM
+
+
+class TestSemantics:
+    def test_ideal_is_identity(self):
+        third = Decimal(1) / Decimal(3)
+        result = evaluate(parse_expression("rnd x"), {"x": VNum(third)}, mode="ideal")
+        assert result.as_decimal() == third
+
+    def test_approx_rounds_to_binary64(self):
+        third = Decimal(1) / Decimal(3)
+        result = evaluate(parse_expression("rnd x"), {"x": VNum(third)}, mode="approx")
+        assert result.as_float() == float(third)
+        assert Decimal(result.as_float()) != third
+
+    def test_erasure_keeps_rnd(self):
+        erased = erase_expr(parse_expression("rnd (dmul z x)"))
+        assert isinstance(erased, A.Rnd)
+        assert erased.body.op is A.Op.MUL
+
+    def test_witness_soundness_with_rnd(self):
+        program = parse_program(
+            "F (x : num) (y : num) := rnd (add (rnd x) (rnd y))"
+        )
+        report = run_witness(program["F"], {"x": 0.1, "y": 0.2}, program=program)
+        assert report.sound
+
+    def test_witness_rnd_of_ideal_intermediate(self):
+        # rnd of an already-representable value perturbs nothing.
+        program = parse_program("F (x : num) := rnd x")
+        report = run_witness(program["F"], {"x": 1.5}, program=program)
+        assert report.sound
+        assert report.params["x"].distance == 0
+
+
+class TestAnalyzers:
+    def test_forward_analyzer_counts_rnd(self):
+        from repro.analysis.forward import forward_error_bound
+
+        program = parse_program("F (x : num) (y : num) := rnd (add x y)")
+        check_program(program)
+        assert forward_error_bound(program["F"], program).coeff == 2
+
+    def test_interval_analyzer_counts_rnd(self):
+        from repro.analysis.intervals import interval_forward_bound
+
+        program = parse_program("F (x : num) (y : num) := rnd (add x y)")
+        check_program(program)
+        bound = interval_forward_bound(program["F"], program, u=2.0**-53)
+        eps = (2.0**-53) / (1 - 2.0**-53)
+        assert bound == pytest.approx(2 * eps)

@@ -1,0 +1,158 @@
+"""Tests for the generalized solvers (forward substitution, matmul)."""
+
+import random
+
+import pytest
+
+from repro.core import LinearityError, check_definition
+from repro.core.types import is_discrete
+from repro.lam_s import VInl, VInr, evaluate, vector_value
+from repro.programs.solvers import (
+    forward_substitution,
+    forward_substitution_bound_A,
+    forward_substitution_bound_b,
+    mat_mul_bound,
+    mat_mul_columnwise,
+    mat_mul_shared,
+)
+from repro.semantics.witness import run_witness
+
+
+def lower_triangular(n, rng):
+    """Random row-major lower-triangular matrix with safe pivots."""
+    entries = []
+    for i in range(n):
+        for j in range(n):
+            if j < i:
+                entries.append(rng.uniform(-2.0, 2.0))
+            elif j == i:
+                entries.append(rng.uniform(1.0, 3.0) * rng.choice([-1, 1]))
+            else:
+                entries.append(0.0)
+    return entries
+
+
+class TestForwardSubstitutionBounds:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_closed_forms(self, n):
+        judgment = check_definition(forward_substitution(n))
+        assert judgment.grade_of("A").coeff == forward_substitution_bound_A(n).coeff
+        assert judgment.grade_of("b").coeff == forward_substitution_bound_b(n).coeff
+
+    def test_n2_matches_paper_linsolve(self):
+        """n = 2 must reproduce the paper's LinSolve judgment."""
+        from fractions import Fraction
+
+        judgment = check_definition(forward_substitution(2))
+        assert judgment.grade_of("A").coeff == Fraction(5, 2)
+        assert judgment.grade_of("b").coeff == Fraction(3, 2)
+
+
+class TestForwardSubstitutionSemantics:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_solves_systems(self, n):
+        rng = random.Random(n)
+        A = lower_triangular(n, rng)
+        x_true = [rng.uniform(-3, 3) for _ in range(n)]
+        b = [
+            sum(A[i * n + j] * x_true[j] for j in range(n)) for i in range(n)
+        ]
+        definition = forward_substitution(n)
+        env = {"A": vector_value(A), "b": vector_value(b)}
+        result = evaluate(definition.body, env, mode="approx")
+        assert isinstance(result, VInl)
+        from repro.lam_s import vector_components
+
+        solution = [c.as_float() for c in vector_components(result.body)]
+        for got, want in zip(solution, x_true):
+            assert got == pytest.approx(want, rel=1e-12)
+
+    def test_singular_pivot_returns_error(self):
+        definition = forward_substitution(3)
+        A = [1.0, 0, 0, 2.0, 0.0, 0, 1.0, 1.0, 3.0]  # zero second pivot
+        env = {"A": vector_value(A), "b": vector_value([1.0, 2.0, 3.0])}
+        result = evaluate(definition.body, env, mode="approx")
+        assert isinstance(result, VInr)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_witness_soundness(self, n):
+        rng = random.Random(10 + n)
+        report = run_witness(
+            forward_substitution(n),
+            {
+                "A": lower_triangular(n, rng),
+                "b": [rng.uniform(-5, 5) for _ in range(n)],
+            },
+        )
+        assert report.sound, report.describe()
+
+    def test_witness_soundness_singular(self):
+        report = run_witness(
+            forward_substitution(2),
+            {"A": [0.0, 0.0, 1.0, 2.0], "b": [1.0, 1.0]},
+        )
+        assert report.sound
+        assert isinstance(report.approx_value, VInr)
+
+
+class TestMatMul:
+    def test_shared_formulation_rejected(self):
+        """Single-ΔA matmul is not backward stable; Bean rejects it."""
+        with pytest.raises(LinearityError):
+            check_definition(mat_mul_shared(2))
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_columnwise_bounds(self, n):
+        judgment = check_definition(mat_mul_columnwise(n))
+        for j in range(n):
+            assert judgment.grade_of(f"A{j}").coeff == mat_mul_bound(n).coeff
+
+    def test_columnwise_computes_product(self):
+        n = 2
+        definition = mat_mul_columnwise(n)
+        A = [1.0, 2.0, 3.0, 4.0]
+        Bm = [5.0, 6.0, 7.0, 8.0]
+        env = {
+            "A0": vector_value(A),
+            "A1": vector_value(A),
+            "B": vector_value(Bm),
+        }
+        from repro.lam_s import vector_components
+
+        result = evaluate(definition.body, env, mode="approx")
+        got = [c.as_float() for c in vector_components(result)]
+        # Output order: columns j, rows i.
+        expected = {
+            (0, 0): 1 * 5 + 2 * 7,
+            (1, 0): 3 * 5 + 4 * 7,
+            (0, 1): 1 * 6 + 2 * 8,
+            (1, 1): 3 * 6 + 4 * 8,
+        }
+        assert got == [
+            expected[(0, 0)],
+            expected[(1, 0)],
+            expected[(0, 1)],
+            expected[(1, 1)],
+        ]
+
+    def test_columnwise_witness(self):
+        definition = mat_mul_columnwise(2)
+        rng = random.Random(3)
+        A = [rng.uniform(-2, 2) for _ in range(4)]
+        Bm = [rng.uniform(-2, 2) for _ in range(4)]
+        report = run_witness(
+            definition, {"A0": A, "A1": A, "B": Bm}
+        )
+        assert report.sound
+
+    def test_b_is_discrete(self):
+        definition = mat_mul_columnwise(2)
+        assert is_discrete(definition.params[-1].ty)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            forward_substitution(0)
+        with pytest.raises(ValueError):
+            mat_mul_columnwise(1)
+        with pytest.raises(ValueError):
+            mat_mul_shared(1)

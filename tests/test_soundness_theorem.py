@@ -1,0 +1,200 @@
+"""End-to-end checks of backward error soundness (Theorem 3.1).
+
+For randomized programs and inputs: run binary64, construct the witness
+with the backward map, and verify (1) the ideal semantics on the witness
+reproduces the binary64 output and (2) every linear input moved at most
+its inferred grade, with discrete inputs unmoved.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.programs.generators import dot_prod, horner, mat_vec_mul, poly_val, vec_sum
+from repro.semantics.witness import run_witness
+from strategies import random_definition, random_inputs
+
+
+class TestRandomPrograms:
+    @given(st.integers(min_value=0, max_value=50_000))
+    def test_random_generated_programs(self, seed):
+        spec = random_definition(seed, n_linear=4, n_discrete=2, n_steps=7)
+        inputs = random_inputs(spec, seed + 1)
+        report = run_witness(spec.definition, inputs)
+        assert report.sound, report.describe()
+
+    @given(st.integers(min_value=0, max_value=50_000))
+    def test_random_positive_inputs(self, seed):
+        spec = random_definition(seed, n_linear=3, n_discrete=1, n_steps=9)
+        inputs = random_inputs(spec, seed + 2, positive=True)
+        report = run_witness(spec.definition, inputs)
+        assert report.sound, report.describe()
+
+
+class TestBenchmarkFamilies:
+    @pytest.mark.parametrize("n", [2, 5, 16])
+    def test_dot_prod(self, n):
+        rng = random.Random(n)
+        report = run_witness(
+            dot_prod(n),
+            {
+                "x": [rng.uniform(-5, 5) for _ in range(n)],
+                "y": [rng.uniform(-5, 5) for _ in range(n)],
+            },
+        )
+        assert report.sound
+
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_sum(self, n):
+        rng = random.Random(n)
+        report = run_witness(
+            vec_sum(n), {"x": [rng.uniform(0.1, 10) for _ in range(n)]}
+        )
+        assert report.sound
+
+    def test_sum_with_cancellation(self):
+        # Mixed signs stress the add backward map's ratio construction.
+        report = run_witness(vec_sum(4), {"x": [5.0, -4.9999, 3.0, -3.0001]})
+        assert report.sound
+
+    @pytest.mark.parametrize("n", [1, 4, 10])
+    def test_horner(self, n):
+        rng = random.Random(n)
+        report = run_witness(
+            horner(n),
+            {"a": [rng.uniform(0.5, 2) for _ in range(n + 1)], "z": 1.37},
+        )
+        assert report.sound
+
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_poly_val(self, n):
+        rng = random.Random(n)
+        report = run_witness(
+            poly_val(n),
+            {"a": [rng.uniform(0.5, 2) for _ in range(n + 1)], "z": 0.73},
+        )
+        assert report.sound
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_mat_vec(self, n):
+        rng = random.Random(n)
+        report = run_witness(
+            mat_vec_mul(n),
+            {
+                "M": [rng.uniform(-3, 3) for _ in range(n * n)],
+                "z": [rng.uniform(-3, 3) for _ in range(n)],
+            },
+        )
+        assert report.sound
+
+
+class TestEdgeCases:
+    def test_exactly_zero_dot_product(self):
+        """Orthogonal vectors: the forward error is unbounded but the
+        backward witness still exists (the paper's motivating case)."""
+        report = run_witness(
+            dot_prod(2, alloc="both"), {"x": [1.0, 1.0], "y": [1.0, -1.0]}
+        )
+        assert report.approx_value.as_float() == 0.0
+        assert report.sound
+
+    def test_zero_component(self):
+        report = run_witness(vec_sum(3), {"x": [0.0, 2.0, 3.0]})
+        assert report.sound
+
+    def test_tiny_and_huge_mixture(self):
+        report = run_witness(vec_sum(3), {"x": [1e-200, 1e200, 1.0]})
+        assert report.sound
+
+    def test_negative_everything(self):
+        report = run_witness(vec_sum(4), {"x": [-1.0, -2.0, -3.0, -4.0]})
+        assert report.sound
+
+    def test_report_describe_readable(self):
+        report = run_witness(vec_sum(2), {"x": [1.0, 2.0]})
+        text = report.describe()
+        assert "results match" in text
+        assert "ok" in text
+
+    def test_witness_distances_below_bounds_with_margin(self):
+        """Bounds are worst-case; single runs use a fraction of them."""
+        rng = random.Random(3)
+        n = 16
+        report = run_witness(
+            vec_sum(n), {"x": [rng.uniform(1, 2) for _ in range(n)]}
+        )
+        w = report.params["x"]
+        assert w.distance <= w.bound
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(KeyError):
+            run_witness(vec_sum(2), {})
+
+
+class TestPaperExamples:
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_linsolve_random_systems(self, seed):
+        from repro.programs.examples import example_program as prog_fn
+
+        program = prog_fn()
+        rng = random.Random(seed)
+        a00 = rng.uniform(0.5, 3) * rng.choice([-1, 1])
+        a11 = rng.uniform(0.5, 3) * rng.choice([-1, 1])
+        report = run_witness(
+            program["LinSolve"],
+            {
+                "A": [a00, 0.0, rng.uniform(-2, 2), a11],
+                "b": [rng.uniform(-4, 4), rng.uniform(-4, 4)],
+            },
+            program=program,
+        )
+        assert report.sound, report.describe()
+
+    def test_all_examples_one_shot(self, example_program):
+        cases = {
+            "DotProd2": {"x": [1.5, -2.5], "y": [0.5, 3.0]},
+            "MatVecEx": {"A": [1.0, 2.0, 3.0, 4.0], "z": [0.5, 0.25]},
+            "ScaleVec": {"a": 2.0, "x": [1.0, -1.0]},
+            "SVecAdd": {"a": 2.0, "x": [1.0, 2.0], "y": [3.0, 4.0]},
+            "InnerProduct": {"u": [1.0, 2.0], "v": [3.0, 4.0]},
+            "MatVecMul": {"M": [1.0, 2.0, 3.0, 4.0], "v": [0.5, 0.25]},
+            "SMatVecMul": {
+                "M": [1.0, 2.0, 3.0, 4.0],
+                "v": [0.5, 0.25],
+                "u": [1.0, 1.0],
+                "a": 2.0,
+                "b": 3.0,
+            },
+            "PolyVal": {"a": [1.0, 2.0, 3.0], "z": 0.5},
+            "Horner": {"a": [1.0, 2.0, 3.0], "z": 0.5},
+            "PolyValAlt": {"z": 0.5, "a0": 1.0, "a1": 2.0, "a2": 3.0},
+            "HornerAlt": {"z": 0.5, "a0": 1.0, "a1": 2.0, "a2": 3.0},
+            "LinSolve": {"A": [2.0, 0.0, 1.0, 3.0], "b": [4.0, 5.0]},
+        }
+        for name, inputs in cases.items():
+            report = run_witness(
+                example_program[name], inputs, program=example_program
+            )
+            assert report.sound, f"{name}: {report.describe()}"
+
+
+class TestTightness:
+    def test_sequential_sum_near_worst_case(self):
+        """A contrived input pattern drives observed backward error to a
+        visible fraction of the static bound (it cannot exceed it)."""
+        n = 24
+        xs = [1.0] + [2.0 ** (-i % 3) + 1e-3 for i in range(n - 1)]
+        report = run_witness(vec_sum(n), {"x": xs})
+        w = report.params["x"]
+        assert report.sound
+        assert w.distance > 0  # rounding genuinely happened
+        assert float(w.distance) < float(w.bound)
+
+    def test_math_isfinite_everywhere(self):
+        report = run_witness(vec_sum(3), {"x": [1.0, 2.0, 3.0]})
+        for w in report.params.values():
+            assert math.isfinite(float(w.bound))

@@ -1,0 +1,233 @@
+"""Tests for slack distance spaces and the RP metric (Def. 6.1, App. B)."""
+
+import math
+from decimal import Decimal
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.grades import Grade
+from repro.core.types import NUM, UNIT, Discrete, Sum, Tensor, vector
+from repro.lam_s.values import UNIT_VALUE, VInl, VInr, VNum, VPair
+from repro.semantics.spaces import (
+    INF,
+    NEG_INF,
+    DiscreteSpace,
+    GradedSpace,
+    NumSpace,
+    SumSpace,
+    TensorSpace,
+    UnitObjectI,
+    UnitSpace,
+    ext_sub,
+    grade_bound,
+    rp_distance,
+    space_of_type,
+    type_distance,
+)
+
+nonzero = st.floats(min_value=1e-100, max_value=1e100).map(lambda x: x)
+
+
+class TestExtendedArithmetic:
+    def test_inf_minus_finite(self):
+        assert ext_sub(INF, Decimal(5)) == INF
+
+    def test_inf_minus_inf(self):
+        # ∞ - a = ∞ for any a, including ∞ (Definition 6.1's convention).
+        assert ext_sub(INF, INF) == INF
+
+    def test_finite_minus_inf(self):
+        assert ext_sub(Decimal(5), INF) == NEG_INF
+
+    def test_finite_minus_finite(self):
+        assert ext_sub(Decimal(5), Decimal(2)) == Decimal(3)
+
+
+class TestRPMetric:
+    def test_equal_points(self):
+        assert rp_distance(VNum(1.5), VNum(1.5)) == 0
+
+    def test_both_zero(self):
+        assert rp_distance(VNum(0.0), VNum(0.0)) == 0
+
+    def test_zero_vs_nonzero(self):
+        assert rp_distance(VNum(0.0), VNum(1.0)) == INF
+
+    def test_opposite_signs(self):
+        assert rp_distance(VNum(1.0), VNum(-1.0)) == INF
+
+    def test_value(self):
+        d = rp_distance(VNum(math.e), VNum(1.0))
+        assert abs(float(d) - 1.0) < 1e-12
+
+    def test_negative_pair(self):
+        d = rp_distance(VNum(-2.0), VNum(-1.0))
+        assert abs(float(d) - math.log(2)) < 1e-12
+
+    @given(nonzero, nonzero)
+    def test_symmetry(self, x, y):
+        d1 = rp_distance(VNum(x), VNum(y))
+        d2 = rp_distance(VNum(y), VNum(x))
+        # Equality up to the 60-digit working precision of ln.
+        assert abs(d1 - d2) <= Decimal("1e-50") * (1 + max(d1, d2))
+
+    @given(nonzero, nonzero, nonzero)
+    def test_triangle_inequality(self, x, y, z):
+        dxz = rp_distance(VNum(x), VNum(z))
+        dxy = rp_distance(VNum(x), VNum(y))
+        dyz = rp_distance(VNum(y), VNum(z))
+        assert dxz <= dxy + dyz + Decimal("1e-25") * (1 + dxz)
+
+    @given(nonzero, nonzero)
+    def test_identity_of_indiscernibles(self, x, y):
+        if rp_distance(VNum(x), VNum(y)) == 0:
+            assert Decimal(x) == Decimal(y)
+
+    def test_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            rp_distance(UNIT_VALUE, VNum(1.0))
+
+
+class TestBaseSpaces:
+    def test_num_space(self):
+        s = NumSpace()
+        assert s.slack == 0
+        assert s.contains(VNum(1.0))
+        assert not s.contains(UNIT_VALUE)
+
+    def test_discrete_space(self):
+        s = DiscreteSpace(NumSpace())
+        assert s.distance(VNum(1.0), VNum(1.0)) == 0
+        assert s.distance(VNum(1.0), VNum(1.0000001)) == INF
+
+    def test_unit_space(self):
+        s = UnitSpace()
+        assert s.distance(UNIT_VALUE, UNIT_VALUE) == 0
+        assert s.slack == 0
+
+    def test_unit_object_I_has_infinite_slack(self):
+        s = UnitObjectI()
+        assert s.slack == INF
+        assert s.excess(UNIT_VALUE, UNIT_VALUE) == NEG_INF
+
+
+class TestTensorSpace:
+    def test_distance_equation_21(self):
+        # With zero slacks, the tensor distance is the max of components.
+        s = TensorSpace(NumSpace(), NumSpace())
+        a = VPair(VNum(1.0), VNum(1.0))
+        b = VPair(VNum(2.0), VNum(4.0))
+        expected = max(
+            rp_distance(VNum(1.0), VNum(2.0)), rp_distance(VNum(1.0), VNum(4.0))
+        )
+        assert abs(s.distance(a, b) - expected) <= Decimal("1e-50")
+
+    def test_distance_with_slack_cross_terms(self):
+        # d = max{d_X + r_Y, d_Y + r_X} for finite slacks (Equation 21).
+        s = TensorSpace(GradedSpace(NumSpace(), 2), GradedSpace(NumSpace(), 5))
+        a = VPair(VNum(1.0), VNum(1.0))
+        b = VPair(VNum(math.e), VNum(1.0))
+        assert abs(float(s.distance(a, b)) - (1.0 + 5.0)) < 1e-9
+
+    def test_excess_equation_22(self):
+        left = GradedSpace(NumSpace(), Decimal(3))
+        right = GradedSpace(NumSpace(), Decimal(7))
+        s = TensorSpace(left, right)
+        a = VPair(VNum(1.0), VNum(1.0))
+        b = VPair(VNum(math.e), VNum(1.0))
+        expected = max(left.excess(a.left, b.left), right.excess(a.right, b.right))
+        assert s.excess(a, b) == expected
+
+    def test_slack_sums(self):
+        s = TensorSpace(GradedSpace(NumSpace(), 2), GradedSpace(NumSpace(), 3))
+        assert s.slack == 5
+
+    def test_slack_with_infinite_component(self):
+        s = TensorSpace(UnitObjectI(), GradedSpace(NumSpace(), 3))
+        assert s.slack == 3
+
+    def test_infinite_component_distance(self):
+        s = TensorSpace(NumSpace(), NumSpace())
+        a = VPair(VNum(1.0), VNum(1.0))
+        b = VPair(VNum(-1.0), VNum(1.0))
+        assert s.distance(a, b) == INF
+
+
+class TestSumSpace:
+    def test_matching_tags(self):
+        s = SumSpace(NumSpace(), UnitSpace())
+        assert s.distance(VInl(VNum(1.0)), VInl(VNum(1.0))) == 0
+        assert s.distance(VInr(UNIT_VALUE), VInr(UNIT_VALUE)) == 0
+
+    def test_mismatched_tags_infinite(self):
+        s = SumSpace(NumSpace(), UnitSpace())
+        assert s.distance(VInl(VNum(1.0)), VInr(UNIT_VALUE)) == INF
+
+    def test_slack_shift_equation_35(self):
+        s = SumSpace(GradedSpace(NumSpace(), 2), GradedSpace(NumSpace(), 3))
+        d = s.distance(VInl(VNum(1.0)), VInl(VNum(1.0)))
+        assert d == 3  # d_X + r_Y
+        assert s.slack == 5
+
+    def test_requires_finite_slack(self):
+        with pytest.raises(ValueError):
+            SumSpace(UnitObjectI(), NumSpace())
+
+
+class TestGradedSpace:
+    def test_shifts_slack_not_distance(self):
+        s = GradedSpace(NumSpace(), Decimal("0.5"))
+        assert s.slack == Decimal("0.5")
+        assert s.distance(VNum(1.0), VNum(math.e)) == rp_distance(
+            VNum(1.0), VNum(math.e)
+        )
+
+    def test_excess_subtracts_grade(self):
+        s = GradedSpace(NumSpace(), Decimal(1))
+        e = s.excess(VNum(1.0), VNum(math.e))
+        assert abs(float(e)) < 1e-9  # distance 1 - grade 1
+
+    def test_nested_grading_accumulates(self):
+        s = GradedSpace(GradedSpace(NumSpace(), 1), 2)
+        assert s.slack == 3
+
+
+class TestTypeInterpretation:
+    def test_num(self):
+        assert isinstance(space_of_type(NUM), NumSpace)
+
+    def test_discrete(self):
+        assert isinstance(space_of_type(Discrete(NUM)), DiscreteSpace)
+
+    def test_vector_contains(self):
+        from repro.lam_s.values import vector_value
+
+        assert space_of_type(vector(4)).contains(vector_value([1, 2, 3, 4]))
+
+    def test_sum(self):
+        s = space_of_type(Sum(NUM, UNIT))
+        assert s.contains(VInl(VNum(1.0)))
+        assert s.contains(VInr(UNIT_VALUE))
+        assert not s.contains(VNum(1.0))
+
+    def test_type_distance_on_vectors(self):
+        from repro.lam_s.values import vector_value
+
+        a = vector_value([1.0, 2.0])
+        b = vector_value([1.0, 2.0 * math.e])
+        d = type_distance(vector(2), a, b)
+        assert abs(float(d) - 1.0) < 1e-12
+
+
+class TestGradeBound:
+    def test_matches_float_evaluation(self):
+        g = Grade(20)
+        assert float(grade_bound(g, 2.0**-53)) == pytest.approx(g.evaluate())
+
+    def test_exactness(self):
+        # Decimal bound is computed at 60 digits, not float-rounded.
+        b = grade_bound(Grade(1), 2.0**-53)
+        assert b > 0
+        assert str(b)[:6] == "1.1102"

@@ -1,0 +1,61 @@
+"""Tests for the literature worst-case bounds (Table 1's Std. column)."""
+
+import pytest
+
+from repro.analysis.standard_bounds import (
+    HIGHAM_CITATIONS,
+    standard_bound_grade,
+    standard_bound_value,
+)
+from repro.core import check_definition
+from repro.programs.generators import BENCHMARK_FAMILIES
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize(
+        "family,n,coeff",
+        [
+            ("DotProd", 20, 20),
+            ("Sum", 50, 49),
+            ("Horner", 20, 40),
+            ("PolyVal", 10, 11),
+            ("MatVecMul", 5, 5),
+        ],
+    )
+    def test_grades(self, family, n, coeff):
+        assert standard_bound_grade(family, n).coeff == coeff
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            standard_bound_grade("QR", 5)
+
+    def test_numeric_value(self):
+        # The paper's printed DotProd-20 value.
+        assert standard_bound_value("DotProd", 20) == pytest.approx(
+            2.22e-15, abs=0.005e-15
+        )
+
+    def test_custom_roundoff(self):
+        v53 = standard_bound_value("Sum", 100, 2.0**-53)
+        v52 = standard_bound_value("Sum", 100, 2.0**-52)
+        assert v52 == pytest.approx(2 * v53, rel=1e-12)
+
+
+class TestAgreementWithInference:
+    """The central Table 1 claim: Bean == Std. for every family."""
+
+    @pytest.mark.parametrize("family", list(BENCHMARK_FAMILIES))
+    def test_inference_matches_literature(self, family):
+        n = {"MatVecMul": 4}.get(family, 12)
+        judgment = check_definition(BENCHMARK_FAMILIES[family](n))
+        assert judgment.max_linear_grade().coeff == standard_bound_grade(
+            family, n
+        ).coeff
+
+
+class TestCitations:
+    def test_every_family_cited(self):
+        assert set(HIGHAM_CITATIONS) == set(BENCHMARK_FAMILIES)
+
+    def test_citations_mention_higham(self):
+        assert all("Higham" in c for c in HIGHAM_CITATIONS.values())

@@ -1,0 +1,147 @@
+"""Tests for stochastic rounding (the probabilistic backward error
+setting of Connolly et al. 2021, which the paper lists as future work)."""
+
+import random
+from decimal import Decimal, localcontext
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parse_expression
+from repro.lam_s import VNum, evaluate, vector_value
+from repro.lam_s.eval import stochastic_round
+from repro.programs.generators import dot_prod, vec_sum
+from repro.semantics.interp import lens_of_definition
+from repro.semantics.witness import run_witness
+
+
+class TestStochasticRound:
+    def test_representable_value_unchanged(self):
+        rng = random.Random(0)
+        assert stochastic_round(Decimal("1.5"), rng) == 1.5
+
+    def test_rounds_to_neighbour(self):
+        import math
+
+        with localcontext() as ctx:
+            ctx.prec = 50
+            exact = Decimal(0.1) + Decimal(0.2)
+        nearest = float(exact)
+        neighbours = {
+            nearest,
+            math.nextafter(nearest, math.inf),
+            math.nextafter(nearest, -math.inf),
+        }
+        rng = random.Random(7)
+        for _ in range(50):
+            assert stochastic_round(exact, rng) in neighbours
+
+    def test_unbiased_in_expectation(self):
+        # A value exactly halfway between two floats rounds each way
+        # about half the time.
+        import math
+
+        lo = 1.0
+        hi = math.nextafter(1.0, 2.0)
+        mid = (Decimal(lo) + Decimal(hi)) / 2
+        rng = random.Random(123)
+        ups = sum(stochastic_round(mid, rng) == hi for _ in range(2000))
+        assert 800 < ups < 1200
+
+    def test_error_within_two_u(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            x = Decimal(rng.uniform(0.5, 2.0)) + Decimal(rng.random()) / 10**20
+            rounded = stochastic_round(x, rng)
+            rel = abs(Decimal(rounded) - x) / x
+            assert rel <= 2 * Decimal(2) ** -53
+
+
+class TestEvaluatorIntegration:
+    def test_deterministic_per_seed(self):
+        expr = parse_expression("add x y")
+        env = {"x": VNum(0.1), "y": VNum(0.2)}
+        a = evaluate(expr, env, rounding="stochastic", seed=4)
+        b = evaluate(expr, env, rounding="stochastic", seed=4)
+        assert a == b
+
+    def test_seed_changes_results_somewhere(self):
+        definition = vec_sum(24)
+        env = {"x": vector_value([0.1] * 24)}
+        results = {
+            evaluate(definition.body, env, rounding="stochastic", seed=s).as_float()
+            for s in range(8)
+        }
+        assert len(results) > 1  # some seed disagrees
+
+    def test_compositional_purity(self):
+        """Evaluating a subterm standalone sees the same roundings as the
+        full run — the property the lens backward map depends on."""
+        full = parse_expression("let v = add x y in mul v z")
+        sub = parse_expression("add x y")
+        env = {"x": VNum(0.1), "y": VNum(0.2), "z": VNum(3.0)}
+        v_standalone = evaluate(sub, env, rounding="stochastic", seed=9)
+        v_in_full = evaluate(
+            parse_expression("let v = add x y in v"),
+            env,
+            rounding="stochastic",
+            seed=9,
+        )
+        assert v_standalone == v_in_full
+        # And the full program is consistent with composing by hand.
+        full_result = evaluate(full, env, rounding="stochastic", seed=9)
+        manual = evaluate(
+            parse_expression("mul v z"),
+            {"v": v_standalone, "z": VNum(3.0)},
+            rounding="stochastic",
+            seed=9,
+        )
+        assert full_result == manual
+
+    def test_unknown_rounding_mode(self):
+        with pytest.raises(ValueError):
+            evaluate(parse_expression("x"), {"x": VNum(1.0)}, rounding="up")
+
+    def test_ideal_mode_ignores_rounding_flag(self):
+        expr = parse_expression("add x y")
+        env = {"x": VNum(0.1), "y": VNum(0.2)}
+        a = evaluate(expr, env, mode="ideal")
+        b = evaluate(expr, env, mode="ideal", rounding="stochastic", seed=3)
+        assert a == b
+
+
+class TestSoundnessUnderStochasticRounding:
+    """Bean's bounds hold for stochastic rounding at effective roundoff
+    2u: |δ| ≤ 2u ⇒ the e^δ model with ε' = 2u/(1−2u) covers it."""
+
+    EFFECTIVE_U = 2.0**-52  # 2 · 2⁻⁵³
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_sum_witnesses(self, seed):
+        definition = vec_sum(8)
+        lens = lens_of_definition(definition, rounding="stochastic", seed=seed)
+        rng = random.Random(seed)
+        xs = [rng.uniform(0.1, 100.0) for _ in range(8)]
+        report = run_witness(
+            definition, {"x": xs}, lens=lens, u=self.EFFECTIVE_U
+        )
+        assert report.sound, report.describe()
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_dot_prod_witnesses(self, seed):
+        definition = dot_prod(6)
+        lens = lens_of_definition(definition, rounding="stochastic", seed=seed)
+        rng = random.Random(seed + 1)
+        report = run_witness(
+            definition,
+            {
+                "x": [rng.uniform(-10, 10) for _ in range(6)],
+                "y": [rng.uniform(-10, 10) for _ in range(6)],
+            },
+            lens=lens,
+            u=self.EFFECTIVE_U,
+        )
+        assert report.sound, report.describe()

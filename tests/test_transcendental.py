@@ -1,0 +1,90 @@
+"""Tests for the glibc-style sin/cos kernels (Table 2 programs)."""
+
+import math
+from decimal import Decimal, localcontext
+
+import pytest
+
+from repro.core import check_definition
+from repro.lam_s import evaluate, vector_value, VNum
+from repro.programs.transcendental import (
+    COS_COEFFICIENTS,
+    COS_EXPECTED_GRADE,
+    SIN_COEFFICIENTS,
+    SIN_EXPECTED_GRADE,
+    TABLE2_RANGE,
+    cos_ideal,
+    cos_kernel,
+    glibc_cos,
+    glibc_sin,
+    sin_ideal,
+    sin_kernel,
+)
+
+POINTS = [0.0001, 0.00037, 0.001, 0.0042, 0.01]
+
+
+class TestInferredGrades:
+    def test_sin_grade_13eps(self):
+        judgment = check_definition(glibc_sin())
+        assert judgment.max_linear_grade().coeff == SIN_EXPECTED_GRADE.coeff == 13
+
+    def test_cos_grade_12eps(self):
+        judgment = check_definition(glibc_cos())
+        assert judgment.max_linear_grade().coeff == COS_EXPECTED_GRADE.coeff == 12
+
+    def test_paper_numeric_values(self):
+        assert SIN_EXPECTED_GRADE.evaluate() == pytest.approx(1.44e-15, abs=0.01e-15)
+        assert COS_EXPECTED_GRADE.evaluate() == pytest.approx(1.33e-15, abs=0.01e-15)
+
+
+class TestKernelAccuracy:
+    @pytest.mark.parametrize("x", POINTS)
+    def test_sin_kernel_matches_libm(self, x):
+        # On [1e-4, 1e-2] the degree-13 Taylor kernel is fully accurate.
+        assert sin_kernel(x) == pytest.approx(math.sin(x), rel=1e-15)
+
+    @pytest.mark.parametrize("x", POINTS)
+    def test_cos_kernel_matches_libm(self, x):
+        assert cos_kernel(x) == pytest.approx(math.cos(x), rel=1e-15)
+
+    @pytest.mark.parametrize("x", POINTS)
+    def test_ideal_matches_kernel_to_roundoff(self, x):
+        with localcontext() as ctx:
+            ctx.prec = 50
+            ideal = sin_ideal(Decimal(x))
+        assert float(ideal) == pytest.approx(sin_kernel(x), rel=1e-13)
+
+
+class TestBeanProgramsMatchKernels:
+    """The Bean encodings evaluate (approximately) to the float kernels."""
+
+    @pytest.mark.parametrize("x", POINTS)
+    def test_sin_program_evaluates_like_kernel(self, x):
+        definition = glibc_sin()
+        env = {
+            "s": vector_value([x] + SIN_COEFFICIENTS),
+            "x": VNum(x),
+            "w": VNum(x * x),
+        }
+        result = evaluate(definition.body, env, mode="approx")
+        assert result.as_float() == sin_kernel(x)
+
+    @pytest.mark.parametrize("x", POINTS)
+    def test_cos_program_evaluates_like_kernel(self, x):
+        definition = glibc_cos()
+        env = {
+            "c": vector_value(COS_COEFFICIENTS),
+            "w": VNum(x * x),
+        }
+        result = evaluate(definition.body, env, mode="approx")
+        assert result.as_float() == cos_kernel(x)
+
+
+class TestRange:
+    def test_table2_range(self):
+        assert TABLE2_RANGE == (0.0001, 0.01)
+
+    def test_coefficient_counts(self):
+        assert len(SIN_COEFFICIENTS) == 6
+        assert len(COS_COEFFICIENTS) == 7

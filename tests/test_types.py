@@ -1,0 +1,103 @@
+"""Tests for Bean's type grammar and the vector/matrix shorthands."""
+
+import pytest
+
+from repro.core.types import (
+    DNUM,
+    NUM,
+    UNIT,
+    Discrete,
+    Sum,
+    Tensor,
+    is_discrete,
+    matrix,
+    strip_discrete,
+    tensor_leaves,
+    tensor_of,
+    vector,
+)
+
+
+class TestBasics:
+    def test_structural_equality(self):
+        assert Tensor(NUM, NUM) == Tensor(NUM, NUM)
+        assert Tensor(NUM, UNIT) != Tensor(UNIT, NUM)
+
+    def test_hashable(self):
+        assert len({NUM, UNIT, Tensor(NUM, NUM), Tensor(NUM, NUM)}) == 3
+
+    def test_dnum(self):
+        assert DNUM == Discrete(NUM)
+
+    def test_str_renderings(self):
+        assert str(NUM) == "num"
+        assert str(UNIT) == "unit"
+        assert str(Discrete(NUM)) == "m(num)"
+        assert str(Tensor(NUM, NUM)) == "(num ⊗ num)"
+        assert str(Sum(NUM, UNIT)) == "(num + unit)"
+
+    def test_is_discrete(self):
+        assert is_discrete(DNUM)
+        assert not is_discrete(NUM)
+        assert not is_discrete(Tensor(DNUM, DNUM))
+
+    def test_strip_discrete(self):
+        assert strip_discrete(DNUM) == NUM
+        assert strip_discrete(NUM) == NUM
+
+
+class TestVectors:
+    def test_vector_one(self):
+        assert vector(1) == NUM
+
+    def test_vector_two(self):
+        assert vector(2) == Tensor(NUM, NUM)
+
+    def test_vector_three_is_balanced(self):
+        assert vector(3) == Tensor(NUM, Tensor(NUM, NUM))
+
+    def test_vector_four_is_balanced(self):
+        assert vector(4) == Tensor(Tensor(NUM, NUM), Tensor(NUM, NUM))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 100])
+    def test_vector_leaf_count(self, n):
+        assert sum(1 for _ in tensor_leaves(vector(n))) == n
+
+    def test_vector_depth_logarithmic(self):
+        def depth(ty):
+            if isinstance(ty, Tensor):
+                return 1 + max(depth(ty.left), depth(ty.right))
+            return 0
+
+        assert depth(vector(1024)) == 10
+
+    def test_vector_invalid(self):
+        with pytest.raises(ValueError):
+            vector(0)
+
+    def test_tensor_of_empty(self):
+        with pytest.raises(ValueError):
+            tensor_of(())
+
+
+class TestMatrices:
+    def test_matrix_2x2(self):
+        row = Tensor(NUM, NUM)
+        assert matrix(2, 2) == Tensor(row, row)
+
+    def test_matrix_leaf_count(self):
+        assert sum(1 for _ in tensor_leaves(matrix(3, 4))) == 12
+
+    def test_matrix_rows_are_vectors(self):
+        m = matrix(2, 3)
+        assert m.left == vector(3)
+        assert m.right == vector(3)
+
+
+class TestTensorLeaves:
+    def test_order_left_to_right(self):
+        ty = Tensor(Tensor(NUM, UNIT), DNUM)
+        assert list(tensor_leaves(ty)) == [NUM, UNIT, DNUM]
+
+    def test_single_leaf(self):
+        assert list(tensor_leaves(NUM)) == [NUM]

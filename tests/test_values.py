@@ -1,0 +1,88 @@
+"""Tests for runtime values and their helpers."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.lam_s.values import (
+    UNIT_VALUE,
+    VInl,
+    VInr,
+    VNum,
+    VPair,
+    to_decimal,
+    values_close,
+    vector_components,
+    vector_value,
+)
+
+
+class TestConversion:
+    def test_float_to_decimal_exact(self):
+        assert to_decimal(0.1) == Decimal(0.1)
+
+    def test_int(self):
+        assert to_decimal(7) == Decimal(7)
+
+    def test_decimal_passthrough(self):
+        d = Decimal("1.5")
+        assert to_decimal(d) is d
+
+    def test_vnum_accessors(self):
+        v = VNum(2.5)
+        assert v.as_float() == 2.5
+        assert v.as_decimal() == Decimal("2.5")
+
+
+class TestVectors:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13])
+    def test_roundtrip(self, n):
+        data = [float(i + 1) for i in range(n)]
+        packed = vector_value(data)
+        assert [c.as_float() for c in vector_components(packed)] == data
+
+    def test_shape_matches_type(self):
+        from repro.core.types import vector
+        from repro.semantics.spaces import space_of_type
+
+        packed = vector_value([1.0, 2.0, 3.0])
+        assert space_of_type(vector(3)).contains(packed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vector_value([])
+
+    def test_components_of_non_vector(self):
+        with pytest.raises(TypeError):
+            vector_components(VInl(VNum(1.0)))
+
+
+class TestValuesClose:
+    def test_unit(self):
+        assert values_close(UNIT_VALUE, UNIT_VALUE)
+
+    def test_equal_numbers(self):
+        assert values_close(VNum(1.5), VNum(Decimal("1.5")))
+
+    def test_nearby_numbers(self):
+        assert values_close(VNum(Decimal("1")), VNum(Decimal("1") + Decimal("1e-40")))
+
+    def test_distant_numbers(self):
+        assert not values_close(VNum(1.0), VNum(1.0 + 1e-10))
+
+    def test_zero_vs_nonzero(self):
+        assert not values_close(VNum(0.0), VNum(1e-300))
+
+    def test_zero_vs_zero(self):
+        assert values_close(VNum(0.0), VNum(Decimal(0)))
+
+    def test_pairs(self):
+        assert values_close(VPair(VNum(1.0), VNum(2.0)), VPair(VNum(1.0), VNum(2.0)))
+        assert not values_close(VPair(VNum(1.0), VNum(2.0)), VPair(VNum(1.0), VNum(3.0)))
+
+    def test_injections(self):
+        assert values_close(VInl(VNum(1.0)), VInl(VNum(1.0)))
+        assert not values_close(VInl(VNum(1.0)), VInr(VNum(1.0)))
+
+    def test_shape_mismatch(self):
+        assert not values_close(VNum(1.0), UNIT_VALUE)
