@@ -1,3 +1,43 @@
-from setuptools import setup
+"""Packaging for the Bean backward-error-analysis reproduction."""
 
-setup()
+import pathlib
+
+from setuptools import find_packages, setup
+
+HERE = pathlib.Path(__file__).parent
+README = HERE / "README.md"
+
+setup(
+    name="repro-bean",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Bean: A Language for Backward Error Analysis' "
+        "(Kellison, Zielinski, Bindel, Hsu; PLDI 2025): graded linear type "
+        "system, backward error lenses, a flat IR with iterative "
+        "checker/interpreter passes, and a vectorized batch witness engine."
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="repro maintainers",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "repro-bean=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Mathematics",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -29,6 +29,9 @@ Subpackages:
 
 * :mod:`repro.core` — the Bean language: syntax, linear/graded type
   system, and the backward error bound inference algorithm.
+* :mod:`repro.ir` — the flat compiled representation every analysis and
+  evaluation hot path runs on: an iterative lowering pass, reverse-sweep
+  grade inference, and identity-keyed program caches.
 * :mod:`repro.lam_s` — the erasure target Λ_S with ideal and approximate
   operational semantics.
 * :mod:`repro.semantics` — backward error lenses; the category Bel; the
@@ -75,7 +78,21 @@ from .semantics import (
     run_witness,
 )
 
-__version__ = "1.0.0"
+#: Batch-witness API is loaded lazily (PEP 562): it is the only part of
+#: the package that needs numpy, and eager loading would tax every CLI
+#: start-up with the numpy import.
+_LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
+
+
+def __getattr__(name):
+    if name in _LAZY_BATCH:
+        from .semantics import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisReport",
@@ -83,6 +100,8 @@ __all__ = [
     "EPS",
     "HALF_EPS",
     "ZERO",
+    "BatchWitnessEngine",
+    "BatchWitnessReport",
     "BeanError",
     "BeanSyntaxError",
     "BeanTypeError",
@@ -106,6 +125,7 @@ __all__ = [
     "parse_type",
     "pretty_program",
     "run_witness",
+    "run_witness_batch",
     "unit_roundoff",
     "__version__",
 ]

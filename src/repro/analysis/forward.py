@@ -25,13 +25,14 @@ yields exactly ``499ε`` — the number NumFuzz reports.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..core import ast_nodes as A
 from ..core.checker import Judgment
-from ..core.deepstack import call_with_deep_stack
 from ..core.errors import BeanTypeError
 from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade, eps_from_roundoff
+from ..ir import lower as L
+from ..ir.cache import semantic_definition_ir
 
 __all__ = ["forward_error_bound", "forward_error_value", "UNBOUNDED"]
 
@@ -220,6 +221,84 @@ class _ForwardAnalyzer:
             return self.analyze(callee.body, frame)
         raise BeanTypeError(f"cannot analyze {expr!r}")
 
+    # -- the iterative IR walker ------------------------------------------
+
+    def analyze_ir(self, ir, env: Dict[str, _Abs]) -> _Abs:
+        """Same abstraction as :meth:`analyze`, as one sweep over the IR."""
+        vals: List[Optional[_Abs]] = [None] * ir.n_slots
+        for p in ir.params:
+            vals[p.slot] = env[p.name]
+        self._sweep_ir(ir.ops, vals)
+        return vals[ir.result]
+
+    def _sweep_ir(self, ops, vals: List) -> None:
+        for op in ops:
+            code = op.code
+            if L.ADD <= code <= L.DMUL:
+                left, right = vals[op.a], vals[op.b]
+                if not isinstance(left, _ANum) or not isinstance(right, _ANum):
+                    raise BeanTypeError("arithmetic on non-numeric abstraction")
+                if code == L.ADD:
+                    vals[op.dest] = _ANum(_err_max(left.err, right.err, 1))
+                elif code == L.SUB:
+                    vals[op.dest] = _ANum(None)  # cancellation
+                elif code == L.DIV:
+                    vals[op.dest] = _ASum(
+                        _ANum(_err_add(left.err, right.err, 1)), _AUnit()
+                    )
+                else:  # MUL / DMUL
+                    vals[op.dest] = _ANum(_err_add(left.err, right.err, 1))
+            elif code == L.DVAR or code == L.BANG:
+                vals[op.dest] = vals[op.a]
+            elif code == L.PAIR:
+                vals[op.dest] = _APair(vals[op.a], vals[op.b])
+            elif code == L.FST or code == L.SND:
+                bound = vals[op.a]
+                if not isinstance(bound, _APair):
+                    raise BeanTypeError("pair elimination of non-pair abstraction")
+                vals[op.dest] = bound.left if code == L.FST else bound.right
+            elif code == L.RND:
+                inner = vals[op.a]
+                if not isinstance(inner, _ANum):
+                    raise BeanTypeError("rnd of non-numeric abstraction")
+                vals[op.dest] = _ANum(None if inner.err is None else inner.err + 1)
+            elif code == L.INL:
+                vals[op.dest] = _ASum(vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = _ASum(None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, _ASum):
+                    raise BeanTypeError("case of non-sum abstraction")
+                result: Optional[_Abs] = None
+                for side, region in zip((scrut.left, scrut.right), op.aux):
+                    if side is None:
+                        continue  # branch unreachable under this abstraction
+                    vals[region.payload] = side
+                    self._sweep_ir(region.ops, vals)
+                    result = _join(result, vals[region.result])
+                if result is None:
+                    raise BeanTypeError("case with no reachable branch")
+                vals[op.dest] = result
+            elif code == L.CALL:
+                name, arg_slots = op.aux
+                if self.program is None or name not in self.program:
+                    raise BeanTypeError(f"call to unknown definition {name!r}")
+                callee = self.program[name]
+                frame = {
+                    p.name: vals[s]
+                    for p, s in zip(callee.params, arg_slots)
+                }
+                vals[op.dest] = self.analyze_ir(
+                    semantic_definition_ir(callee), frame
+                )
+            elif code == L.UNIT:
+                vals[op.dest] = _AUnit()
+            elif code == L.CONST:
+                vals[op.dest] = _ANum(Fraction(0))
+            else:  # pragma: no cover - exhaustive over opcodes
+                raise BeanTypeError(f"cannot analyze opcode {code}")
+
 
 def forward_error_bound(
     definition: A.Definition,
@@ -229,11 +308,13 @@ def forward_error_bound(
 
     The bound is on ``RP(f̃(x), f(x))`` and is returned as a grade in
     ε units; ``None`` means the analyzer cannot bound the error
-    (the program subtracts).
+    (the program subtracts).  The walk is a single iterative sweep over
+    the definition's flat IR, so arbitrarily deep programs analyze under
+    the default recursion limit.
     """
     analyzer = _ForwardAnalyzer(program)
     env = {p.name: _abs_of_type(p.ty) for p in definition.params}
-    result = call_with_deep_stack(analyzer.analyze, definition.body, env)
+    result = analyzer.analyze_ir(semantic_definition_ir(definition), env)
     worst = _worst(result)
     if worst is None:
         return UNBOUNDED

@@ -21,12 +21,13 @@ printed digits on the Table 3 benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core import ast_nodes as A
-from ..core.deepstack import call_with_deep_stack
 from ..core.errors import BeanTypeError
 from ..core.grades import eps_from_roundoff
+from ..ir import lower as L
+from ..ir.cache import semantic_definition_ir
 
 __all__ = ["Interval", "interval_forward_bound", "DEFAULT_RANGE"]
 
@@ -228,6 +229,77 @@ class _IntervalAnalyzer:
             return self.analyze(callee.body, frame)
         raise BeanTypeError(f"cannot analyze {expr!r}")
 
+    # -- the iterative IR walker ------------------------------------------
+
+    def analyze_ir(self, ir, env: Dict[str, _IAbs]) -> _IAbs:
+        """Same abstraction as :meth:`analyze`, as one sweep over the IR."""
+        vals: List[Optional[_IAbs]] = [None] * ir.n_slots
+        for p in ir.params:
+            vals[p.slot] = env[p.name]
+        self._sweep_ir(ir.ops, vals)
+        return vals[ir.result]
+
+    def _sweep_ir(self, ops, vals: List) -> None:
+        for op in ops:
+            code = op.code
+            if L.ADD <= code <= L.DMUL:
+                left, right = vals[op.a], vals[op.b]
+                if not isinstance(left, _INum) or not isinstance(right, _INum):
+                    raise BeanTypeError("arithmetic on non-numeric abstraction")
+                vals[op.dest] = self._op(L.CODE_TO_PRIM[code], left, right)
+            elif code == L.DVAR or code == L.BANG:
+                vals[op.dest] = vals[op.a]
+            elif code == L.PAIR:
+                vals[op.dest] = _IPair(vals[op.a], vals[op.b])
+            elif code == L.FST or code == L.SND:
+                bound = vals[op.a]
+                if not isinstance(bound, _IPair):
+                    raise BeanTypeError("pair elimination of non-pair abstraction")
+                vals[op.dest] = bound.left if code == L.FST else bound.right
+            elif code == L.RND:
+                inner = vals[op.a]
+                if not isinstance(inner, _INum):
+                    raise BeanTypeError("rnd of non-numeric abstraction")
+                rel = math.inf if inner.rel == math.inf else inner.rel + self.eps
+                vals[op.dest] = _INum(inner.interval, rel)
+            elif code == L.INL:
+                vals[op.dest] = _ISum(vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = _ISum(None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, _ISum):
+                    raise BeanTypeError("case of non-sum abstraction")
+                result: Optional[_IAbs] = None
+                for side, region in zip((scrut.left, scrut.right), op.aux):
+                    if side is None:
+                        continue
+                    vals[region.payload] = side
+                    self._sweep_ir(region.ops, vals)
+                    result = _ijoin(result, vals[region.result])
+                if result is None:
+                    raise BeanTypeError("case with no reachable branch")
+                vals[op.dest] = result
+            elif code == L.CALL:
+                name, arg_slots = op.aux
+                if self.program is None or name not in self.program:
+                    raise BeanTypeError(f"call to unknown definition {name!r}")
+                callee = self.program[name]
+                frame = {
+                    p.name: vals[s]
+                    for p, s in zip(callee.params, arg_slots)
+                }
+                vals[op.dest] = self.analyze_ir(
+                    semantic_definition_ir(callee), frame
+                )
+            elif code == L.UNIT:
+                vals[op.dest] = _IUnit()
+            elif code == L.CONST:
+                value = float(op.aux)
+                vals[op.dest] = _INum(Interval(value, value), 0.0)
+            else:  # pragma: no cover - exhaustive over opcodes
+                raise BeanTypeError(f"cannot analyze opcode {code}")
+
     def _op(self, op: A.Op, a: _INum, b: _INum) -> _IAbs:
         eps = self.eps
         if op is A.Op.ADD:
@@ -327,5 +399,5 @@ def interval_forward_bound(
     for p in definition.params:
         rng = ranges.get(p.name, input_range) if ranges else input_range
         env[p.name] = _iabs_of_type(p.ty, rng)
-    result = call_with_deep_stack(analyzer.analyze, definition.body, env)
+    result = analyzer.analyze_ir(semantic_definition_ir(definition), env)
     return _iworst(result)

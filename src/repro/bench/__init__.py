@@ -4,7 +4,24 @@ from .table1 import PAPER_TABLE1, Table1Row, format_table1, run_table1
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, run_table2
 from .table3 import PAPER_TABLE3, TABLE3_U, Table3Row, format_table3, run_table3
 
+# The IR benchmark pulls in numpy and the batch engine; load it lazily
+# (PEP 562) so the table drivers stay numpy-free.
+_LAZY_IRBENCH = ("DEFAULT_SPECS", "IRBenchRow", "format_ir_bench", "run_ir_bench")
+
+
+def __getattr__(name):
+    if name in _LAZY_IRBENCH:
+        from . import irbench
+
+        return getattr(irbench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "DEFAULT_SPECS",
+    "IRBenchRow",
+    "format_ir_bench",
+    "run_ir_bench",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_TABLE3",

@@ -1,0 +1,182 @@
+"""Recursive-AST vs. flat-IR benchmark, plus batch witness throughput.
+
+Three comparisons, over the Table 1 program families:
+
+* **check** — grade inference via the recursive reference engine
+  (deep-stack structural recursion) vs. the iterative IR sweep;
+* **eval**  — approximate evaluation via the recursive interpreter vs.
+  the IR forward sweep;
+* **witness** — ``run_witness`` looped over N environments vs.
+  :class:`repro.semantics.batch.BatchWitnessEngine` on the same N
+  environments, asserting the soundness verdicts agree row-for-row.
+
+Used by ``repro-bean bench`` and ``benchmarks/bench_ir.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import count_flops
+from ..core.checker import check_definition
+from ..lam_s.eval import evaluate
+from ..lam_s.values import Value, VNum, vector_value
+from ..programs.generators import BENCHMARK_FAMILIES
+from ..semantics.batch import BatchWitnessEngine, _leaf_count
+from ..semantics.witness import run_witness
+
+__all__ = ["IRBenchRow", "DEFAULT_SPECS", "run_ir_bench", "format_ir_bench"]
+
+#: Default (family, size, n_envs) cells.
+DEFAULT_SPECS: Tuple[Tuple[str, int, int], ...] = (
+    ("DotProd", 100, 1000),
+    ("Horner", 100, 1000),
+    ("Sum", 100, 1000),
+    ("Sum", 1000, 200),
+    ("PolyVal", 50, 200),
+)
+
+
+@dataclass(frozen=True)
+class IRBenchRow:
+    name: str
+    ops: int
+    check_ast_s: float
+    check_ir_s: float
+    eval_ast_s: float
+    eval_ir_s: float
+    n_envs: int
+    witness_loop_s: Optional[float]
+    witness_batch_s: Optional[float]
+    verdicts_agree: Optional[bool]
+
+    @property
+    def check_speedup(self) -> float:
+        return self.check_ast_s / self.check_ir_s if self.check_ir_s else float("inf")
+
+    @property
+    def eval_speedup(self) -> float:
+        return self.eval_ast_s / self.eval_ir_s if self.eval_ir_s else float("inf")
+
+    @property
+    def batch_speedup(self) -> Optional[float]:
+        if not self.witness_loop_s or not self.witness_batch_s:
+            return None
+        return self.witness_loop_s / self.witness_batch_s
+
+
+def _random_columns(definition, n_envs: int, rng) -> Dict[str, np.ndarray]:
+    columns = {}
+    for p in definition.params:
+        k = _leaf_count(p.ty)
+        shape = (n_envs, k) if k > 1 else (n_envs,)
+        columns[p.name] = rng.uniform(0.5, 4.0, shape)
+    return columns
+
+
+def _row_env(definition, columns, i: int) -> Dict[str, Value]:
+    env = {}
+    for p in definition.params:
+        arr = columns[p.name]
+        if arr.ndim == 1:
+            env[p.name] = VNum(float(arr[i]))
+        else:
+            env[p.name] = vector_value([float(x) for x in arr[i]])
+    return env
+
+
+def run_ir_bench(
+    specs: Sequence[Tuple[str, int, int]] = DEFAULT_SPECS,
+    *,
+    include_batch: bool = True,
+    seed: int = 0,
+) -> List[IRBenchRow]:
+    """Time recursive-AST vs IR paths on each (family, size, n_envs) cell."""
+    rng = np.random.default_rng(seed)
+    rows: List[IRBenchRow] = []
+    for family, size, n_envs in specs:
+        definition = BENCHMARK_FAMILIES[family](size)
+        name = definition.name
+
+        start = time.perf_counter()
+        j_ast = check_definition(definition, engine="recursive")
+        check_ast = time.perf_counter() - start
+        # The definition object is freshly generated, so this is a cold
+        # (cache-miss) lowering + inference timing.
+        start = time.perf_counter()
+        j_ir = check_definition(definition, engine="ir")
+        check_ir = time.perf_counter() - start
+        assert j_ast.max_linear_grade() == j_ir.max_linear_grade()
+
+        columns = _random_columns(definition, max(n_envs, 1), rng)
+        env = _row_env(definition, columns, 0)
+        start = time.perf_counter()
+        v_ast = evaluate(definition.body, env, engine="recursive")
+        eval_ast = time.perf_counter() - start
+        start = time.perf_counter()
+        v_ir = evaluate(definition.body, env, engine="ir")
+        eval_ir = time.perf_counter() - start
+        assert repr(v_ast) == repr(v_ir)
+
+        witness_loop = witness_batch = None
+        agree = None
+        if include_batch:
+            engine = BatchWitnessEngine(definition)
+            engine.run({k: v[:1] for k, v in columns.items()})  # warm caches
+            start = time.perf_counter()
+            batch_report = engine.run(columns)
+            witness_batch = time.perf_counter() - start
+            start = time.perf_counter()
+            loop_sound = []
+            for i in range(n_envs):
+                row = {
+                    p.name: (
+                        list(columns[p.name][i])
+                        if columns[p.name].ndim == 2
+                        else float(columns[p.name][i])
+                    )
+                    for p in definition.params
+                }
+                loop_sound.append(run_witness(definition, row).sound)
+            witness_loop = time.perf_counter() - start
+            agree = list(batch_report.sound) == loop_sound
+
+        rows.append(
+            IRBenchRow(
+                name=name,
+                ops=count_flops(definition.body),
+                check_ast_s=check_ast,
+                check_ir_s=check_ir,
+                eval_ast_s=eval_ast,
+                eval_ir_s=eval_ir,
+                n_envs=n_envs,
+                witness_loop_s=witness_loop,
+                witness_batch_s=witness_batch,
+                verdicts_agree=agree,
+            )
+        )
+    return rows
+
+
+def format_ir_bench(rows: List[IRBenchRow]) -> str:
+    header = (
+        f"{'Benchmark':<14}{'Ops':>8}{'check AST':>11}{'check IR':>10}"
+        f"{'eval AST':>10}{'eval IR':>9}{'N':>6}{'loop':>9}{'batch':>9}"
+        f"{'x':>6}  agree"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        batch_x = f"{r.batch_speedup:.1f}" if r.batch_speedup else "-"
+        loop = f"{r.witness_loop_s:.3f}" if r.witness_loop_s else "-"
+        batch = f"{r.witness_batch_s:.3f}" if r.witness_batch_s else "-"
+        agree = {True: "yes", False: "NO", None: "-"}[r.verdicts_agree]
+        lines.append(
+            f"{r.name:<14}{r.ops:>8}{r.check_ast_s:>11.3f}{r.check_ir_s:>10.3f}"
+            f"{r.eval_ast_s:>10.3f}{r.eval_ir_s:>9.3f}{r.n_envs:>6}"
+            f"{loop:>9}{batch:>9}{batch_x:>6}  {agree}"
+        )
+    return "\n".join(lines)

@@ -10,6 +10,9 @@ Usage examples::
     repro-bean table3
     repro-bean witness examples/bean/dotprod2.bean \\
         --inputs '{"x": [1.5, 2.25], "y": [3.1, -0.7]}'
+    repro-bean witness program.bean --batch \\
+        --inputs '{"x": [[1.0], [2.0], [3.0]]}'
+    repro-bean bench --batch --family Sum --size 100 --envs 1000
 
 ``check`` mirrors the paper's OCaml prototype: given a program with no
 grade annotations it reports, per definition, the inferred type and the
@@ -114,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         help='JSON object mapping parameters to scalars or vectors, e.g. \'{"x": [1, 2]}\'',
     )
     witness.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "treat each input as a whole batch (one row per environment: "
+            "a list of scalars for scalar parameters, a list of vectors "
+            "for vec parameters) and run the vectorized witness engine"
+        ),
+    )
+    witness.add_argument(
         "--precision-bits",
         type=int,
         default=53,
@@ -123,6 +135,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--u",
         default=None,
         help="unit roundoff for the bound check (default: 2^-precision_bits)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the flat-IR engine against the recursive reference",
+    )
+    bench.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        help="benchmark family to run (repeatable; default: a standard mix)",
+    )
+    bench.add_argument(
+        "--size", type=int, default=100, help="input size for --family cells"
+    )
+    bench.add_argument(
+        "--envs",
+        type=int,
+        default=1000,
+        help="number of witness environments per cell",
+    )
+    bench.add_argument(
+        "--batch",
+        action="store_true",
+        help="include batched vs. looped witness throughput (the slow part)",
     )
     return parser
 
@@ -211,15 +248,66 @@ def _cmd_witness(args: argparse.Namespace) -> int:
 
     with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
+    if args.name and args.name not in program:
+        print(
+            f"error: no definition named {args.name!r} in {args.file}",
+            file=sys.stderr,
+        )
+        return 1
     definition = program[args.name] if args.name else program.main
-    inputs = json.loads(args.inputs)
-    u = _parse_roundoff(args.u) if args.u else 2.0 ** -args.precision_bits
-    lens = lens_of_program(program, definition.name)
-    lens.precision_bits = args.precision_bits
-    report = run_witness(definition, inputs, program=program, lens=lens, u=u)
+    # Input data is user-supplied: render shape/JSON/missing-parameter
+    # problems as CLI errors, not tracebacks.
+    try:
+        inputs = json.loads(args.inputs)
+        u = _parse_roundoff(args.u) if args.u else 2.0 ** -args.precision_bits
+        lens = lens_of_program(program, definition.name)
+        lens.precision_bits = args.precision_bits
+        if args.batch:
+            from .semantics.batch import run_witness_batch
+
+            report = run_witness_batch(
+                definition, inputs, program=program, u=u, lens=lens
+            )
+            print(report.describe())
+            print(f"soundness theorem holds on all rows: {report.all_sound}")
+            return 0 if report.all_sound else 2
+        report = run_witness(definition, inputs, program=program, lens=lens, u=u)
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
     print(report.describe())
     print(f"soundness theorem holds on this run: {report.sound}")
     return 0 if report.sound else 2
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.irbench import DEFAULT_SPECS, format_ir_bench, run_ir_bench
+
+    if args.envs < 1:
+        print("error: --envs must be at least 1", file=sys.stderr)
+        return 1
+    if args.family:
+        from .programs.generators import BENCHMARK_FAMILIES
+
+        for family in args.family:
+            if family not in BENCHMARK_FAMILIES:
+                known = ", ".join(sorted(BENCHMARK_FAMILIES))
+                print(
+                    f"error: unknown benchmark family {family!r} "
+                    f"(choose from {known})",
+                    file=sys.stderr,
+                )
+                return 1
+        specs = [(family, args.size, args.envs) for family in args.family]
+    else:
+        specs = list(DEFAULT_SPECS)
+    rows = run_ir_bench(specs, include_batch=args.batch)
+    print(format_ir_bench(rows))
+    if args.batch and not all(r.verdicts_agree for r in rows):
+        print("error: batch and looped witness verdicts disagree", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -243,6 +331,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
     judgments = check_program(program)
+    if args.name and args.name not in program:
+        print(
+            f"error: no definition named {args.name!r} in {args.file}",
+            file=sys.stderr,
+        )
+        return 1
     definition = program[args.name] if args.name else program.main
     judgment = judgments[definition.name]
     names = (
@@ -290,10 +384,14 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "witness": _cmd_witness,
+    "bench": _cmd_bench,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .lam_s.eval import EvalError
+    from .semantics.lens import LensDomainError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -302,6 +400,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (EvalError, LensDomainError) as exc:
+        # Runtime failures of a witness/eval run (ill-shaped inputs,
+        # backward map outside its domain).
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:

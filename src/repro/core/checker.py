@@ -343,22 +343,59 @@ def infer(
     skeleton: Optional[Skeleton] = None,
     judgments: Optional[Mapping[str, Judgment]] = None,
 ) -> Tuple[LinearContext, Type]:
-    """Infer the tightest context and type of a bare expression."""
+    """Infer the tightest context and type of a bare expression.
+
+    This entry point runs the recursive reference engine (the rule-by-rule
+    transcription of Figure 7); whole definitions go through the iterative
+    IR path of :func:`check_definition` instead.
+    """
     engine = InferenceEngine(judgments)
     return call_with_deep_stack(
         engine.infer, expr, phi or DiscreteContext(), skeleton or Skeleton()
     )
 
 
+#: Identity-keyed cache of judgments for call-free checks (lazy import of
+#: repro.ir avoids a module cycle).
+_JUDGMENT_CACHE = None
+
+
+def _judgment_cache():
+    global _JUDGMENT_CACHE
+    if _JUDGMENT_CACHE is None:
+        from ..ir.cache import IdentityCache
+
+        _JUDGMENT_CACHE = IdentityCache(lambda d: _check_definition_uncached(d, None, "ir"))
+    return _JUDGMENT_CACHE
+
+
 def check_definition(
     definition: A.Definition,
     judgments: Optional[Mapping[str, Judgment]] = None,
+    *,
+    engine: str = "ir",
 ) -> Judgment:
     """Check one definition and infer its judgment.
 
     Parameters annotated with a discrete type enter Φ; the rest form the
     skeleton Γ• whose tightest grades the algorithm infers.
+
+    ``engine`` selects the inference implementation: ``"ir"`` (default)
+    compiles the body to the flat IR and runs grade inference as a single
+    reverse sweep — fully iterative, so Sum 10000 checks under the default
+    recursion limit; ``"recursive"`` runs the structural reference engine
+    on a deep auxiliary stack.  Both produce identical judgments.
     """
+    if engine == "ir" and not judgments:
+        return _judgment_cache().get(definition)
+    return _check_definition_uncached(definition, judgments, engine)
+
+
+def _check_definition_uncached(
+    definition: A.Definition,
+    judgments: Optional[Mapping[str, Judgment]],
+    engine: str,
+) -> Judgment:
     phi = DiscreteContext()
     skel = Skeleton()
     for p in definition.params:
@@ -370,8 +407,15 @@ def check_definition(
             phi = phi.bind(p.name, p.ty)
         else:
             skel = skel.bind(p.name, p.ty)
-    engine = InferenceEngine(judgments)
-    ctx, ty = call_with_deep_stack(engine.infer, definition.body, phi, skel)
+    if engine == "ir":
+        from ..ir.infer import infer_definition_ir
+
+        ctx, ty, _ir = infer_definition_ir(definition, judgments)
+    elif engine == "recursive":
+        rec = InferenceEngine(judgments)
+        ctx, ty = call_with_deep_stack(rec.infer, definition.body, phi, skel)
+    else:
+        raise ValueError(f"unknown inference engine {engine!r}")
     if definition.declared_result is not None and definition.declared_result != ty:
         raise BeanTypeError(
             f"{definition.name!r} declares result type "
@@ -396,9 +440,33 @@ def check_definition(
     return judgment
 
 
-def check_program(program: A.Program) -> Dict[str, Judgment]:
-    """Check every definition in order; later defs may call earlier ones."""
+#: Identity-keyed cache of whole-program check results.
+_PROGRAM_CACHE = None
+
+
+def check_program(program: A.Program, *, engine: str = "ir") -> Dict[str, Judgment]:
+    """Check every definition in order; later defs may call earlier ones.
+
+    Results for the default engine are cached by program identity, so
+    repeatedly building lenses / witnesses over the same parsed program
+    re-checks nothing.
+    """
+    if engine == "ir":
+        global _PROGRAM_CACHE
+        if _PROGRAM_CACHE is None:
+            from ..ir.cache import IdentityCache
+
+            _PROGRAM_CACHE = IdentityCache(_check_program_uncached)
+        return _PROGRAM_CACHE.get(program)
+    return _check_program_uncached(program, engine=engine)
+
+
+def _check_program_uncached(
+    program: A.Program, engine: str = "ir"
+) -> Dict[str, Judgment]:
     judgments: Dict[str, Judgment] = {}
     for definition in program:
-        judgments[definition.name] = check_definition(definition, judgments)
+        judgments[definition.name] = check_definition(
+            definition, judgments, engine=engine
+        )
     return judgments

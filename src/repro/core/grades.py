@@ -11,11 +11,18 @@ only ever add ``eps`` or ``eps/2``), so we represent grades *exactly* as a
 exact — the tool reports ``3ε/2`` rather than an approximation — and defers
 floating point to the moment a numeric bound is printed for a concrete unit
 roundoff.
+
+Grade arithmetic is the checker's inner loop (one shift per primitive
+operation, millions of them on the deep benchmarks), so the class is tuned
+accordingly: ``__slots__`` instances, a lazily cached hash, fast paths in
+``__add__``/comparisons that skip re-validation when both operands are
+already grades, and an intern table for the small half-integer coefficients
+the primitive rules actually produce, so ``Grade(0) is ZERO`` and repeated
+shifts reuse one object instead of allocating a ``Fraction`` per op.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Union
 
@@ -52,28 +59,84 @@ def eps_from_roundoff(u: float) -> float:
     return u / (1.0 - u)
 
 
-@dataclass(frozen=True, order=False)
 class Grade:
     """A backward error grade ``coeff * eps`` with an exact coefficient.
 
     Supports the operations Bean's type system needs: sum (monoid
     operation), ``max`` via comparison, and the preorder ``<=``.
+    Instances are immutable; common small coefficients are interned.
     """
 
-    coeff: Fraction
+    __slots__ = ("coeff", "_hash")
 
-    def __init__(self, coeff: _CoeffLike = 0) -> None:
-        if isinstance(coeff, Grade):
+    def __new__(cls, coeff: _CoeffLike = 0) -> "Grade":
+        if type(coeff) is Grade:
+            return coeff
+        if isinstance(coeff, Grade):  # a subclass instance: copy the coeff
             coeff = coeff.coeff
-        coeff = Fraction(coeff)
+        if type(coeff) is not Fraction:
+            coeff = Fraction(coeff)
         if coeff < 0:
             raise ValueError(f"grades must be non-negative, got {coeff}")
+        interned = _INTERNED.get(coeff)
+        if interned is not None:
+            return interned
+        return cls._build(coeff)
+
+    @classmethod
+    def _build(cls, coeff: Fraction) -> "Grade":
+        self = object.__new__(cls)
         object.__setattr__(self, "coeff", coeff)
+        object.__setattr__(self, "_hash", None)
+        return self
+
+    @staticmethod
+    def _make(coeff: Fraction) -> "Grade":
+        """Internal fast constructor for already-validated coefficients."""
+        interned = _INTERNED.get(coeff)
+        if interned is not None:
+            return interned
+        return Grade._build(coeff)
+
+    # -- immutability ------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError(f"Grade is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Grade is immutable; cannot delete {name!r}")
+
+    # -- equality / hashing ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, Grade):
+            return self.coeff == other.coeff
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Grade):
+            return self.coeff != other.coeff
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((Grade, self.coeff))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # -- monoid ------------------------------------------------------------
 
     def __add__(self, other: _CoeffLike) -> "Grade":
-        return Grade(self.coeff + Grade(other).coeff)
+        if type(other) is Grade:
+            if other.coeff == 0:
+                return self
+            if self.coeff == 0:
+                return other
+            return Grade._make(self.coeff + other.coeff)
+        return Grade._make(self.coeff + Grade(other).coeff)
 
     __radd__ = __add__
 
@@ -85,15 +148,23 @@ class Grade:
     # -- preorder ----------------------------------------------------------
 
     def __le__(self, other: _CoeffLike) -> bool:
+        if type(other) is Grade:
+            return self.coeff <= other.coeff
         return self.coeff <= Grade(other).coeff
 
     def __lt__(self, other: _CoeffLike) -> bool:
+        if type(other) is Grade:
+            return self.coeff < other.coeff
         return self.coeff < Grade(other).coeff
 
     def __ge__(self, other: _CoeffLike) -> bool:
+        if type(other) is Grade:
+            return self.coeff >= other.coeff
         return self.coeff >= Grade(other).coeff
 
     def __gt__(self, other: _CoeffLike) -> bool:
+        if type(other) is Grade:
+            return self.coeff > other.coeff
         return self.coeff > Grade(other).coeff
 
     # -- rendering & evaluation ---------------------------------------------
@@ -125,6 +196,20 @@ class Grade:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Grade({self.coeff!r})"
 
+    def __reduce__(self):
+        return (Grade, (self.coeff,))
+
+
+#: Interned grades: the half-integer coefficients the primitive rules emit.
+#: (Shifts on deep programs revisit these constantly; larger sums fall out
+#: of the table and allocate normally.)
+_INTERNED = {}
+for _n in range(0, 129):
+    for _d in (1, 2):
+        _f = Fraction(_n, _d)
+        if _f not in _INTERNED:
+            _INTERNED[_f] = Grade._build(_f)
+del _n, _d, _f
 
 #: The zero grade (no backward error may be assigned).
 ZERO = Grade(0)

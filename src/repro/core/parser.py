@@ -187,7 +187,25 @@ class _Parser:
     def parse_expr(self) -> A.Expr:
         tok = self.peek()
         if tok.is_keyword("let") or tok.is_keyword("dlet"):
-            return self.parse_let(discrete=tok.is_keyword("dlet"))
+            # Iterate over the let-spine instead of recursing: benchmark
+            # programs chain thousands of binders, and the rest of the
+            # pipeline (IR lowering, sweeps) is iterative too.
+            frames = []
+            while True:
+                tok = self.peek()
+                if not (tok.is_keyword("let") or tok.is_keyword("dlet")):
+                    break
+                discrete = tok.is_keyword("dlet")
+                self.advance()  # let / dlet
+                pattern = self.parse_pattern()
+                self.expect_symbol("=")
+                bound = self.parse_expr()
+                self.expect_keyword("in")
+                frames.append((pattern, bound, discrete))
+            expr = self.parse_expr()
+            for pattern, bound, discrete in reversed(frames):
+                expr = bind_pattern(pattern, bound, expr, discrete=discrete)
+            return expr
         if tok.is_keyword("case"):
             return self.parse_case()
         if tok.kind == TokenKind.KEYWORD and tok.text in _OPS:
@@ -250,15 +268,6 @@ class _Parser:
             elif t.kind == TokenKind.EOF:
                 return False
         return False
-
-    def parse_let(self, discrete: bool) -> A.Expr:
-        self.advance()  # let / dlet
-        pattern = self.parse_pattern()
-        self.expect_symbol("=")
-        bound = self.parse_expr()
-        self.expect_keyword("in")
-        body = self.parse_expr()
-        return bind_pattern(pattern, bound, body, discrete=discrete)
 
     def parse_case(self) -> A.Expr:
         self.expect_keyword("case")

@@ -1,0 +1,74 @@
+"""Identity-keyed program caches for lowered IR.
+
+Lowering is linear in program size, but hot loops (the witness runner,
+the benchmark drivers, repeated CLI invocations on the same parsed
+program) re-analyze the *same* ``Definition`` object thousands of times.
+These caches key on object identity — definitions are immutable ASTs, so
+identity is the right equality, and hashing a 10000-deep expression tree
+(which structural equality would require) is exactly the recursion this
+package exists to avoid.  A weak reference per entry evicts the cache
+line when the definition is garbage collected, so ``id`` reuse cannot
+serve stale programs.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Tuple
+
+from ..core import ast_nodes as A
+from .lower import IRProgram, lower_definition, lower_expr
+
+__all__ = [
+    "IdentityCache",
+    "semantic_definition_ir",
+    "semantic_expr_ir",
+    "clear_caches",
+]
+
+
+class IdentityCache:
+    """Map arbitrary (weakref-able) objects to built values by identity."""
+
+    def __init__(self, build: Callable):
+        self._build = build
+        self._entries: Dict[int, Tuple[Callable, object]] = {}
+
+    def get(self, obj):
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is obj:
+            return entry[1]
+        value = self._build(obj)
+        try:
+            ref = weakref.ref(obj, lambda _r, k=key, e=self._entries: e.pop(k, None))
+        except TypeError:  # un-weakref-able object: never evict, pin it
+            ref = (lambda o: (lambda: o))(obj)
+        self._entries[key] = (ref, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_SEMANTIC_DEFS = IdentityCache(lambda d: lower_definition(d, checked=False))
+_SEMANTIC_EXPRS = IdentityCache(lambda e: lower_expr(e))
+
+
+def semantic_definition_ir(definition: A.Definition) -> IRProgram:
+    """The (cached) semantic-mode IR of a definition."""
+    return _SEMANTIC_DEFS.get(definition)
+
+
+def semantic_expr_ir(expr: A.Expr) -> IRProgram:
+    """The (cached) semantic-mode IR of a bare expression."""
+    return _SEMANTIC_EXPRS.get(expr)
+
+
+def clear_caches() -> None:
+    """Drop every cached program (tests / memory pressure)."""
+    _SEMANTIC_DEFS.clear()
+    _SEMANTIC_EXPRS.clear()

@@ -1,0 +1,230 @@
+"""Backward error grade inference as a reverse sweep over the flat IR.
+
+This is the algorithmic content of Figure 7, re-stated on the lowered
+program.  Define ``out[s]`` — the *outgoing grade* of slot ``s`` — as the
+backward error the rest of the computation may assign to the value in
+``s`` (the ``r`` of the Let rule).  The result slot starts at 0, and one
+reverse pass propagates:
+
+* ``add``/``sub`` charge each operand ``out + ε``; ``mul``/``div`` charge
+  ``out + ε/2``; ``dmul`` charges its discrete operand ``out`` (the DMul
+  rule leaves that context unshifted) and its linear operand ``out + ε``;
+  ``rnd`` charges ``out + ε`` (the §2.2.1 extension);
+* structural ops (``pair``, ``inl``/``inr``, ``!``) pass ``out`` through
+  unchanged;
+* the two projections of a ``let (x, y) = …`` combine into the bound
+  slot by **max** — exactly the ``r = max(r_x, r_y)`` of the ⊗E rule;
+* a ``case`` seeds both branch regions with its own ``out``, takes
+  ``q = max`` of the payload slots' grades for the scrutinee (+E), and
+  contributions to any outer slot from the two branches combine by max
+  (the algorithmic ``merge_max``);
+* a ``call`` charges each argument ``out`` plus the callee judgment's
+  inferred grade for the corresponding linear parameter — typing a call
+  compositionally, like the recursive checker;
+* discrete variable reads (``dvar``) propagate nothing: the DVar rule
+  produces the empty context, so a ``dlet`` binding is a propagation
+  barrier.
+
+Because Bean is strictly linear, every slot has at most one consumer per
+control path, so "combine" degenerates to a single assignment except in
+the two max cases above — which is why one sweep infers the *tightest*
+context, matching the recursive engine grade-for-grade (the parity tests
+in ``tests/test_ir.py`` check this on randomized programs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from ..core import ast_nodes as A
+from ..core.context import Binding, LinearContext
+from ..core.grades import EPS, HALF_EPS, ZERO, Grade
+from ..core.types import Type, is_discrete
+from . import lower as L
+from .lower import IRProgram, lower_definition
+
+__all__ = ["sweep_grades", "infer_definition_ir"]
+
+
+def _sweep_halves(ir: IRProgram, judgments: Mapping) -> Optional[List[Optional[int]]]:
+    """Grade sweep in integer half-ε units — the common-case fast path.
+
+    Every grade the primitive rules produce is a multiple of ε/2, so the
+    whole sweep runs on machine integers (one add + one compare per op)
+    instead of allocating a ``Fraction`` per op.  Returns ``None`` if a
+    callee judgment carries a grade outside the half-integer lattice
+    (impossible for inferred judgments, but the exact sweep remains the
+    fallback of record).
+    """
+    out: List[Optional[int]] = [None] * ir.n_slots
+    call_halves: dict = {}
+
+    def halves_of(grade: Grade) -> Optional[int]:
+        coeff = grade.coeff
+        if coeff.denominator == 1:
+            return 2 * coeff.numerator
+        if coeff.denominator == 2:
+            return coeff.numerator
+        return None
+
+    def comb(slot: int, h: int) -> None:
+        cur = out[slot]
+        if cur is None or h > cur:
+            out[slot] = h
+
+    def sweep(ops, result_slot: int, seed: int) -> bool:
+        comb(result_slot, seed)
+        for op in reversed(ops):
+            code = op.code
+            g = out[op.dest]
+            if g is None:
+                g = 0
+            if code == L.ADD or code == L.SUB:
+                comb(op.a, g + 2)
+                comb(op.b, g + 2)
+            elif code == L.MUL or code == L.DIV:
+                comb(op.a, g + 1)
+                comb(op.b, g + 1)
+            elif code == L.DMUL:
+                comb(op.a, g)
+                comb(op.b, g + 2)
+            elif code == L.RND:
+                comb(op.a, g + 2)
+            elif code in (L.PAIR, L.INL, L.INR, L.BANG):
+                comb(op.a, g)
+                if code == L.PAIR:
+                    comb(op.b, g)
+            elif code == L.FST or code == L.SND:
+                comb(op.a, g)
+            elif code == L.CASE:
+                left, right = op.aux
+                if not sweep(left.ops, left.result, g):
+                    return False
+                if not sweep(right.ops, right.result, g):
+                    return False
+                # +E: the scrutinee absorbs q = max over the payload
+                # grades.  An *unused* payload still carries the case's
+                # own outgoing grade g (the branch assigns it 0, and the
+                # enclosing shift applies on top), so g — not 0 — is the
+                # default for an unconsumed payload slot.
+                q = g
+                for payload in (left.payload, right.payload):
+                    h = out[payload]
+                    if h is not None and h > q:
+                        q = h
+                comb(op.a, q)
+            elif code == L.CALL:
+                name, arg_slots = op.aux
+                shifts = call_halves.get(name)
+                if shifts is None:
+                    judgment = judgments[name]
+                    shifts = []
+                    for param in judgment.params:
+                        if is_discrete(param.ty):
+                            shifts.append(0)
+                        else:
+                            h = halves_of(judgment.grade_of(param.name))
+                            if h is None:
+                                return False
+                            shifts.append(h)
+                    call_halves[name] = shifts
+                for slot, shift in zip(arg_slots, shifts):
+                    comb(slot, g + shift)
+        return True
+
+    if not sweep(ir.ops, ir.result, 0):
+        return None
+    return out
+
+
+def sweep_grades(ir: IRProgram, judgments: Optional[Mapping] = None) -> List[Grade]:
+    """Per-slot outgoing grades of a checked IR program (reverse sweep)."""
+    judgments = judgments or {}
+    out: List[Optional[Grade]] = [None] * ir.n_slots
+
+    def comb(slot: int, grade: Grade) -> None:
+        cur = out[slot]
+        if cur is None or grade.coeff > cur.coeff:
+            out[slot] = grade
+
+    def sweep(ops, result_slot: int, seed: Grade) -> None:
+        comb(result_slot, seed)
+        for op in reversed(ops):
+            code = op.code
+            g = out[op.dest]
+            if g is None:
+                g = ZERO
+            if code == L.ADD or code == L.SUB:
+                ge = g + EPS
+                comb(op.a, ge)
+                comb(op.b, ge)
+            elif code == L.MUL or code == L.DIV:
+                gh = g + HALF_EPS
+                comb(op.a, gh)
+                comb(op.b, gh)
+            elif code == L.DMUL:
+                comb(op.a, g)
+                comb(op.b, g + EPS)
+            elif code == L.RND:
+                comb(op.a, g + EPS)
+            elif code in (L.PAIR, L.INL, L.INR, L.BANG):
+                comb(op.a, g)
+                if code == L.PAIR:
+                    comb(op.b, g)
+            elif code == L.FST or code == L.SND:
+                comb(op.a, g)  # comb is max: r = max(r_fst, r_snd) (⊗E)
+            elif code == L.CASE:
+                left, right = op.aux
+                sweep(left.ops, left.result, g)
+                sweep(right.ops, right.result, g)
+                # Unused payloads default to g, not 0 (see _sweep_halves).
+                q_left = out[left.payload]
+                q_right = out[right.payload]
+                q = g
+                if q_left is not None and q_left.coeff > q.coeff:
+                    q = q_left
+                if q_right is not None and q_right.coeff > q.coeff:
+                    q = q_right
+                comb(op.a, q)
+            elif code == L.CALL:
+                name, arg_slots = op.aux
+                judgment = judgments[name]
+                for slot, param in zip(arg_slots, judgment.params):
+                    if is_discrete(param.ty):
+                        comb(slot, g)
+                    else:
+                        comb(slot, g + judgment.grade_of(param.name))
+            # DVAR, CONST, UNIT: no propagation (DVar yields the empty
+            # context; unit/constants bind nothing).
+
+    sweep(ir.ops, ir.result, ZERO)
+    return [g if g is not None else ZERO for g in out]
+
+
+def infer_definition_ir(
+    definition: A.Definition,
+    judgments: Optional[Mapping] = None,
+) -> Tuple[LinearContext, Type, IRProgram]:
+    """``Φ | Γ•; body ⇒ Γ; σ`` via the flat IR (no deep recursion).
+
+    Returns the tightest inferred linear context (exactly the linear
+    parameters the body uses, like the recursive engine), the result
+    type, and the checked IR program.
+    """
+    ir = lower_definition(definition, checked=True, judgments=judgments)
+    halves = _sweep_halves(ir, judgments or {})
+    bindings = {}
+    if halves is not None:
+        from fractions import Fraction
+
+        for p in ir.params:
+            if not p.discrete and p.name in ir.used_params:
+                h = halves[p.slot]
+                grade = ZERO if not h else Grade(Fraction(h, 2))
+                bindings[p.name] = Binding(grade, p.ty)
+    else:  # exotic callee grades: exact Fraction sweep
+        grades = sweep_grades(ir, judgments)
+        for p in ir.params:
+            if not p.discrete and p.name in ir.used_params:
+                bindings[p.name] = Binding(grades[p.slot], p.ty)
+    return LinearContext(bindings), ir.types[ir.result], ir

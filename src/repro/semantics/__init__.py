@@ -41,3 +41,17 @@ from .spaces import (
 from .witness import ParamWitness, WitnessReport, env_from_pythons, run_witness
 
 __all__ = [name for name in dir() if not name.startswith("_")]
+
+# The batch engine is the only numpy consumer in the package; load it
+# lazily (PEP 562) so plain checking/witnessing never pays the numpy
+# import.
+_LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
+__all__ += list(_LAZY_BATCH)
+
+
+def __getattr__(name):
+    if name in _LAZY_BATCH:
+        from . import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

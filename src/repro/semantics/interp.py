@@ -29,13 +29,14 @@ witnesses for concrete runs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core import ast_nodes as A
 from ..core.checker import Judgment, check_program
-from ..core.deepstack import call_with_deep_stack
 from ..core.types import is_discrete
-from ..lam_s.eval import _Interp
+from ..ir import lower as L
+from ..ir.cache import semantic_definition_ir
+from ..lam_s.eval import _Interp, _IRInterp
 from ..lam_s.values import (
     UNIT_VALUE,
     Value,
@@ -250,11 +251,201 @@ class _LensInterp:
         raise LensDomainError(f"cannot interpret {expr!r}")
 
 
+class _PartialPair:
+    """A pair target under construction (projections arrive separately).
+
+    The reverse sweep meets ``snd`` before ``fst``; each contributes one
+    component.  Unset components default to the forward value when the
+    target is materialized — exactly the ``mods.pop(x, approx.left)``
+    defaults of the recursive interpreter.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self):
+        self.left = None
+        self.right = None
+
+
+class _IRBackward:
+    """The backward lens pass as a reverse sweep over the flat IR.
+
+    One forward sweep records every slot's approximate value; one reverse
+    sweep threads targets from the result slot back to the parameter
+    slots, applying the primitive witness constructions of
+    :mod:`repro.semantics.primitives` at arithmetic ops.  This replaces
+    the mutual recursion of :class:`_LensInterp` — and its per-``let``
+    re-evaluation of the approximate semantics, which made the recursive
+    backward map quadratic in program depth — with two linear passes.
+    Targets, defaults, discrete-variable domain checks, and the values
+    produced are identical to the recursive interpreter's (same Decimal
+    kernels, same operand values, same composition order).
+    """
+
+    def __init__(
+        self,
+        program: Optional[A.Program],
+        precision: int,
+        rounding: str = "nearest",
+        seed: int = 0,
+        precision_bits: int = 53,
+    ) -> None:
+        self.program = program
+        self.interp = _IRInterp(
+            "approx", program, precision, rounding, seed, precision_bits
+        )
+
+    def run(self, ir, env: Env, target: Value) -> Mods:
+        vals = self.interp.run_ir_vals(ir, dict(env))
+        targets: List = [None] * ir.n_slots
+        targets[ir.result] = target
+        self._sweep(ir.ops, vals, targets)
+        mods: Mods = {}
+        for p in ir.params:
+            if p.discrete:
+                continue
+            t = targets[p.slot]
+            if t is not None:
+                mods[p.name] = _materialize(t, vals[p.slot])
+        return mods
+
+    def _sweep(self, ops, vals: List, targets: List) -> None:
+        for op in reversed(ops):
+            code = op.code
+            dest = op.dest
+            if L.ADD <= code <= L.DMUL:
+                t = _get_target(targets, vals, dest)
+                left, right = vals[op.a], vals[op.b]
+                if not isinstance(left, VNum) or not isinstance(right, VNum):
+                    raise LensDomainError("arithmetic on non-numbers")
+                x1 = left.as_decimal()
+                x2 = right.as_decimal()
+                if code == L.ADD:
+                    b1, b2 = add_backward(x1, x2, t.as_decimal())
+                elif code == L.SUB:
+                    b1, b2 = sub_backward(x1, x2, t.as_decimal())
+                elif code == L.MUL:
+                    b1, b2 = mul_backward(x1, x2, t.as_decimal())
+                elif code == L.DMUL:
+                    b1, b2 = dmul_backward(x1, x2, t.as_decimal())
+                else:
+                    b1, b2 = div_backward(x1, x2, t)
+                targets[op.a] = VNum(b1)
+                targets[op.b] = VNum(b2)
+            elif code == L.DVAR:
+                t = targets[dest]
+                if t is not None:
+                    current = vals[dest]
+                    t = _materialize(t, current)
+                    if not values_close(current, t):
+                        raise LensDomainError(
+                            f"discrete variable {op.aux!r} cannot absorb "
+                            f"error: {current!r} vs target {t!r}"
+                        )
+            elif code == L.BANG or code == L.RND:
+                # ⟦!e⟧ = η ∘ ⟦e⟧ with η the identity (Definition B.2);
+                # L_rnd = (id, fl, b) with b(x, y) = y.
+                targets[op.a] = _get_target(targets, vals, dest)
+            elif code == L.PAIR:
+                t = _get_target(targets, vals, dest)
+                if not isinstance(t, VPair):
+                    raise LensDomainError(f"pair target expected, got {t!r}")
+                targets[op.a] = t.left
+                targets[op.b] = t.right
+            elif code == L.FST or code == L.SND:
+                partial = targets[op.a]
+                if not isinstance(partial, _PartialPair):
+                    partial = _PartialPair()
+                    targets[op.a] = partial
+                component = _get_target(targets, vals, dest)
+                if code == L.FST:
+                    partial.left = component
+                else:
+                    partial.right = component
+            elif code == L.INL or code == L.INR:
+                t = _get_target(targets, vals, dest)
+                if code == L.INL:
+                    if not isinstance(t, VInl):
+                        raise LensDomainError(
+                            "inl value vs. non-inl target (infinite distance)"
+                        )
+                else:
+                    if not isinstance(t, VInr):
+                        raise LensDomainError(
+                            "inr value vs. non-inr target (infinite distance)"
+                        )
+                targets[op.a] = t.body
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if isinstance(scrut, VInl):
+                    region, rebuild = op.aux[0], VInl
+                elif isinstance(scrut, VInr):
+                    region, rebuild = op.aux[1], VInr
+                else:
+                    raise LensDomainError(f"case scrutinee not a sum: {scrut!r}")
+                targets[region.result] = _get_target(targets, vals, dest)
+                self._sweep(region.ops, vals, targets)
+                payload_t = _get_target(targets, vals, region.payload)
+                targets[op.a] = rebuild(payload_t)
+            elif code == L.CALL:
+                self._call(op, vals, targets)
+            # UNIT / CONST: nothing flows backward.
+
+    def _call(self, op, vals: List, targets: List) -> None:
+        name, arg_slots = op.aux
+        if self.program is None or name not in self.program:
+            raise LensDomainError(f"call to unknown definition {name!r}")
+        callee = self.program[name]
+        callee_ir = semantic_definition_ir(callee)
+        frame = {
+            p.name: vals[s] for p, s in zip(callee.params, arg_slots)
+        }
+        callee_vals = self.interp.run_ir_vals(callee_ir, frame)
+        callee_targets: List = [None] * callee_ir.n_slots
+        callee_targets[callee_ir.result] = _get_target(targets, vals, op.dest)
+        self._sweep(callee_ir.ops, callee_vals, callee_targets)
+        for ir_param, arg_slot in zip(callee_ir.params, arg_slots):
+            t = callee_targets[ir_param.slot]
+            if t is None or ir_param.discrete:
+                # Discrete parameters absorb nothing (Definition B.2):
+                # the argument's target is its own approximant.
+                targets[arg_slot] = callee_vals[ir_param.slot]
+            else:
+                targets[arg_slot] = _materialize(t, callee_vals[ir_param.slot])
+
+
+def _get_target(targets: List, vals: List, slot: int) -> Value:
+    t = targets[slot]
+    if t is None:
+        return vals[slot]
+    if isinstance(t, _PartialPair):
+        return _materialize(t, vals[slot])
+    return t
+
+
+def _materialize(t, fallback: Value) -> Value:
+    if t is None:
+        return fallback
+    if isinstance(t, _PartialPair):
+        if not isinstance(fallback, VPair):
+            raise LensDomainError(f"let-pair of non-pair {fallback!r}")
+        return VPair(
+            _materialize(t.left, fallback.left),
+            _materialize(t.right, fallback.right),
+        )
+    return t
+
+
 class BeanLens:
     """The executable lens of a checked Bean definition.
 
     Environments are dictionaries mapping parameter names to
     :class:`~repro.lam_s.values.Value` trees matching the parameter types.
+
+    ``engine`` selects the implementation of the three maps: ``"ir"``
+    (default) runs iterative sweeps over the flat IR — no deep-stack
+    worker, linear-time backward map; ``"recursive"`` runs the structural
+    reference interpreters.  The two are value-identical.
     """
 
     def __init__(
@@ -266,6 +457,7 @@ class BeanLens:
         rounding: str = "nearest",
         seed: int = 0,
         precision_bits: int = 53,
+        engine: str = "ir",
     ) -> None:
         self.definition = definition
         self.judgment = judgment
@@ -274,6 +466,7 @@ class BeanLens:
         self.rounding = rounding
         self.seed = seed
         self.precision_bits = precision_bits
+        self.engine = engine
         self.discrete_params = frozenset(
             p.name for p in definition.params if is_discrete(p.ty)
         )
@@ -281,21 +474,39 @@ class BeanLens:
             p.name for p in definition.params if not is_discrete(p.ty)
         )
 
+    @property
+    def ir(self):
+        """The (cached) semantic IR of this lens's definition."""
+        return semantic_definition_ir(self.definition)
+
     # -- the three maps -------------------------------------------------------
 
     def ideal(self, env: Env) -> Value:
         """``f`` — exact real (high-precision) evaluation."""
-        interp = _Interp("ideal", self.program, self.precision)
-        return call_with_deep_stack(interp.run, self.definition.body, dict(env))
+        if self.engine == "recursive":
+            from ..core.deepstack import call_with_deep_stack
+
+            interp = _Interp("ideal", self.program, self.precision)
+            return call_with_deep_stack(interp.run, self.definition.body, dict(env))
+        interp = _IRInterp("ideal", self.program, self.precision)
+        return interp.run_ir(self.ir, dict(env))
 
     def approx(self, env: Env) -> Value:
         """``f̃`` — IEEE binary64 evaluation (seeded stochastic rounding
         if configured)."""
-        interp = _Interp(
+        if self.engine == "recursive":
+            from ..core.deepstack import call_with_deep_stack
+
+            interp = _Interp(
+                "approx", self.program, self.precision, self.rounding,
+                self.seed, self.precision_bits,
+            )
+            return call_with_deep_stack(interp.run, self.definition.body, dict(env))
+        interp = _IRInterp(
             "approx", self.program, self.precision, self.rounding, self.seed,
             self.precision_bits,
         )
-        return call_with_deep_stack(interp.run, self.definition.body, dict(env))
+        return interp.run_ir(self.ir, dict(env))
 
     def backward(self, env: Env, target: Value) -> Env:
         """``b`` — the backward error witness constructor.
@@ -303,17 +514,26 @@ class BeanLens:
         Returns a *complete* perturbed environment: discrete parameters
         unchanged, linear parameters possibly perturbed.
         """
-        interp = _LensInterp(
-            self.program, self.precision, self.rounding, self.seed,
-            self.precision_bits,
-        )
-        mods = call_with_deep_stack(
-            interp.backward,
-            self.definition.body,
-            dict(env),
-            target,
-            self.discrete_params,
-        )
+        if self.engine == "recursive":
+            from ..core.deepstack import call_with_deep_stack
+
+            interp = _LensInterp(
+                self.program, self.precision, self.rounding, self.seed,
+                self.precision_bits,
+            )
+            mods = call_with_deep_stack(
+                interp.backward,
+                self.definition.body,
+                dict(env),
+                target,
+                self.discrete_params,
+            )
+        else:
+            sweep = _IRBackward(
+                self.program, self.precision, self.rounding, self.seed,
+                self.precision_bits,
+            )
+            mods = sweep.run(self.ir, env, target)
         perturbed = dict(env)
         for name, value in mods.items():
             if name not in perturbed:
@@ -330,6 +550,7 @@ def lens_of_definition(
     rounding: str = "nearest",
     seed: int = 0,
     precision_bits: int = 53,
+    engine: str = "ir",
 ) -> BeanLens:
     """Build the executable lens of a single (checked) definition."""
     if judgment is None:
@@ -341,14 +562,20 @@ def lens_of_definition(
 
             judgment = check_definition(definition)
     return BeanLens(
-        definition, judgment, program, precision, rounding, seed, precision_bits
+        definition, judgment, program, precision, rounding, seed,
+        precision_bits, engine,
     )
 
 
 def lens_of_program(
-    program: A.Program, name: Optional[str] = None, precision: int = 50
+    program: A.Program,
+    name: Optional[str] = None,
+    precision: int = 50,
+    engine: str = "ir",
 ) -> BeanLens:
     """Build the executable lens of ``name`` (default: last definition)."""
     judgments = check_program(program)
     definition = program[name] if name else program.main
-    return BeanLens(definition, judgments[definition.name], program, precision)
+    return BeanLens(
+        definition, judgments[definition.name], program, precision, engine=engine
+    )

@@ -28,7 +28,13 @@ from repro.core import NUM, Definition, Param
 from repro.core import builders as B
 from repro.core.types import DNUM
 
-__all__ = ["random_definition", "random_inputs", "DefinitionSpec"]
+__all__ = [
+    "random_definition",
+    "random_inputs",
+    "random_batch_inputs",
+    "batch_row",
+    "DefinitionSpec",
+]
 
 
 class DefinitionSpec:
@@ -157,3 +163,34 @@ def random_inputs(
     for name in spec.discrete:
         inputs[name] = draw()
     return inputs
+
+
+def random_batch_inputs(
+    spec: DefinitionSpec, seed: int, n_rows: int, *, positive: bool = False
+):
+    """Draw ``n_rows`` benign environments as batch columns.
+
+    Returns a mapping from parameter name to a float64 array of shape
+    ``(n_rows,)`` — the input format of
+    :class:`repro.semantics.batch.BatchWitnessEngine`.  Row ``i`` of
+    every column taken together is one scalar environment, recoverable
+    with :func:`batch_row`.
+    """
+    import numpy as np
+
+    rng = random.Random(seed)
+    columns = {}
+    for name in spec.linear + spec.discrete:
+        values = []
+        for _ in range(n_rows):
+            magnitude = rng.uniform(0.5, 4.0)
+            if not positive and rng.random() < 0.5:
+                magnitude = -magnitude
+            values.append(magnitude)
+        columns[name] = np.array(values, dtype=np.float64)
+    return columns
+
+
+def batch_row(columns, i: int) -> Dict[str, float]:
+    """Extract environment ``i`` from batch columns as plain scalars."""
+    return {name: float(col[i]) for name, col in columns.items()}

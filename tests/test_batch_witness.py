@@ -1,0 +1,228 @@
+"""Batch witness engine: bitwise agreement with the scalar loop.
+
+The contract of :class:`repro.semantics.batch.BatchWitnessEngine` is not
+"approximately the same" — it is the *same computation*: identical float
+forward values, identical Decimal perturbed inputs and distances,
+identical soundness verdicts, row for row, as looping
+:func:`repro.semantics.witness.run_witness`.  These tests enforce that
+on 1000 random environments (the satellite acceptance bar), on the
+paper's vector benchmarks, and on the scalar-fallback path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from strategies import batch_row, random_batch_inputs, random_definition
+from repro.programs.generators import dot_prod, horner, vec_sum
+from repro.semantics.batch import BatchWitnessEngine, run_witness_batch
+from repro.semantics.witness import run_witness
+
+
+def _assert_bitwise_equal(batch_report, reference, i):
+    got = batch_report[i]
+    assert got.sound == reference.sound
+    assert got.exact_match == reference.exact_match
+    assert repr(got.approx_value) == repr(reference.approx_value)
+    assert repr(got.ideal_on_perturbed) == repr(reference.ideal_on_perturbed)
+    assert set(got.params) == set(reference.params)
+    for name, ref_witness in reference.params.items():
+        witness = got.params[name]
+        assert str(witness.distance) == str(ref_witness.distance)
+        assert str(witness.bound) == str(ref_witness.bound)
+        assert witness.grade == ref_witness.grade
+        assert repr(witness.perturbed) == repr(ref_witness.perturbed)
+        assert repr(witness.original) == repr(ref_witness.original)
+
+
+class TestBitwiseAgreement:
+    def test_1000_random_environments(self):
+        """The headline property: 1000 envs, batch ≡ loop, bit for bit."""
+        spec = random_definition(11, n_linear=4, n_steps=7, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition)
+        assert engine.vectorized
+        columns = random_batch_inputs(spec, seed=77, n_rows=1000)
+        report = engine.run(columns)
+        assert report.n_rows == 1000
+        for i in range(1000):
+            reference = run_witness(
+                spec.definition, batch_row(columns, i), u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs_small_batches(self, seed):
+        spec = random_definition(seed, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition)
+        columns = random_batch_inputs(spec, seed=seed + 500, n_rows=60)
+        report = engine.run(columns)
+        for i in range(60):
+            reference = run_witness(
+                spec.definition, batch_row(columns, i), u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
+
+    @pytest.mark.parametrize(
+        "definition",
+        [vec_sum(50), dot_prod(16), horner(12)],
+        ids=["Sum50", "DotProd16", "Horner12"],
+    )
+    def test_vector_benchmarks(self, definition):
+        from repro.semantics.batch import _leaf_count
+
+        rng = np.random.default_rng(3)
+        n_rows = 50
+        columns = {}
+        for p in definition.params:
+            k = _leaf_count(p.ty)
+            columns[p.name] = (
+                rng.uniform(0.5, 4.0, (n_rows, k))
+                if k > 1
+                else rng.uniform(0.5, 4.0, n_rows)
+            )
+        engine = BatchWitnessEngine(definition)
+        assert engine.vectorized
+        report = engine.run(columns)
+        assert report.all_sound
+        for i in range(0, n_rows, 7):
+            row = {
+                p.name: (
+                    list(columns[p.name][i])
+                    if columns[p.name].ndim == 2
+                    else float(columns[p.name][i])
+                )
+                for p in definition.params
+            }
+            reference = run_witness(definition, row, u=engine.u, lens=engine.lens)
+            _assert_bitwise_equal(report, reference, i)
+
+
+class TestFallbacks:
+    def test_case_programs_fall_back_to_scalar(self):
+        # Div + case puts the program outside the vectorized fragment;
+        # the engine must still agree with the loop.
+        found = 0
+        for seed in range(200):
+            spec = random_definition(seed, n_linear=6, n_steps=4)
+            engine = BatchWitnessEngine(spec.definition)
+            if engine.vectorized:
+                continue
+            found += 1
+            columns = random_batch_inputs(spec, seed=seed + 900, n_rows=12)
+            report = engine.run(columns)
+            assert report.fallback_rows == 12
+            for i in range(12):
+                reference = run_witness(
+                    spec.definition, batch_row(columns, i), u=engine.u,
+                    lens=engine.lens,
+                )
+                _assert_bitwise_equal(report, reference, i)
+            if found >= 3:
+                break
+        assert found >= 3
+
+    def test_zero_rows_fall_back_rowwise(self):
+        # An exact zero intermediate puts only the offending row on the
+        # scalar path; the others stay vectorized.  Sum of (x0, -x0, x2)
+        # hits s == 0 in the first add.
+        spec = random_definition(0, n_linear=3, n_steps=3, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition)
+        if not engine.vectorized:
+            pytest.skip("generator did not produce a vectorizable program")
+        columns = random_batch_inputs(spec, seed=5, n_rows=20)
+        # Force a risky row: make every input zero in row 4.
+        for name in columns:
+            columns[name] = columns[name].copy()
+            columns[name][4] = 0.0
+        report = engine.run(columns)
+        assert report.fallback_rows >= 1
+        for i in (3, 4, 5):
+            try:
+                reference = run_witness(
+                    spec.definition, batch_row(columns, i), u=engine.u,
+                    lens=engine.lens,
+                )
+            except Exception as exc:  # noqa: BLE001 - error parity below
+                with pytest.raises(type(exc)):
+                    report[i]
+                continue
+            _assert_bitwise_equal(report, reference, i)
+
+    def test_engine_adopts_lens_configuration(self):
+        # Regression: a caller-provided lens defines the arithmetic —
+        # its precision_bits must drive the vectorized sweep, and a
+        # stochastic lens must force the scalar path.
+        from repro.semantics.interp import lens_of_definition
+
+        definition = vec_sum(8)
+        lens24 = lens_of_definition(definition, precision_bits=24)
+        engine = BatchWitnessEngine(definition, lens=lens24)
+        assert engine.precision_bits == 24
+        xs = np.linspace(0.5, 4.0, 8)
+        report = engine.run({"x": np.tile(xs, (4, 1))})
+        reference = run_witness(
+            definition, {"x": list(xs)}, u=engine.u, lens=lens24
+        )
+        _assert_bitwise_equal(report, reference, 0)
+        stochastic = lens_of_definition(definition, rounding="stochastic")
+        assert not BatchWitnessEngine(definition, lens=stochastic).vectorized
+
+    def test_stochastic_rounding_uses_scalar_path(self):
+        definition = vec_sum(8)
+        engine = BatchWitnessEngine(definition, rounding="stochastic", seed=9)
+        assert not engine.vectorized
+        xs = np.linspace(0.5, 4.0, 8)
+        report = engine.run({"x": np.tile(xs, (6, 1))})
+        reference = run_witness(
+            definition, {"x": list(xs)}, u=engine.u, lens=engine.lens
+        )
+        _assert_bitwise_equal(report, reference, 0)
+
+
+class TestRowErrors:
+    def test_nonfinite_row_is_captured_not_fatal(self):
+        # Regression: one inf row must not abort the batch — the other
+        # rows keep their reports and the bad row records its error.
+        definition = vec_sum(5)
+        rng = np.random.default_rng(1)
+        columns = {"x": rng.uniform(0.5, 4.0, (6, 5))}
+        columns["x"][2, 0] = float("inf")
+        engine = BatchWitnessEngine(definition)
+        report = engine.run(columns)
+        assert not report.all_sound
+        assert 2 in report.errors
+        with pytest.raises(Exception):
+            report[2]
+        for i in (0, 1, 3, 4, 5):
+            reference = run_witness(
+                definition,
+                {"x": list(columns["x"][i])},
+                u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
+
+
+class TestAggregates:
+    def test_report_aggregates(self):
+        definition = vec_sum(10)
+        rng = np.random.default_rng(0)
+        columns = {"x": rng.uniform(0.5, 4.0, (30, 10))}
+        report = run_witness_batch(definition, columns)
+        assert report.all_sound
+        assert report.sound_count == 30
+        assert len(report) == 30
+        assert report.param_max_distance["x"] <= report.param_bound["x"]
+        text = report.describe()
+        assert "Sum10" in text and "30/30" in text
+
+    def test_input_validation(self):
+        definition = vec_sum(10)
+        engine = BatchWitnessEngine(definition)
+        with pytest.raises(KeyError):
+            engine.run({})
+        with pytest.raises(ValueError, match="shape"):
+            engine.run({"x": np.zeros((5, 3))})
