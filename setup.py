@@ -27,7 +27,12 @@ setup(
         "numpy>=1.22",
     ],
     extras_require={
-        "test": ["pytest>=7", "hypothesis>=6", "pytest-benchmark>=4"],
+        "test": [
+            "pytest>=7",
+            "pytest-xdist>=3",
+            "hypothesis>=6",
+            "pytest-benchmark>=4",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -82,6 +82,7 @@ from .semantics import (
 #: the package that needs numpy, and eager loading would tax every CLI
 #: start-up with the numpy import.
 _LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
+_LAZY_SHARD = ("run_witness_sharded",)
 
 
 def __getattr__(name):
@@ -89,6 +90,10 @@ def __getattr__(name):
         from .semantics import batch
 
         return getattr(batch, name)
+    if name in _LAZY_SHARD:
+        from .semantics import shard
+
+        return getattr(shard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -126,6 +131,7 @@ __all__ = [
     "pretty_program",
     "run_witness",
     "run_witness_batch",
+    "run_witness_sharded",
     "unit_roundoff",
     "__version__",
 ]

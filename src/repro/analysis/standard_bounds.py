@@ -34,6 +34,10 @@ HIGHAM_CITATIONS = {
     "Horner": "Higham 2002, §5.1 (p.94): Horner's rule, coefficientwise",
     "PolyVal": "Higham 2002, §5.1: naive term-by-term evaluation",
     "MatVecMul": "Higham 2002, §3.5 (p.82): rowwise inner products",
+    "SafeDiv": (
+        "Higham 2002, §2.2: fl(x/y) = (x/y)(1+δ) — guarded-quotient "
+        "summation (batch-engine stress kernel, not a Table 1 row)"
+    ),
 }
 
 
@@ -49,6 +53,9 @@ def standard_bound_grade(family: str, n: int) -> Grade:
         return Grade(Fraction(n + 1))
     if family == "MatVecMul":
         return Grade(Fraction(n))
+    if family == "SafeDiv":
+        # n-1 additions on each quotient plus division's ε/2 per operand.
+        return Grade(Fraction(2 * n - 1, 2))
     raise ValueError(f"unknown benchmark family {family!r}")
 
 

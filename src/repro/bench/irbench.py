@@ -1,6 +1,7 @@
 """Recursive-AST vs. flat-IR benchmark, plus batch witness throughput.
 
-Three comparisons, over the Table 1 program families:
+Three comparisons, over the Table 1 program families plus the div+case
+``SafeDiv`` kernel:
 
 * **check** — grade inference via the recursive reference engine
   (deep-stack structural recursion) vs. the iterative IR sweep;
@@ -8,9 +9,12 @@ Three comparisons, over the Table 1 program families:
   the IR forward sweep;
 * **witness** — ``run_witness`` looped over N environments vs.
   :class:`repro.semantics.batch.BatchWitnessEngine` on the same N
-  environments, asserting the soundness verdicts agree row-for-row.
+  environments (and, with ``workers > 1``, vs.
+  :func:`repro.semantics.shard.run_witness_sharded` across processes),
+  asserting the soundness verdicts agree row-for-row.
 
-Used by ``repro-bean bench`` and ``benchmarks/bench_ir.py``.
+Used by ``repro-bean bench`` and ``benchmarks/bench_ir.py`` /
+``benchmarks/bench_shard.py``.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ DEFAULT_SPECS: Tuple[Tuple[str, int, int], ...] = (
     ("Sum", 100, 1000),
     ("Sum", 1000, 200),
     ("PolyVal", 50, 200),
+    ("SafeDiv", 100, 1000),
 )
 
 
@@ -53,6 +58,8 @@ class IRBenchRow:
     witness_loop_s: Optional[float]
     witness_batch_s: Optional[float]
     verdicts_agree: Optional[bool]
+    witness_shard_s: Optional[float] = None
+    shard_agree: Optional[bool] = None
 
     @property
     def check_speedup(self) -> float:
@@ -67,6 +74,13 @@ class IRBenchRow:
         if not self.witness_loop_s or not self.witness_batch_s:
             return None
         return self.witness_loop_s / self.witness_batch_s
+
+    @property
+    def shard_speedup(self) -> Optional[float]:
+        """Sharded over single-process batch (cores actually helping)."""
+        if not self.witness_batch_s or not self.witness_shard_s:
+            return None
+        return self.witness_batch_s / self.witness_shard_s
 
 
 def _random_columns(definition, n_envs: int, rng) -> Dict[str, np.ndarray]:
@@ -94,8 +108,13 @@ def run_ir_bench(
     *,
     include_batch: bool = True,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[IRBenchRow]:
-    """Time recursive-AST vs IR paths on each (family, size, n_envs) cell."""
+    """Time recursive-AST vs IR paths on each (family, size, n_envs) cell.
+
+    ``workers > 1`` adds a sharded-witness timing per cell (pool
+    startup included — this is the price a caller actually pays).
+    """
     rng = np.random.default_rng(seed)
     rows: List[IRBenchRow] = []
     for family, size, n_envs in specs:
@@ -122,14 +141,23 @@ def run_ir_bench(
         eval_ir = time.perf_counter() - start
         assert repr(v_ast) == repr(v_ir)
 
-        witness_loop = witness_batch = None
-        agree = None
+        witness_loop = witness_batch = witness_shard = None
+        agree = shard_agree = None
         if include_batch:
             engine = BatchWitnessEngine(definition)
             engine.run({k: v[:1] for k, v in columns.items()})  # warm caches
             start = time.perf_counter()
             batch_report = engine.run(columns)
             witness_batch = time.perf_counter() - start
+            if workers and workers > 1:
+                from ..semantics.shard import run_witness_sharded
+
+                start = time.perf_counter()
+                shard_report = run_witness_sharded(
+                    definition, columns, workers=workers
+                )
+                witness_shard = time.perf_counter() - start
+                shard_agree = list(shard_report.sound) == list(batch_report.sound)
             start = time.perf_counter()
             loop_sound = []
             for i in range(n_envs):
@@ -157,16 +185,21 @@ def run_ir_bench(
                 witness_loop_s=witness_loop,
                 witness_batch_s=witness_batch,
                 verdicts_agree=agree,
+                witness_shard_s=witness_shard,
+                shard_agree=shard_agree,
             )
         )
     return rows
 
 
 def format_ir_bench(rows: List[IRBenchRow]) -> str:
+    sharded = any(r.witness_shard_s is not None for r in rows)
     header = (
         f"{'Benchmark':<14}{'Ops':>8}{'check AST':>11}{'check IR':>10}"
         f"{'eval AST':>10}{'eval IR':>9}{'N':>6}{'loop':>9}{'batch':>9}"
-        f"{'x':>6}  agree"
+        f"{'x':>6}"
+        + (f"{'shard':>9}{'x':>6}" if sharded else "")
+        + "  agree"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
@@ -174,9 +207,16 @@ def format_ir_bench(rows: List[IRBenchRow]) -> str:
         loop = f"{r.witness_loop_s:.3f}" if r.witness_loop_s else "-"
         batch = f"{r.witness_batch_s:.3f}" if r.witness_batch_s else "-"
         agree = {True: "yes", False: "NO", None: "-"}[r.verdicts_agree]
-        lines.append(
+        if r.shard_agree is False:
+            agree = "NO"
+        line = (
             f"{r.name:<14}{r.ops:>8}{r.check_ast_s:>11.3f}{r.check_ir_s:>10.3f}"
             f"{r.eval_ast_s:>10.3f}{r.eval_ir_s:>9.3f}{r.n_envs:>6}"
-            f"{loop:>9}{batch:>9}{batch_x:>6}  {agree}"
+            f"{loop:>9}{batch:>9}{batch_x:>6}"
         )
+        if sharded:
+            shard = f"{r.witness_shard_s:.3f}" if r.witness_shard_s else "-"
+            shard_x = f"{r.shard_speedup:.1f}" if r.shard_speedup else "-"
+            line += f"{shard:>9}{shard_x:>6}"
+        lines.append(line + f"  {agree}")
     return "\n".join(lines)

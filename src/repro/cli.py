@@ -12,7 +12,9 @@ Usage examples::
         --inputs '{"x": [1.5, 2.25], "y": [3.1, -0.7]}'
     repro-bean witness program.bean --batch \\
         --inputs '{"x": [[1.0], [2.0], [3.0]]}'
+    repro-bean witness program.bean --batch --workers 4 --inputs '...'
     repro-bean bench --batch --family Sum --size 100 --envs 1000
+    repro-bean bench --batch --workers 4 --family SafeDiv
 
 ``check`` mirrors the paper's OCaml prototype: given a program with no
 grade annotations it reports, per definition, the inferred type and the
@@ -126,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     witness.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "with --batch: shard the environment rows across this many "
+            "worker processes (verdicts are bitwise identical to one "
+            "process; 1 = in-process)"
+        ),
+    )
+    witness.add_argument(
         "--precision-bits",
         type=int,
         default=53,
@@ -160,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch",
         action="store_true",
         help="include batched vs. looped witness throughput (the slow part)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "with --batch: also time the sharded multiprocess witness "
+            "engine with this many workers"
+        ),
     )
     return parser
 
@@ -260,17 +281,33 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     try:
         inputs = json.loads(args.inputs)
         u = _parse_roundoff(args.u) if args.u else 2.0 ** -args.precision_bits
-        lens = lens_of_program(program, definition.name)
-        lens.precision_bits = args.precision_bits
-        if args.batch:
+        if args.batch and args.workers > 1:
+            # The sharded runner derives its own lens (workers rebuild
+            # it from the configuration); don't typecheck twice here.
+            from .semantics.shard import run_witness_sharded
+
+            report = run_witness_sharded(
+                definition,
+                inputs,
+                program=program,
+                u=u,
+                workers=args.workers,
+                precision_bits=args.precision_bits,
+            )
+        elif args.batch:
             from .semantics.batch import run_witness_batch
 
+            lens = lens_of_program(program, definition.name)
+            lens.precision_bits = args.precision_bits
             report = run_witness_batch(
                 definition, inputs, program=program, u=u, lens=lens
             )
+        if args.batch:
             print(report.describe())
             print(f"soundness theorem holds on all rows: {report.all_sound}")
             return 0 if report.all_sound else 2
+        lens = lens_of_program(program, definition.name)
+        lens.precision_bits = args.precision_bits
         report = run_witness(definition, inputs, program=program, lens=lens, u=u)
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -302,10 +339,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         specs = [(family, args.size, args.envs) for family in args.family]
     else:
         specs = list(DEFAULT_SPECS)
-    rows = run_ir_bench(specs, include_batch=args.batch)
+    rows = run_ir_bench(
+        specs,
+        include_batch=args.batch,
+        workers=args.workers if args.workers > 1 else None,
+    )
     print(format_ir_bench(rows))
     if args.batch and not all(r.verdicts_agree for r in rows):
         print("error: batch and looped witness verdicts disagree", file=sys.stderr)
+        return 2
+    if args.batch and not all(r.shard_agree in (None, True) for r in rows):
+        print("error: sharded and batch witness verdicts disagree", file=sys.stderr)
         return 2
     return 0
 

@@ -50,8 +50,14 @@ from .lower import (
     lower_definition,
     lower_expr,
 )
-from .cache import semantic_definition_ir, semantic_expr_ir, clear_caches
+from .cache import (
+    clear_caches,
+    inlined_definition_ir,
+    semantic_definition_ir,
+    semantic_expr_ir,
+)
 from .infer import infer_definition_ir, sweep_grades
+from .inline import inline_calls
 
 __all__ = [
     "IROp",
@@ -79,6 +85,8 @@ __all__ = [
     "lower_expr",
     "semantic_definition_ir",
     "semantic_expr_ir",
+    "inlined_definition_ir",
+    "inline_calls",
     "clear_caches",
     "infer_definition_ir",
     "sweep_grades",

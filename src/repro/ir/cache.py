@@ -23,6 +23,7 @@ __all__ = [
     "IdentityCache",
     "semantic_definition_ir",
     "semantic_expr_ir",
+    "inlined_definition_ir",
     "clear_caches",
 ]
 
@@ -68,7 +69,39 @@ def semantic_expr_ir(expr: A.Expr) -> IRProgram:
     return _SEMANTIC_EXPRS.get(expr)
 
 
+#: (id(definition), id(program)) -> (def ref, program ref, inlined IR).
+_INLINED: Dict[Tuple[int, int], Tuple[Callable, Callable, IRProgram]] = {}
+
+
+def _ref(obj, key):
+    try:
+        return weakref.ref(obj, lambda _r, k=key: _INLINED.pop(k, None))
+    except TypeError:  # un-weakref-able object: never evict, pin it
+        return (lambda o: (lambda: o))(obj)
+
+
+def inlined_definition_ir(definition: A.Definition, program) -> IRProgram:
+    """The (cached) call-inlined semantic IR of a definition.
+
+    Keyed on the identity of *both* the definition and the program: the
+    same definition object can appear in several programs whose callee
+    definitions differ.
+    """
+    if program is None:
+        return semantic_definition_ir(definition)
+    key = (id(definition), id(program))
+    entry = _INLINED.get(key)
+    if entry is not None and entry[0]() is definition and entry[1]() is program:
+        return entry[2]
+    from .inline import inline_calls
+
+    value = inline_calls(semantic_definition_ir(definition), program)
+    _INLINED[key] = (_ref(definition, key), _ref(program, key), value)
+    return value
+
+
 def clear_caches() -> None:
     """Drop every cached program (tests / memory pressure)."""
     _SEMANTIC_DEFS.clear()
     _SEMANTIC_EXPRS.clear()
+    _INLINED.clear()

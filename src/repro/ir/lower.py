@@ -117,10 +117,15 @@ _PRIM_CODE = {
 #: Inverse of ``_PRIM_CODE``: arithmetic opcode back to the AST operator.
 CODE_TO_PRIM = {code: op for op, code in _PRIM_CODE.items()}
 
-#: Opcodes the batch witness engine can evaluate as whole-array operations
-#: (straight-line numeric code; no data-dependent control flow).
+#: Opcodes the batch witness engine can evaluate as whole-array operations.
+#: ``div`` vectorizes with per-row zero screening, ``case``/``inl``/``inr``
+#: with branch masks; ``call`` is the one op the array pipeline cannot see
+#: through directly — :mod:`repro.ir.inline` rewrites calls away first, and
+#: only programs where a call survives (unknown callee, arity mismatch,
+#: recursion, size guard) drop to the scalar path.
 _VECTORIZABLE = frozenset(
-    {DVAR, CONST, PAIR, FST, SND, BANG, RND, ADD, SUB, MUL, DMUL}
+    {DVAR, CONST, UNIT, PAIR, FST, SND, INL, INR, BANG, RND,
+     ADD, SUB, MUL, DIV, DMUL, CASE}
 )
 
 
@@ -348,7 +353,6 @@ class _Lowerer:
                 elif cls is A.Call:
                     self._start_call(e, push)
                 elif cls is A.UnitVal:
-                    self.vectorizable = False
                     vstack.append(self.emit(UNIT, ty=UNIT_TY))
                 elif not self.checked and hasattr(e, "value") and not _children(e):
                     # Λ_S numeric literal (lam_s.syntax.Const) — runnable
@@ -448,7 +452,6 @@ class _Lowerer:
                         if code == INL
                         else Sum(e.other, body_ty)
                     )
-                self.vectorizable = False
                 vstack.append(self.emit(code, a, aux=e.other, ty=ty))
 
             elif tag == "case_mid":
@@ -475,7 +478,6 @@ class _Lowerer:
                 del vstack[len(vstack) - n :]
                 ty = self.judgments[e.name].result if self.checked else None
                 self.has_calls = True
-                self.vectorizable = False
                 vstack.append(self.emit(CALL, aux=(e.name, args), ty=ty))
 
             else:  # pragma: no cover - machine invariant
@@ -629,7 +631,6 @@ class _Lowerer:
             Region(right_ops, state["payload_right"], right_result),
         )
         self.has_cases = True
-        self.vectorizable = False
         vstack.append(self.emit(CASE, state["scrut"], aux=regions, ty=result_ty))
 
 

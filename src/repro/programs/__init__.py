@@ -11,6 +11,7 @@ from .generators import (
     dot_prod,
     horner,
     mat_vec_mul,
+    safe_div_sum,
     poly_val,
     vec_sum,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "horner",
     "poly_val",
     "mat_vec_mul",
+    "safe_div_sum",
     "vec_sum",
     "glibc_sin",
     "glibc_cos",

@@ -35,6 +35,7 @@ __all__ = [
     "horner",
     "poly_val",
     "mat_vec_mul",
+    "safe_div_sum",
     "expected_flops",
     "BENCHMARK_FAMILIES",
     "TABLE1_SIZES",
@@ -205,6 +206,44 @@ def mat_vec_mul(n: int, *, order: str = "sequential") -> Definition:
     return Definition(f"MatVecMul{n}", params, body)
 
 
+def safe_div_sum(n: int, *, order: str = "sequential") -> Definition:
+    """Sum of n guarded quotients — the div+case stress kernel.
+
+    Term ``i`` divides ``x_i`` by ``y_i`` and cases on the ``num + unit``
+    result, substituting the fallback component ``f_i`` where the
+    division failed.  Every language feature the batch engine's masked
+    pipeline handles — ``div``'s per-row screening, ``case`` branch
+    masks, asymmetric linear use across branches — appears ``n`` times,
+    which is what makes this the benchmark family for the full-fragment
+    vectorization (the Table 1 families are straight-line).
+    """
+    if n < 2:
+        raise ValueError("SafeDiv needs at least two components")
+    xs = [f"x{i}" for i in range(n)]
+    ys = [f"y{i}" for i in range(n)]
+    fs = [f"f{i}" for i in range(n)]
+    bindings = []
+    terms = []
+    for i in range(n):
+        q = f"q{i}"
+        w = f"w{i}"
+        bindings.append((q, B.div(xs[i], ys[i])))
+        bindings.append(
+            (w, B.case(q, f"v{i}", B.var(f"v{i}"), f"e{i}", B.var(fs[i])))
+        )
+        terms.append(B.var(w))
+    body = B.let_chain(bindings, _sum_chain(terms, order))
+    body = B.destructure_vector("x", xs, body)
+    body = B.destructure_vector("y", ys, body)
+    body = B.destructure_vector("f", fs, body)
+    params = [
+        Param("x", vector(n)),
+        Param("y", vector(n)),
+        Param("f", vector(n)),
+    ]
+    return Definition(f"SafeDiv{n}", params, body)
+
+
 def expected_flops(family: str, n: int) -> int:
     """Closed-form op counts matching the paper's Ops column."""
     if family == "DotProd":
@@ -217,6 +256,8 @@ def expected_flops(family: str, n: int) -> int:
         return n * (n + 1) // 2 + n
     if family == "MatVecMul":
         return n * (2 * n - 1)
+    if family == "SafeDiv":
+        return 2 * n - 1  # n divisions + n-1 additions
     raise ValueError(f"unknown benchmark family {family!r}")
 
 
@@ -227,9 +268,12 @@ BENCHMARK_FAMILIES: Dict[str, Callable[[int], Definition]] = {
     "PolyVal": poly_val,
     "MatVecMul": mat_vec_mul,
     "Sum": vec_sum,
+    "SafeDiv": safe_div_sum,
 }
 
-#: The input sizes reported in Table 1, per family.
+#: The input sizes reported in Table 1, per family.  ``SafeDiv`` is not
+#: a paper benchmark (Table 1 has no data-dependent control flow), so it
+#: appears in :data:`BENCHMARK_FAMILIES` only.
 TABLE1_SIZES: Dict[str, List[int]] = {
     "DotProd": [20, 50, 100, 500],
     "Horner": [20, 50, 100, 500],

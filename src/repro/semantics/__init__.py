@@ -42,11 +42,12 @@ from .witness import ParamWitness, WitnessReport, env_from_pythons, run_witness
 
 __all__ = [name for name in dir() if not name.startswith("_")]
 
-# The batch engine is the only numpy consumer in the package; load it
-# lazily (PEP 562) so plain checking/witnessing never pays the numpy
-# import.
+# The batch/shard engines are the only numpy consumers in the package;
+# load them lazily (PEP 562) so plain checking/witnessing never pays the
+# numpy import.
 _LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
-__all__ += list(_LAZY_BATCH)
+_LAZY_SHARD = ("run_witness_sharded", "shard_bounds")
+__all__ += list(_LAZY_BATCH) + list(_LAZY_SHARD)
 
 
 def __getattr__(name):
@@ -54,4 +55,8 @@ def __getattr__(name):
         from . import batch
 
         return getattr(batch, name)
+    if name in _LAZY_SHARD:
+        from . import shard
+
+        return getattr(shard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

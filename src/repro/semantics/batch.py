@@ -21,14 +21,36 @@ flat IR:
 4. **distance checks** — vectorized relative-precision distances at the
    60-digit distance precision against the inferred grade bounds.
 
+The vectorized fragment is the whole language:
+
+* ``div`` screens per row — zero divisors and vanishing/overflowing
+  quotients divert *those rows* (not the batch) to the scalar path, and
+  the surviving rows run the Appendix C square-root witness as array
+  expressions;
+* ``case``/``inl``/``inr`` evaluate with branch masks: sum values are
+  batched as a per-row tag mask plus payload trees, both branch regions
+  execute in the forward sweep (inactive rows compute masked-out
+  garbage), and the backward/ideal sweeps — which only see screened
+  rows, whose branch tags are provably uniform — thread targets through
+  the taken region exactly as the scalar reverse sweep does;
+* ``call`` is rewritten away up front by :mod:`repro.ir.inline`; only
+  calls an inlining guard refused (unknown callee, arity mismatch,
+  recursion, size cap) drop the batch to the scalar loop;
+* stochastic rounding vectorizes because each rounding decision is a
+  pure function of (seed, op, operand bits), not of a sequential RNG
+  stream: the forward sweep replays the per-row decision RNG exactly
+  and every other phase is rounding-mode independent.
+
 Rows whose forward values are exactly zero or non-finite — where the
 primitive backward maps' sign analyses could legitimately fail — fall
-back to the scalar :func:`run_witness` row-by-row, as do whole batches
-for programs outside the vectorizable fragment (``case``/``div``/calls /
-stochastic rounding), so results match the scalar loop on every program.
-Per-row failures on a fallback row — a ``LensDomainError``, or a Decimal
-signal from non-finite data inside the primitive backward maps — are
-captured in the report rather than aborting the other rows.
+back to the scalar :func:`run_witness` row-by-row.  Per-row failures on
+a fallback row — a ``LensDomainError``, or a Decimal signal from
+non-finite data inside the primitive backward maps — are captured in
+the report rather than aborting the other rows.  Structure the array
+pipeline does not model (mixed branch tags on screened rows, sum-typed
+discrete data) raises the internal ``_Unvectorizable`` and the whole
+batch is re-certified by the scalar loop, so results match it on every
+program.
 
 Reports are *aggregated*: verdict arrays, per-parameter worst distances,
 and lazy per-row :class:`~repro.semantics.witness.WitnessReport`
@@ -38,6 +60,8 @@ materialization via indexing.
 from __future__ import annotations
 
 import decimal
+import math
+import random
 from decimal import Decimal
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -47,9 +71,10 @@ from ..core import ast_nodes as A
 from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade, ZERO
 from ..core.types import Discrete, Num, Tensor, Type, Unit, is_discrete
 from ..ir import lower as L
-from ..ir.cache import semantic_definition_ir
-from ..lam_s.eval import EvalError
-from ..lam_s.values import Value, VNum, VPair, values_close
+from ..ir.cache import inlined_definition_ir, semantic_definition_ir
+from ..ir.inline import walk_ops
+from ..lam_s.eval import EvalError, stochastic_round
+from ..lam_s.values import UNIT_VALUE, Value, VInl, VInr, VNum, VPair, values_close
 from .interp import BeanLens, lens_of_definition
 from .lens import LensDomainError
 from .primitives import BACKWARD_PRECISION
@@ -77,6 +102,15 @@ _to_dec = np.frompyfunc(Decimal, 1, 1)
 _sqrt = np.frompyfunc(lambda d: d.sqrt(), 1, 1)
 
 
+class _Unvectorizable(Exception):
+    """The batch hit structure the array pipeline does not model.
+
+    Raising it aborts the vectorized attempt; the engine re-certifies
+    the whole batch with the (bit-identical) scalar loop, so this is a
+    performance event, never a correctness one.
+    """
+
+
 class _BPair:
     """A batched pair value: a tree whose leaves are arrays."""
 
@@ -85,6 +119,32 @@ class _BPair:
     def __init__(self, left, right):
         self.left = left
         self.right = right
+
+
+class _BSum:
+    """A batched sum value: a per-row tag mask plus payload trees.
+
+    ``mask`` is a boolean row array, ``True`` where the row is ``inl``.
+    A payload side is ``None`` when no constructor ever produced it
+    (``inl e`` carries no right payload); by construction no row's tag
+    can select a ``None`` side.
+    """
+
+    __slots__ = ("mask", "left", "right")
+
+    def __init__(self, mask, left, right):
+        self.mask = mask
+        self.left = left
+        self.right = right
+
+
+class _BUnit:
+    """The batched unit value (a singleton; carries no rows)."""
+
+    __slots__ = ()
+
+
+_BUNIT = _BUnit()
 
 
 class _BPartial:
@@ -131,25 +191,77 @@ def _row_value(tree, i: int) -> Value:
     """Extract row ``i`` of a batched tree as a scalar Value."""
     if isinstance(tree, _BPair):
         return VPair(_row_value(tree.left, i), _row_value(tree.right, i))
+    if isinstance(tree, _BSum):
+        if bool(tree.mask[i]):
+            return VInl(_row_value(tree.left, i))
+        return VInr(_row_value(tree.right, i))
+    if tree is _BUNIT:
+        return UNIT_VALUE
     x = tree[i]
     if isinstance(x, Decimal):
         return VNum(x)
     return VNum(float(x))
 
 
-def _map_tree(tree, fn):
+def _map_tree(tree, fn, mask_fn=None):
+    """Map ``fn`` over numeric leaf arrays (``mask_fn`` over tag masks).
+
+    ``mask_fn`` defaults to the identity so value transforms (e.g. the
+    float->Decimal conversion) never touch boolean tag masks; row
+    selections pass the same function for both.
+    """
     if isinstance(tree, _BPair):
-        return _BPair(_map_tree(tree.left, fn), _map_tree(tree.right, fn))
+        return _BPair(
+            _map_tree(tree.left, fn, mask_fn), _map_tree(tree.right, fn, mask_fn)
+        )
+    if isinstance(tree, _BSum):
+        mask = tree.mask if mask_fn is None else mask_fn(tree.mask)
+        left = None if tree.left is None else _map_tree(tree.left, fn, mask_fn)
+        right = None if tree.right is None else _map_tree(tree.right, fn, mask_fn)
+        return _BSum(mask, left, right)
+    if tree is _BUNIT:
+        return tree
     return fn(tree)
 
 
 def _tree_leaves(tree, out: List) -> List:
+    """Numeric leaf arrays of a pair tree (sums/units are not leaves)."""
     if isinstance(tree, _BPair):
         _tree_leaves(tree.left, out)
         _tree_leaves(tree.right, out)
+    elif isinstance(tree, _BSum) or tree is _BUNIT:
+        raise _Unvectorizable("sum/unit data outside the numeric fragment")
     else:
         out.append(tree)
     return out
+
+
+def _merge_masked(mask: np.ndarray, left, right):
+    """Row-select between two batched trees (``mask`` True picks left)."""
+    if right is None:
+        return left
+    if left is None:
+        return right
+    if isinstance(left, _BPair) and isinstance(right, _BPair):
+        return _BPair(
+            _merge_masked(mask, left.left, right.left),
+            _merge_masked(mask, left.right, right.right),
+        )
+    if isinstance(left, _BSum) and isinstance(right, _BSum):
+        return _BSum(
+            np.where(mask, left.mask, right.mask),
+            _merge_masked(mask, left.left, right.left),
+            _merge_masked(mask, left.right, right.right),
+        )
+    if left is _BUNIT and right is _BUNIT:
+        return _BUNIT
+    if isinstance(left, np.ndarray) and isinstance(right, np.ndarray):
+        return np.where(mask, left, right)
+    raise _Unvectorizable("case branches produced incompatible batched shapes")
+
+
+def _mask_all(mask: np.ndarray) -> bool:
+    return bool(mask.all())
 
 
 # --------------------------------------------------------------------------
@@ -278,8 +390,18 @@ class BatchWitnessEngine:
                 precision_bits=precision_bits,
             )
         self.ir = semantic_definition_ir(definition)
+        if self.ir.has_calls and program is not None:
+            # Flatten defined-function calls so the array pipeline sees
+            # through them; guarded calls survive and force the scalar
+            # path (see repro.ir.inline).
+            self.ir = inlined_definition_ir(definition, program)
         #: Whether this program runs through the vectorized pipeline.
-        self.vectorized = bool(self.ir.vectorizable) and self.rounding == "nearest"
+        #: The op check is the whole language minus un-inlined calls;
+        #: the param check excludes implicit (free-variable) parameters,
+        #: which only the scalar environment lookup can resolve.
+        self.vectorized = bool(self.ir.vectorizable) and len(
+            self.ir.params
+        ) == len(definition.params)
         self._grades: Dict[str, Grade] = {}
         self._bounds: Dict[str, Decimal] = {}
         for p in definition.params:
@@ -302,6 +424,12 @@ class BatchWitnessEngine:
                 raise KeyError(f"missing input for parameter {p.name!r}")
             arr = np.asarray(inputs[p.name], dtype=np.float64)
             k = _leaf_count(p.ty)
+            if arr.ndim == 1 and arr.shape[0] == 0:
+                # An empty environment *list* carries no per-row shape
+                # to infer from; normalize it to zero rows of the right
+                # width.  An explicitly 2-D empty keeps its width and
+                # faces the same validation as non-empty input.
+                arr = arr.reshape((0, max(k, 1)))
             if arr.ndim == 1:
                 arr = arr[:, None]
             if arr.ndim != 2 or arr.shape[1] != k:
@@ -336,13 +464,28 @@ class BatchWitnessEngine:
         """Witness every row of ``inputs`` (mapping param -> (N,)/(N,k))."""
         columns = self._columns(inputs)
         n_rows = next(iter(columns.values())).shape[0]
+        if n_rows == 0:
+            # Nothing to certify: an empty report, not a pile of
+            # zero-size array ops.
+            return BatchWitnessReport(
+                self.definition,
+                0,
+                np.zeros(0, dtype=bool),
+                np.zeros(0, dtype=bool),
+                {},
+                {}.__getitem__,
+                {p.name: _DEC_ZERO for p in self.definition.params},
+                dict(self._bounds),
+                fallback_rows=0,
+            )
         if not self.vectorized:
             return self._run_scalar(columns, n_rows, range(n_rows))
         try:
             return self._run_vectorized(columns, n_rows)
-        except (decimal.InvalidOperation, decimal.DivisionByZero):
-            # A row slipped past the risk mask: certify everything the
-            # slow, per-row way rather than guess.
+        except (_Unvectorizable, decimal.InvalidOperation, decimal.DivisionByZero):
+            # A row slipped past the risk mask, or the batch hit
+            # structure the array pipeline does not model: certify
+            # everything the slow, per-row way rather than guess.
             return self._run_scalar(columns, n_rows, range(n_rows))
 
     # -- scalar fallback ---------------------------------------------------
@@ -398,7 +541,7 @@ class BatchWitnessEngine:
             tree, _ = _pack_columns(p.ty, cols)
             fvals[p.slot] = tree
         risky = np.zeros(n_rows, dtype=bool)
-        self._forward_float(ir.ops, fvals, risky)
+        self._forward_approx(ir.ops, fvals, risky, np.ones(n_rows, dtype=bool))
         for name in columns:
             col = columns[name]
             risky |= ~np.isfinite(col).all(axis=1)
@@ -442,7 +585,7 @@ class BatchWitnessEngine:
         def fsel(slot: int):
             cached = fsel_cache.get(slot)
             if cached is None:
-                cached = _map_tree(fvals[slot], _sel_leaf)
+                cached = _map_tree(fvals[slot], _sel_leaf, _sel_leaf)
                 fsel_cache[slot] = cached
             return cached
 
@@ -468,29 +611,23 @@ class BatchWitnessEngine:
             else:
                 perturbed[p.name] = _materialize_mixed(targets[p.slot], fsel(p.slot))
 
-        # Phase 3: ideal re-evaluation of the perturbed inputs.
+        # Phase 3: ideal re-evaluation of the perturbed inputs.  Slots
+        # keep the perturbed representation (floats where the backward
+        # sweep never targeted) and convert to Decimal only where an
+        # arithmetic op consumes them — exactly the scalar interpreter's
+        # behavior, so pass-through results keep their float identity.
         ivals: List = [None] * ir.n_slots
         for p in ir.params:
-            ivals[p.slot] = _map_tree(
-                perturbed[p.name],
-                lambda a: a if a.dtype == object else _to_dec(a),
-            )
+            ivals[p.slot] = perturbed[p.name]
         self._ideal_dec(ir.ops, ivals, clean.size)
         ideal_result = ivals[ir.result]
 
         # Phase 4: verdicts and distances.
         exact = np.zeros(n_rows, dtype=bool)
-        approx_result = fvals[ir.result]
-        approx_leaves = _tree_leaves(approx_result, [])
-        ideal_leaves = _tree_leaves(ideal_result, [])
+        approx_sel = fsel(ir.result)
         closeness = np.ones(clean.size, dtype=bool)
-        for a_leaf, i_leaf in zip(approx_leaves, ideal_leaves):
-            a_sel = a_leaf[clean]
-            for j in range(clean.size):
-                if closeness[j] and not values_close(
-                    VNum(i_leaf[j]), VNum(a_sel[j])
-                ):
-                    closeness[j] = False
+        _close_rows(ideal_result, approx_sel, closeness,
+                    np.ones(clean.size, dtype=bool))
         exact[clean] = closeness
 
         sound = np.zeros(n_rows, dtype=bool)
@@ -537,13 +674,11 @@ class BatchWitnessEngine:
             if rep is not None:
                 return rep
             j = clean_pos[i]
-            approx_v = _row_value(_map_tree(approx_result, lambda a: a[clean]), j)
+            approx_v = _row_value(approx_sel, j)
             ideal_v = _row_value(ideal_result, j)
             params: Dict[str, ParamWitness] = {}
             for p in self.definition.params:
-                orig = _row_value(
-                    _map_tree(fvals[_slot_of(ir, p.name)], lambda a: a[clean]), j
-                )
+                orig = _row_value(fsel(_slot_of(ir, p.name)), j)
                 new = _row_value(perturbed[p.name], j)
                 params[p.name] = ParamWitness(
                     p.name,
@@ -569,22 +704,44 @@ class BatchWitnessEngine:
 
     # -- phase kernels -----------------------------------------------------
 
-    def _forward_float(self, ops, vals: List, risky: np.ndarray) -> None:
+    def _forward_approx(self, ops, vals: List, risky: np.ndarray,
+                        active: np.ndarray) -> None:
+        """Phase 1: the approximate semantics, one array op at a time.
+
+        ``active`` marks the rows this (possibly nested-region) op list
+        is live on; risk flags and per-row divergences only ever apply
+        to active rows, so branch-untaken garbage stays inert.
+        """
         pbits = self.precision_bits
+        stochastic = self.rounding == "stochastic"
+        n = risky.shape[0]
         for op in ops:
             code = op.code
             if L.ADD <= code <= L.DMUL:
                 a, b = vals[op.a], vals[op.b]
-                if code == L.ADD:
-                    r = a + b
-                elif code == L.SUB:
-                    r = a - b
-                else:  # MUL / DMUL (DIV is not vectorizable)
-                    r = a * b
-                if pbits < 53:
-                    r = _round_array(r, pbits)
-                risky |= (r == 0.0) | ~np.isfinite(r)
-                vals[op.dest] = r
+                if code == L.DIV:
+                    # Zero divisors produce inr () on the scalar path;
+                    # divert those rows rather than modelling them.
+                    risky |= active & (b == 0.0)
+                if stochastic:
+                    r = self._stochastic_binary(code, a, b, active, risky)
+                else:
+                    with np.errstate(all="ignore"):
+                        if code == L.ADD:
+                            r = a + b
+                        elif code == L.SUB:
+                            r = a - b
+                        elif code == L.DIV:
+                            r = a / b
+                        else:  # MUL / DMUL
+                            r = a * b
+                    if pbits < 53:
+                        r = _round_array(r, pbits)
+                risky |= active & ((r == 0.0) | ~np.isfinite(r))
+                if code == L.DIV:
+                    vals[op.dest] = _BSum(b != 0.0, r, _BUNIT)
+                else:
+                    vals[op.dest] = r
             elif code == L.DVAR or code == L.BANG:
                 vals[op.dest] = vals[op.a]
             elif code == L.PAIR:
@@ -595,15 +752,83 @@ class BatchWitnessEngine:
                 vals[op.dest] = vals[op.a].right
             elif code == L.RND:
                 r = vals[op.a]
-                if pbits < 53:
+                if not stochastic and pbits < 53:
                     r = _round_array(r, pbits)
-                    risky |= (r == 0.0) | ~np.isfinite(r)
+                    risky |= active & ((r == 0.0) | ~np.isfinite(r))
+                # Stochastic rnd is the identity on values that are
+                # already binary64 (the exact value ties the nearest
+                # float, so no randomized decision is ever taken).
                 vals[op.dest] = r
             elif code == L.CONST:
-                n = risky.shape[0]
                 vals[op.dest] = np.full(n, float(op.aux))
-            else:  # pragma: no cover - vectorizable fragment is closed
-                raise LensDomainError(f"opcode {code} is not vectorizable")
+            elif code == L.UNIT:
+                vals[op.dest] = _BUNIT
+            elif code == L.INL:
+                vals[op.dest] = _BSum(np.ones(n, dtype=bool), vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = _BSum(np.zeros(n, dtype=bool), None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, _BSum):
+                    raise _Unvectorizable("case scrutinee is not a batched sum")
+                left_r, right_r = op.aux
+                mask = scrut.mask
+                left_val = right_val = None
+                if scrut.left is not None:
+                    vals[left_r.payload] = scrut.left
+                    self._forward_approx(left_r.ops, vals, risky, active & mask)
+                    left_val = vals[left_r.result]
+                elif bool((active & mask).any()):
+                    raise _Unvectorizable("inl row without an inl payload")
+                if scrut.right is not None:
+                    vals[right_r.payload] = scrut.right
+                    self._forward_approx(right_r.ops, vals, risky, active & ~mask)
+                    right_val = vals[right_r.result]
+                elif bool((active & ~mask).any()):
+                    raise _Unvectorizable("inr row without an inr payload")
+                if left_val is None and right_val is None:
+                    raise _Unvectorizable("case with no evaluable branch")
+                vals[op.dest] = _merge_masked(mask, left_val, right_val)
+            else:  # pragma: no cover - CALL is rewritten away or unvectorized
+                raise _Unvectorizable(f"opcode {code} is not vectorizable")
+
+    def _stochastic_binary(self, code: int, a, b, active: np.ndarray,
+                           risky: np.ndarray) -> np.ndarray:
+        """Per-row replay of :meth:`_Interp._binary_stochastic`.
+
+        Each rounding decision is a pure function of (seed, op name,
+        operand bit patterns) — the same ``random.Random`` keying the
+        scalar interpreter uses — so the stream reproduces bit-for-bit
+        per row regardless of batching.  Rows with non-finite operands
+        or zero divisors are flagged risky and certified scalar.
+        """
+        op_label = str(L.CODE_TO_PRIM[code])
+        seed_s = str(self.seed)
+        n = active.shape[0]
+        out = np.full(n, np.nan)
+        with decimal.localcontext() as ctx:
+            ctx.prec = self.precision
+            for i in np.flatnonzero(active):
+                x = float(a[i])
+                y = float(b[i])
+                if not (math.isfinite(x) and math.isfinite(y)):
+                    risky[i] = True
+                    continue
+                dx, dy = Decimal(x), Decimal(y)
+                if code == L.ADD:
+                    exact = dx + dy
+                elif code == L.SUB:
+                    exact = dx - dy
+                elif code == L.DIV:
+                    if dy == 0:
+                        risky[i] = True
+                        continue
+                    exact = dx / dy
+                else:  # MUL / DMUL
+                    exact = dx * dy
+                rng = random.Random("\x1f".join([seed_s, op_label, x.hex(), y.hex()]))
+                out[i] = stochastic_round(exact, rng)
+        return out
 
     def _backward_dec(self, ops, fsel, dec, targets: List, ambient) -> None:
         """The Appendix C witness formulas, one array expression per op.
@@ -614,15 +839,24 @@ class BatchWitnessEngine:
         bitwise equal to the scalar sweep.  Sign/zero domain analysis is
         unnecessary here: rows whose forward values vanish or overflow
         were diverted to the scalar path, and on the remaining rows the
-        backward targets provably keep the forward signs.
+        backward targets provably keep the forward signs.  ``case``
+        regions recurse through the *taken* branch only — screened rows
+        all share one branch tag, which the sweep verifies.
         """
-        producer = [-1] * len(targets)
-        for op in ops:
+        producer = {}
+        for op in walk_ops(ops):
             producer[op.dest] = op.code
+        self._backward_sweep(ops, fsel, dec, targets, ambient, producer)
+
+    def _backward_sweep(self, ops, fsel, dec, targets: List, ambient,
+                        producer: Dict[int, int]) -> None:
         for op in reversed(ops):
             code = op.code
             dest = op.dest
             if L.ADD <= code <= L.DMUL:
+                if code == L.DIV:
+                    self._div_backward(op, fsel, dec, targets)
+                    continue
                 x1, x2 = dec(op.a), dec(op.b)
                 x3 = _ensure_dec(_get_b(targets, fsel, dest))
                 if code == L.ADD:
@@ -643,7 +877,7 @@ class BatchWitnessEngine:
                     # it is a plain discrete-variable read, the identity
                     # check is true by construction — skip assigning so the
                     # verify below has nothing to do.
-                    if producer[op.a] != L.DVAR:
+                    if producer.get(op.a) != L.DVAR:
                         targets[op.a] = x1
                     targets[op.b] = x3 / x1
             elif code == L.DVAR:
@@ -666,7 +900,64 @@ class BatchWitnessEngine:
                     partial.left = component
                 else:
                     partial.right = component
-            # CONST: nothing flows backward.
+            elif code == L.INL or code == L.INR:
+                t = _get_b(targets, fsel, dest)
+                if not isinstance(t, _BSum):
+                    raise _Unvectorizable("injection target is not a batched sum")
+                if code == L.INL:
+                    if not _mask_all(t.mask) or t.left is None:
+                        # The scalar path raises a per-row LensDomainError
+                        # here ("inl value vs. non-inl target"); let it.
+                        raise _Unvectorizable("inl value vs. non-inl target rows")
+                    targets[op.a] = t.left
+                else:
+                    if bool(t.mask.any()) or t.right is None:
+                        raise _Unvectorizable("inr value vs. non-inr target rows")
+                    targets[op.a] = t.right
+            elif code == L.CASE:
+                fwd = fsel(op.a)
+                if not isinstance(fwd, _BSum):
+                    raise _Unvectorizable("case scrutinee is not a batched sum")
+                mask = fwd.mask
+                if _mask_all(mask):
+                    region, took_inl = op.aux[0], True
+                elif not bool(mask.any()):
+                    region, took_inl = op.aux[1], False
+                else:
+                    raise _Unvectorizable("mixed case branch tags on screened rows")
+                targets[region.result] = _get_b(targets, fsel, dest)
+                self._backward_sweep(region.ops, fsel, dec, targets, ambient,
+                                     producer)
+                payload_t = _get_b(targets, fsel, region.payload)
+                targets[op.a] = (
+                    _BSum(mask, payload_t, None)
+                    if took_inl
+                    else _BSum(mask, None, payload_t)
+                )
+            # UNIT / CONST: nothing flows backward.
+
+    def _div_backward(self, op, fsel, dec, targets: List) -> None:
+        """Appendix C Div: signed square-root witnesses, as array ops.
+
+        The target lives in ``num + unit``; screened rows all divided
+        successfully, so a well-formed target is an all-``inl`` batched
+        sum whose payload is the quotient target.  Operand signs carry
+        to the witnesses exactly as in ``div_backward``.
+        """
+        t = _get_b(targets, fsel, op.dest)
+        if not isinstance(t, _BSum):
+            raise _Unvectorizable("div target is not a batched sum")
+        if not _mask_all(t.mask) or t.left is None:
+            # Scalar: "div backward: finite quotient vs. inr target".
+            raise _Unvectorizable("div target carries inr rows")
+        x3 = _ensure_dec(t.left)
+        x1, x2 = dec(op.a), dec(op.b)
+        magnitude1 = _sqrt(np.abs(x1 * x2 * x3))
+        magnitude2 = _sqrt(np.abs(x1 * x2 / x3))
+        pos1 = np.asarray(x1 > _DEC_ZERO, dtype=bool)
+        pos2 = np.asarray(x2 > _DEC_ZERO, dtype=bool)
+        targets[op.a] = np.where(pos1, magnitude1, -magnitude1)
+        targets[op.b] = np.where(pos2, magnitude2, -magnitude2)
 
     @staticmethod
     def _verify_discrete(name: str, current, target, ambient) -> None:
@@ -697,11 +988,21 @@ class BatchWitnessEngine:
             if L.ADD <= code <= L.DMUL:
                 with decimal.localcontext() as ctx:
                     ctx.prec = prec
-                    a, b = vals[op.a], vals[op.b]
+                    # Operand conversion is exact (cf. to_decimal), so
+                    # doing it lazily here matches the scalar ⇓_id bits.
+                    a, b = _dec_array(vals[op.a]), _dec_array(vals[op.b])
                     if code == L.ADD:
                         vals[op.dest] = a + b
                     elif code == L.SUB:
                         vals[op.dest] = a - b
+                    elif code == L.DIV:
+                        if bool(np.asarray(b == _DEC_ZERO, dtype=bool).any()):
+                            # ⇓_id maps a zero divisor to inr (); screened
+                            # rows can't reach it, so don't model it.
+                            raise _Unvectorizable("ideal division by zero")
+                        vals[op.dest] = _BSum(
+                            np.ones(n, dtype=bool), a / b, _BUNIT
+                        )
                     else:  # MUL / DMUL
                         vals[op.dest] = a * b
             elif code in (L.DVAR, L.BANG, L.RND):
@@ -714,6 +1015,27 @@ class BatchWitnessEngine:
                 vals[op.dest] = vals[op.a].right
             elif code == L.CONST:
                 vals[op.dest] = np.full(n, Decimal(op.aux), dtype=object)
+            elif code == L.UNIT:
+                vals[op.dest] = _BUNIT
+            elif code == L.INL:
+                vals[op.dest] = _BSum(np.ones(n, dtype=bool), vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = _BSum(np.zeros(n, dtype=bool), None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, _BSum):
+                    raise _Unvectorizable("case scrutinee is not a batched sum")
+                if _mask_all(scrut.mask) and scrut.left is not None:
+                    region, payload = op.aux[0], scrut.left
+                elif not bool(scrut.mask.any()) and scrut.right is not None:
+                    region, payload = op.aux[1], scrut.right
+                else:
+                    raise _Unvectorizable("mixed case branch tags on screened rows")
+                vals[region.payload] = payload
+                self._ideal_dec(region.ops, vals, n)
+                vals[op.dest] = vals[region.result]
+            else:  # pragma: no cover - CALL is rewritten away or unvectorized
+                raise _Unvectorizable(f"opcode {code} is not vectorizable")
 
     def _param_distances(self, fsel_tree, mixed_tree, dec_orig_tree,
                          dec_new_tree, n: int):
@@ -780,6 +1102,42 @@ class BatchWitnessEngine:
     # -- misc --------------------------------------------------------------
 
 
+def _close_rows(ideal, approx, out: np.ndarray, active: np.ndarray) -> None:
+    """Row-wise ``values_close`` over batched value trees (``&=`` into out).
+
+    ``active`` restricts which rows a subtree is live on (sums narrow it
+    to the rows whose tags select each payload).
+    """
+    if isinstance(approx, _BPair) and isinstance(ideal, _BPair):
+        _close_rows(ideal.left, approx.left, out, active)
+        _close_rows(ideal.right, approx.right, out, active)
+        return
+    if isinstance(approx, _BSum) and isinstance(ideal, _BSum):
+        am, im = approx.mask, ideal.mask
+        out &= ~active | ~(am ^ im)
+        both_inl = active & am & im
+        both_inr = active & ~am & ~im
+        if bool(both_inl.any()):
+            if ideal.left is None or approx.left is None:
+                out &= ~both_inl
+            else:
+                _close_rows(ideal.left, approx.left, out, both_inl)
+        if bool(both_inr.any()):
+            if ideal.right is None or approx.right is None:
+                out &= ~both_inr
+            else:
+                _close_rows(ideal.right, approx.right, out, both_inr)
+        return
+    if approx is _BUNIT and ideal is _BUNIT:
+        return
+    if isinstance(approx, np.ndarray) and isinstance(ideal, np.ndarray):
+        for j in np.flatnonzero(active & out):
+            if not values_close(VNum(ideal[j]), VNum(approx[j])):
+                out[j] = False
+        return
+    out &= ~active  # structural mismatch: not close on any live row
+
+
 def _slot_of(ir, name: str) -> int:
     for p in ir.params:
         if p.name == name:
@@ -796,9 +1154,14 @@ def _get_b(targets: List, fsel, slot: int):
     return t
 
 
+def _dec_array(a: np.ndarray) -> np.ndarray:
+    """Exact float->Decimal conversion of one leaf array."""
+    return a if a.dtype == object else _to_dec(a)
+
+
 def _ensure_dec(tree):
     """Exact float->Decimal conversion of any float leaves (cf. as_decimal)."""
-    return _map_tree(tree, lambda a: a if a.dtype == object else _to_dec(a))
+    return _map_tree(tree, _dec_array)
 
 
 def _materialize_b(t, fallback):

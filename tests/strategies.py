@@ -11,8 +11,15 @@ linear by design:
   left; all discrete variables are reusable), lets the result, and puts
   it back in the pool;
 * optionally, results are promoted with ``!``/``dlet`` and reused
-  discretely, and a final ``div``+``case`` exercises the coproduct path;
+  discretely; ``allow_div`` adds mid-program guarded quotients
+  (``div`` feeding an inline ``case`` whose ``inr`` branch substitutes
+  a fallback pool value — asymmetric linear use across branches), and
+  a final ``div``+``case`` exercises the coproduct result path;
 * the program returns the last bound value (or a pair of the last two).
+
+:func:`random_program` wraps a generated main with generated *helper*
+definitions and emits ``call`` steps into the main — the fuzz surface
+for the IR call-inlining pass.
 
 The companion :func:`random_inputs` draws inputs that avoid exact zeros,
 overflow, and underflow — the regime the paper's standard rounding model
@@ -22,23 +29,30 @@ assumes.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core import NUM, Definition, Param
+from repro.core import NUM, Definition, Param, Program
 from repro.core import builders as B
 from repro.core.types import DNUM
 
 __all__ = [
     "random_definition",
+    "random_program",
     "random_inputs",
     "random_batch_inputs",
     "batch_row",
     "DefinitionSpec",
+    "ProgramSpec",
 ]
 
 
 class DefinitionSpec:
     """A generated definition plus the metadata tests need."""
+
+    #: The surrounding program (None for standalone definitions); set by
+    #: :func:`random_program` so batch/witness helpers can treat both
+    #: spec kinds uniformly.
+    program: Optional[Program] = None
 
     def __init__(self, definition: Definition, linear: List[str], discrete: List[str]):
         self.definition = definition
@@ -51,6 +65,20 @@ class DefinitionSpec:
         return pretty_definition(self.definition)
 
 
+class ProgramSpec(DefinitionSpec):
+    """A generated *program*: helper definitions plus a calling main."""
+
+    def __init__(
+        self,
+        program: Program,
+        definition: Definition,
+        linear: List[str],
+        discrete: List[str],
+    ):
+        super().__init__(definition, linear, discrete)
+        self.program = program
+
+
 def random_definition(
     seed: int,
     *,
@@ -59,8 +87,15 @@ def random_definition(
     n_steps: int = 6,
     allow_case: bool = True,
     allow_promote: bool = True,
+    allow_div: bool = False,
 ) -> DefinitionSpec:
-    """Generate a well-typed, strictly linear Bean definition."""
+    """Generate a well-typed, strictly linear Bean definition.
+
+    ``allow_div`` (off by default, so historical seed streams are
+    stable) adds mid-program guarded quotients: ``div`` feeding an
+    inline ``case`` that substitutes a fallback pool value on the
+    ``inr`` branch.
+    """
     rng = random.Random(seed)
     n_linear = max(1, n_linear)
     linear_params = [f"x{i}" for i in range(n_linear)]
@@ -81,7 +116,19 @@ def random_definition(
 
     for _ in range(n_steps):
         choice = rng.random()
-        if choice < 0.15 and discretes and pool:
+        if allow_div and choice < 0.3 and len(pool) >= 3:
+            # Guarded quotient: div feeding an inline case.  The inr
+            # branch returns a fallback pool value (its unit payload
+            # stays unused), so the branches consume different linear
+            # variables — the asymmetric-use shape case typing allows.
+            numer, denom, fall = draw(), draw(), draw()
+            v, e = fresh("v"), fresh("e")
+            w = fresh("w")
+            bindings.append(
+                (w, B.case(B.div(numer, denom), v, B.var(v), e, B.var(fall)))
+            )
+            pool.append(w)
+        elif choice < 0.15 and discretes and pool:
             # dmul: discrete on the left, pool value on the right.
             name = fresh("d")
             bindings.append((name, B.dmul(rng.choice(discretes), draw())))
@@ -143,6 +190,111 @@ def random_definition(
     ]
     definition = Definition(f"Gen{seed & 0xFFFF}", params, expr)
     return DefinitionSpec(definition, linear_params, discrete_params)
+
+
+def random_program(
+    seed: int,
+    *,
+    n_linear: int = 3,
+    n_discrete: int = 1,
+    n_steps: int = 5,
+    n_helpers: int = 1,
+    allow_div: bool = False,
+) -> ProgramSpec:
+    """Generate a program of helper definitions plus a calling main.
+
+    Helpers are small straight-line definitions (one or two linear
+    parameters, optionally one discrete); the main's step loop mixes
+    plain arithmetic with ``call`` steps whose arguments consume pool
+    values (and pass the main's discrete variables through to discrete
+    helper parameters).  Everything is well-typed and strictly linear
+    by construction, like :func:`random_definition`.
+    """
+    from repro.core import check_definition
+
+    rng = random.Random(seed ^ 0x5EED)
+    helpers: List[Tuple[Definition, int, int]] = []  # (def, n_lin, n_disc)
+    for h in range(max(1, n_helpers)):
+        h_linear = rng.randint(1, 2)
+        h_discrete = rng.randint(0, min(1, n_discrete))
+        for attempt in range(32):
+            h_spec = random_definition(
+                (seed * 31 + h + attempt * 977) & 0x7FFFFFFF,
+                n_linear=h_linear,
+                n_discrete=h_discrete,
+                n_steps=rng.randint(1, 3),
+                allow_case=False,
+                allow_promote=False,
+                allow_div=allow_div,
+            )
+            # The main splices call results into num arithmetic, so the
+            # helper must return num (the generator sometimes ends on a
+            # pair).
+            if check_definition(h_spec.definition).result == NUM:
+                break
+        helper = Definition(
+            f"Help{seed & 0xFFFF}_{h}",
+            h_spec.definition.params,
+            h_spec.definition.body,
+        )
+        helpers.append((helper, h_linear, h_discrete))
+
+    linear_params = [f"x{i}" for i in range(max(1, n_linear))]
+    discrete_params = [f"z{i}" for i in range(n_discrete)]
+    pool: List[str] = list(linear_params)
+    discretes: List[str] = list(discrete_params)
+    bindings: List[Tuple[str, object]] = []
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def draw() -> str:
+        return pool.pop(rng.randrange(len(pool)))
+
+    callable_helpers = [
+        (d, nl, nd) for d, nl, nd in helpers if nd == 0 or discretes
+    ]
+    for _ in range(n_steps):
+        choice = rng.random()
+        if choice < 0.45 and callable_helpers:
+            helper, h_lin, h_disc = rng.choice(callable_helpers)
+            if len(pool) < h_lin:
+                continue
+            args = []
+            for p in helper.params:
+                from repro.core.types import is_discrete
+
+                if is_discrete(p.ty):
+                    args.append(B.var(rng.choice(discretes)))
+                else:
+                    args.append(B.var(draw()))
+            name = fresh("c")
+            bindings.append((name, B.call(helper.name, *args)))
+            pool.append(name)
+        elif len(pool) >= 2:
+            op = rng.choice([B.add, B.sub, B.mul])
+            name = fresh("t")
+            bindings.append((name, op(draw(), draw())))
+            pool.append(name)
+        elif pool and discretes:
+            name = fresh("d")
+            bindings.append((name, B.dmul(rng.choice(discretes), draw())))
+            pool.append(name)
+
+    assert pool, "generator invariant: the pool never drains completely"
+    result_expr = B.var(pool.pop(rng.randrange(len(pool))))
+    expr = result_expr
+    for name, bound in reversed(bindings):
+        expr = B.let_(name, bound, expr)
+    params = [Param(p, NUM) for p in linear_params] + [
+        Param(z, DNUM) for z in discrete_params
+    ]
+    main = Definition(f"Main{seed & 0xFFFF}", params, expr)
+    program = Program([d for d, _, _ in helpers] + [main])
+    return ProgramSpec(program, main, linear_params, discrete_params)
 
 
 def random_inputs(

@@ -101,19 +101,21 @@ class TestBitwiseAgreement:
 
 
 class TestFallbacks:
-    def test_case_programs_fall_back_to_scalar(self):
-        # Div + case puts the program outside the vectorized fragment;
-        # the engine must still agree with the loop.
+    def test_case_programs_vectorize_without_fallback(self):
+        # Div + case used to drop the whole batch to the scalar loop;
+        # the full-language engine runs them with branch masks — zero
+        # fallback rows on benign inputs — and still agrees bitwise.
         found = 0
         for seed in range(200):
             spec = random_definition(seed, n_linear=6, n_steps=4)
             engine = BatchWitnessEngine(spec.definition)
-            if engine.vectorized:
+            assert engine.vectorized
+            if not engine.ir.has_cases:
                 continue
             found += 1
             columns = random_batch_inputs(spec, seed=seed + 900, n_rows=12)
             report = engine.run(columns)
-            assert report.fallback_rows == 12
+            assert report.fallback_rows == 0
             for i in range(12):
                 reference = run_witness(
                     spec.definition, batch_row(columns, i), u=engine.u,
@@ -123,6 +125,38 @@ class TestFallbacks:
             if found >= 3:
                 break
         assert found >= 3
+
+    def test_zero_divisor_rows_fall_back_rowwise(self):
+        # A zero divisor sends only the affected row down the scalar
+        # path (where it takes the inr branch); the rest stay batched.
+        found = False
+        for seed in range(200):
+            spec = random_definition(seed, n_linear=6, n_steps=4)
+            engine = BatchWitnessEngine(spec.definition)
+            if not engine.ir.has_cases:
+                continue
+            found = True
+            break
+        assert found
+        columns = random_batch_inputs(spec, seed=31, n_rows=10)
+        # The generated case always divides two pool variables; zeroing
+        # every input in one row forces its divisor to zero.
+        for name in columns:
+            columns[name] = columns[name].copy()
+            columns[name][6] = 0.0
+        report = engine.run(columns)
+        assert 1 <= report.fallback_rows < 10
+        for i in range(10):
+            try:
+                reference = run_witness(
+                    spec.definition, batch_row(columns, i), u=engine.u,
+                    lens=engine.lens,
+                )
+            except Exception as exc:  # noqa: BLE001 - error parity below
+                assert type(report.errors[i]) is type(exc)
+                assert str(report.errors[i]) == str(exc)
+                continue
+            _assert_bitwise_equal(report, reference, i)
 
     def test_zero_rows_fall_back_rowwise(self):
         # An exact zero intermediate puts only the offending row on the
@@ -154,7 +188,7 @@ class TestFallbacks:
     def test_engine_adopts_lens_configuration(self):
         # Regression: a caller-provided lens defines the arithmetic —
         # its precision_bits must drive the vectorized sweep, and a
-        # stochastic lens must force the scalar path.
+        # stochastic lens must configure the vectorized rounding replay.
         from repro.semantics.interp import lens_of_definition
 
         definition = vec_sum(8)
@@ -168,21 +202,125 @@ class TestFallbacks:
         )
         _assert_bitwise_equal(report, reference, 0)
         stochastic = lens_of_definition(definition, rounding="stochastic")
-        assert not BatchWitnessEngine(definition, lens=stochastic).vectorized
+        st_engine = BatchWitnessEngine(definition, lens=stochastic)
+        assert st_engine.vectorized
+        assert st_engine.rounding == "stochastic"
 
-    def test_stochastic_rounding_uses_scalar_path(self):
+    def test_stochastic_rounding_vectorizes_and_replays_the_stream(self):
+        # Stochastic rounding decisions are keyed by operand bits, not
+        # by a sequential RNG, so the batched sweep reproduces the
+        # scalar stream per row — no whole-batch fallback anymore.
         definition = vec_sum(8)
         engine = BatchWitnessEngine(definition, rounding="stochastic", seed=9)
-        assert not engine.vectorized
-        xs = np.linspace(0.5, 4.0, 8)
-        report = engine.run({"x": np.tile(xs, (6, 1))})
-        reference = run_witness(
-            definition, {"x": list(xs)}, u=engine.u, lens=engine.lens
-        )
-        _assert_bitwise_equal(report, reference, 0)
+        assert engine.vectorized
+        rng = np.random.default_rng(2)
+        columns = {"x": rng.uniform(0.5, 4.0, (6, 8))}
+        report = engine.run(columns)
+        assert report.fallback_rows == 0
+        for i in range(6):
+            reference = run_witness(
+                definition, {"x": list(columns["x"][i])}, u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
 
 
 class TestRowErrors:
+    def test_nonfinite_rows_match_scalar_loop_error_for_error(self):
+        # Non-finite data drives the primitive backward maps into
+        # Decimal signals (inf/inf, NaN comparisons).  The report must
+        # record the *same* exception, type and message, on the same
+        # rows the scalar loop raises on — and stay bitwise on the rest.
+        spec = random_definition(5, n_linear=4, n_steps=6, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition)
+        columns = random_batch_inputs(spec, seed=41, n_rows=12)
+        poisons = {1: float("inf"), 4: float("nan"), 7: float("-inf")}
+        for name in columns:
+            columns[name] = columns[name].copy()
+            for row, value in poisons.items():
+                columns[name][row] = value
+        report = engine.run(columns)
+        assert report.fallback_rows >= len(poisons)
+        raised = 0
+        for i in range(12):
+            try:
+                reference = run_witness(
+                    spec.definition, batch_row(columns, i), u=engine.u,
+                    lens=engine.lens,
+                )
+            except Exception as exc:  # noqa: BLE001 - exact parity below
+                raised += 1
+                assert type(report.errors[i]) is type(exc)
+                assert str(report.errors[i]) == str(exc)
+                assert not report.sound[i]
+                with pytest.raises(type(exc)):
+                    report[i]
+                continue
+            assert i not in report.errors
+            _assert_bitwise_equal(report, reference, i)
+        assert raised >= 1  # the poison actually bit
+
+    def test_exact_zero_forward_values_match_scalar_loop(self):
+        # An exact-zero intermediate diverts the row to the scalar path;
+        # whether that path certifies or raises, the report must mirror
+        # it row for row (usually d = 0, identity perturbation).
+        spec = random_definition(11, n_linear=4, n_steps=7, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition)
+        columns = random_batch_inputs(spec, seed=13, n_rows=10)
+        for name in columns:
+            columns[name] = columns[name].copy()
+            columns[name][3] = 0.0
+        report = engine.run(columns)
+        assert report.fallback_rows >= 1
+        for i in range(10):
+            try:
+                reference = run_witness(
+                    spec.definition, batch_row(columns, i), u=engine.u,
+                    lens=engine.lens,
+                )
+            except Exception as exc:  # noqa: BLE001
+                assert type(report.errors[i]) is type(exc)
+                continue
+            _assert_bitwise_equal(report, reference, i)
+
+    def test_lens_domain_error_is_captured_row_for_row(self, monkeypatch):
+        # Bean's type discipline makes LensDomainError unreachable for
+        # well-typed programs on self-consistent targets, so force one:
+        # make the addition backward map refuse zero sums, as it would
+        # for a genuinely incomparable target.  The capture machinery
+        # must record it on exactly the offending rows.
+        import repro.semantics.interp as interp_mod
+        from repro.semantics.lens import LensDomainError
+
+        real_add_backward = interp_mod.add_backward
+
+        def strict_add_backward(x1, x2, x3):
+            if x1 + x2 == 0:
+                raise LensDomainError("add backward: zero sum refused")
+            return real_add_backward(x1, x2, x3)
+
+        monkeypatch.setattr(interp_mod, "add_backward", strict_add_backward)
+        definition = vec_sum(4)
+        rng = np.random.default_rng(8)
+        columns = {"x": rng.uniform(0.5, 4.0, (8, 4))}
+        # Row 2 sums to zero at the first add: x0 + x1 == 0.
+        columns["x"][2, 0], columns["x"][2, 1] = 1.5, -1.5
+        engine = BatchWitnessEngine(definition)
+        report = engine.run(columns)
+        assert 2 in report.errors
+        assert isinstance(report.errors[2], LensDomainError)
+        assert "zero sum refused" in str(report.errors[2])
+        assert not report.sound[2] and not report.all_sound
+        with pytest.raises(LensDomainError):
+            report[2]
+        # Every other row is untouched by the patch and stays bitwise.
+        for i in (0, 1, 3):
+            reference = run_witness(
+                definition, {"x": list(columns["x"][i])}, u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
+
     def test_nonfinite_row_is_captured_not_fatal(self):
         # Regression: one inf row must not abort the batch — the other
         # rows keep their reports and the bad row records its error.
@@ -226,3 +364,44 @@ class TestAggregates:
             engine.run({})
         with pytest.raises(ValueError, match="shape"):
             engine.run({"x": np.zeros((5, 3))})
+        # An explicitly 2-D empty with the wrong width is still a shape
+        # bug, not a vacuously sound batch.
+        with pytest.raises(ValueError, match="shape"):
+            engine.run({"x": np.zeros((0, 3))})
+
+    @pytest.mark.parametrize(
+        "empty", [[], np.zeros((0, 10)), np.zeros(0)],
+        ids=["list", "2d", "1d"],
+    )
+    def test_empty_environment_list_returns_empty_report(self, empty):
+        # Regression: an empty batch used to trip NumPy's zero-size
+        # array ops (an empty list has no row shape to infer).  It must
+        # produce an empty — vacuously sound — report instead.
+        report = run_witness_batch(vec_sum(10), {"x": empty})
+        assert report.n_rows == 0
+        assert len(report) == 0
+        assert report.all_sound  # vacuously: no rows, no errors
+        assert report.sound_count == 0
+        assert report.fallback_rows == 0
+        assert list(report) == []
+        assert report.param_max_distance["x"] == 0
+        assert "0/0" in report.describe()
+        with pytest.raises(IndexError):
+            report[0]
+
+    def test_empty_batch_on_scalar_path_program(self):
+        # The empty short-circuit must also cover non-vectorized
+        # engines (here: a definition whose call cannot be inlined
+        # because the engine was built without its program).
+        from repro.core import Definition, NUM, Param, Program
+        from repro.core import builders as B
+        from repro.semantics.interp import lens_of_program
+
+        double = Definition("Double", [Param("a", NUM)], B.rnd("a"))
+        caller = Definition("F", [Param("x", NUM)], B.call("Double", B.var("x")))
+        program = Program([double, caller])
+        lens = lens_of_program(program, "F")
+        engine = BatchWitnessEngine(caller, lens=lens)  # no program: no inline
+        assert not engine.vectorized
+        report = engine.run({"x": []})
+        assert report.n_rows == 0 and report.all_sound

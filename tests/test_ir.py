@@ -96,7 +96,7 @@ class TestLoweringShape:
         # n-1 adds plus the projection ops; no op for any let binder.
         assert len(ir.ops) == 499 + 2 * 499
 
-    def test_case_programs_not_vectorizable(self):
+    def test_case_programs_are_vectorizable(self):
         program = parse_program(
             """
             F (x : num) (y : num) (z : num) :=
@@ -104,10 +104,49 @@ class TestLoweringShape:
               case q of inl v => v | inr e => z
             """
         )
-        # Data-dependent control flow (div + case) keeps the program out
-        # of the batch engine's vectorizable fragment.
+        # Data-dependent control flow (div + case) runs with branch
+        # masks and per-row screening — inside the vectorizable
+        # fragment since the full-language batch engine.
         ir = lower_definition(program["F"])
-        assert ir.has_cases and not ir.vectorizable
+        assert ir.has_cases and ir.vectorizable
+
+    def test_calls_are_not_vectorizable_until_inlined(self):
+        program = parse_program(
+            """
+            Double (x : num) := add x x
+
+            F (a : num) (b : num) := mul (Double a) (Double b)
+            """
+        )
+        from repro.ir import inline_calls, semantic_definition_ir
+
+        ir = semantic_definition_ir(program["F"])
+        assert ir.has_calls and not ir.vectorizable
+        inlined = inline_calls(ir, program)
+        assert not inlined.has_calls and inlined.vectorizable
+        # Caller parameter and result slots survive the splice.
+        assert [p.slot for p in inlined.params] == [p.slot for p in ir.params]
+        assert inlined.result == ir.result
+
+    def test_inline_guards_leave_calls_in_place(self):
+        from repro.core import Definition, NUM, Param, Program
+        from repro.core import builders as B
+        from repro.ir import inline_calls, semantic_definition_ir
+
+        # Arity mismatch must keep failing at run time, not inline time.
+        callee = Definition("G", [Param("a", NUM), Param("b", NUM)],
+                            B.add("a", "b"))
+        caller = Definition("F", [Param("x", NUM)],
+                            B.call("G", B.var("x")))
+        program = Program([callee, caller])
+        ir = inline_calls(semantic_definition_ir(caller), program)
+        assert ir.has_calls and not ir.vectorizable
+        # A size guard refusal also leaves the call in place.
+        wide = inline_calls(
+            semantic_definition_ir(caller), Program([callee, caller]),
+            max_ops=0,
+        )
+        assert wide.has_calls
 
     def test_checked_lowering_rejects_what_checker_rejects(self):
         from repro.core import BeanTypeError, LinearityError
