@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 from repro.bench.irbench import format_ir_bench, run_ir_bench
 
 SPECS = [
@@ -30,8 +30,22 @@ def ir_rows():
 
 
 def test_ir_bench_report(ir_rows):
-    """Persist the full comparison table."""
+    """Persist the comparison table + the machine-readable trajectory."""
     write_result("ir.txt", format_ir_bench(ir_rows))
+    metrics = {}
+    gated = []
+    for row in ir_rows:
+        cell = row.name.lower()
+        metrics[f"{cell}_check_ir_s"] = row.check_ir_s
+        metrics[f"{cell}_eval_ir_s"] = row.eval_ir_s
+        metrics[f"{cell}_check_speedup_x"] = row.check_speedup
+        if row.witness_batch_s is not None:
+            metrics[f"{cell}_witness_batch_s"] = row.witness_batch_s
+        if row.batch_speedup is not None:
+            metrics[f"{cell}_batch_speedup_x"] = row.batch_speedup
+            gated.append(f"{cell}_batch_speedup_x")
+        gated.append(f"{cell}_check_speedup_x")
+    write_bench_json("ir", metrics, gate_metrics=gated)
 
 
 def test_ir_check_faster_on_large_programs(ir_rows):

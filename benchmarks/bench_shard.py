@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 from repro.bench.irbench import format_ir_bench, run_ir_bench
 
 SPECS = [
@@ -35,8 +35,22 @@ def shard_rows():
 
 
 def test_shard_bench_report(shard_rows):
-    """Persist the full comparison table."""
+    """Persist the comparison table + the machine-readable trajectory."""
     write_result("shard.txt", format_ir_bench(shard_rows))
+    metrics = {}
+    gated = []
+    for row in shard_rows:
+        cell = row.name.lower()
+        if row.witness_batch_s is not None:
+            metrics[f"{cell}_witness_batch_s"] = row.witness_batch_s
+        if row.batch_speedup is not None:
+            metrics[f"{cell}_batch_speedup_x"] = row.batch_speedup
+            gated.append(f"{cell}_batch_speedup_x")
+        if row.witness_shard_s is not None:
+            metrics[f"{cell}_witness_shard_s"] = row.witness_shard_s
+    write_bench_json(
+        "shard", metrics, gate_metrics=gated, meta={"workers": WORKERS}
+    )
 
 
 def test_batch_clears_4x_on_div_case_kernel(shard_rows):

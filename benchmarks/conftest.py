@@ -8,13 +8,29 @@ Each ``bench_table*.py`` module regenerates one table of the paper's
 evaluation section and writes the formatted table to
 ``benchmarks/results/``, in addition to timing the underlying inference
 with pytest-benchmark.
+
+Perf-relevant modules additionally emit machine-readable
+``BENCH_<name>.json`` trajectories (:func:`write_bench_json`) — at the
+repository root and under ``results/`` — which
+``scripts/check_bench_regression.py`` gates against the committed
+baselines in ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import sys
+from typing import Dict, Iterable, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BASELINES_DIR = pathlib.Path(__file__).parent / "baselines"
+
+#: JSON schema version for BENCH_*.json files; bump on layout changes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def write_result(name: str, text: str) -> None:
@@ -23,3 +39,42 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+
+
+def write_bench_json(
+    name: str,
+    metrics: Dict[str, float],
+    *,
+    gate_metrics: Optional[Iterable[str]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> dict:
+    """Emit one machine-readable benchmark trajectory.
+
+    ``metrics`` maps metric names to numbers; by convention names ending
+    in ``_s`` are durations (lower is better) and names ending in ``_x``
+    are speedup ratios (higher is better) — the regression comparator
+    keys its direction off the suffix.  ``gate_metrics`` restricts which
+    metrics the CI regression gate enforces (default: all); ratios are
+    far less hardware-sensitive than absolute times, so gating on them
+    keeps the gate meaningful on shared CI runners.
+    """
+    payload = {
+        "name": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            **(meta or {}),
+        },
+    }
+    if gate_metrics is not None:
+        payload["gate_metrics"] = sorted(gate_metrics)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for path in (REPO_ROOT / f"BENCH_{name}.json", RESULTS_DIR / f"BENCH_{name}.json"):
+        path.write_text(text)
+    print(f"\n=== BENCH_{name}.json ===\n{text}")
+    return payload

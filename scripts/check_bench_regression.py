@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Gate benchmark trajectories against committed baselines.
+
+Compares the ``BENCH_<name>.json`` files a benchmark run just emitted
+against the committed baselines in ``benchmarks/baselines/`` and fails
+(exit 1) when any gated metric regressed beyond the tolerance:
+
+* metrics named ``*_s`` are durations — **lower is better**; a run
+  regresses when ``current > baseline * tolerance``;
+* metrics named ``*_x`` are speedup ratios — **higher is better**; a
+  run regresses when ``current < baseline / tolerance``;
+* anything else is reported but never gated.
+
+A trajectory may carry a ``gate_metrics`` list naming the subset the
+gate enforces (ratios are far less hardware-sensitive than absolute
+seconds, so that is what the repository gates on by default); without
+it every recognized metric is gated.
+
+The default tolerance is **1.5x**, sized for shared CI hardware where
+scheduling noise on absolute timings is routine; genuine regressions
+from algorithmic changes (the kind PR 1/2's 5-75x wins would show if
+reverted) overshoot it by an order of magnitude.
+
+Refreshing baselines intentionally::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ir.py benchmarks/bench_shard.py benchmarks/bench_serve.py -q
+    python scripts/check_bench_regression.py --write-baseline
+
+and commit the changed files under ``benchmarks/baselines/`` with a
+justification in the PR description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_TOLERANCE = 1.5
+
+
+def load_trajectory(path: pathlib.Path) -> Optional[dict]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        print(f"error: {path} is not a benchmark trajectory", file=sys.stderr)
+        return None
+    return payload
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """'lower' for durations (_s), 'higher' for ratios (_x), else None."""
+    if name.endswith("_s"):
+        return "lower"
+    if name.endswith("_x") or name.endswith("_speedup"):
+        return "higher"
+    return None
+
+
+def compare_trajectory(
+    name: str,
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes) for one benchmark trajectory."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    current_metrics: Dict[str, float] = current.get("metrics", {})
+    baseline_metrics: Dict[str, float] = baseline.get("metrics", {})
+    gated = baseline.get("gate_metrics")
+    if gated is None:
+        gated = [m for m in baseline_metrics if metric_direction(m)]
+    for metric in sorted(baseline_metrics):
+        base = baseline_metrics[metric]
+        direction = metric_direction(metric)
+        if metric not in current_metrics:
+            message = f"{name}:{metric} missing from current run"
+            if metric in gated:
+                regressions.append(message)
+            else:
+                notes.append(message)
+            continue
+        cur = current_metrics[metric]
+        if direction == "lower":
+            ratio = cur / base if base else float("inf")
+            verdict = cur > base * tolerance
+            shape = f"{cur:.4f}s vs baseline {base:.4f}s ({ratio:.2f}x)"
+        elif direction == "higher":
+            ratio = base / cur if cur else float("inf")
+            verdict = cur < base / tolerance
+            shape = f"{cur:.2f}x vs baseline {base:.2f}x"
+        else:
+            notes.append(f"{name}:{metric} ungated (no _s/_x suffix)")
+            continue
+        line = f"{name}:{metric} {shape}"
+        if metric not in gated:
+            notes.append(f"{line} [ungated]")
+        elif verdict:
+            regressions.append(line)
+        else:
+            notes.append(f"{line} [ok]")
+    for metric in sorted(set(current_metrics) - set(baseline_metrics)):
+        notes.append(f"{name}:{metric} new metric (no baseline yet)")
+    return regressions, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json trajectories against baselines."
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="where the current run's BENCH_*.json live (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINES,
+        help="committed baselines (default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"regression factor (default {DEFAULT_TOLERANCE}x)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="copy the current trajectories over the baselines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current_paths = sorted(args.results_dir.glob("BENCH_*.json"))
+    if args.write_baseline:
+        if not current_paths:
+            print("error: no BENCH_*.json to promote", file=sys.stderr)
+            return 1
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in current_paths:
+            shutil.copy(path, args.baseline_dir / path.name)
+            print(f"baseline updated: {args.baseline_dir / path.name}")
+        return 0
+
+    baseline_paths = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baseline_paths:
+        print(f"error: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+
+    all_regressions: List[str] = []
+    for baseline_path in baseline_paths:
+        baseline = load_trajectory(baseline_path)
+        if baseline is None:
+            return 1
+        name = baseline_path.stem.replace("BENCH_", "", 1)
+        current_path = args.results_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"FAIL {name}: {current_path} was not emitted")
+            all_regressions.append(f"{name}: trajectory missing")
+            continue
+        current = load_trajectory(current_path)
+        if current is None:
+            return 1
+        regressions, notes = compare_trajectory(
+            name, current, baseline, args.tolerance
+        )
+        for note in notes:
+            print(f"  {note}")
+        for regression in regressions:
+            print(f"FAIL {regression}")
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(
+            f"\n{len(all_regressions)} benchmark regression(s) beyond "
+            f"{args.tolerance}x tolerance.\nIf intentional, refresh with: "
+            "python scripts/check_bench_regression.py --write-baseline"
+        )
+        return 1
+    print(f"\nbench-gate OK ({args.tolerance}x tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,14 @@ README = HERE / "README.md"
 
 setup(
     name="repro-bean",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Bean: A Language for Backward Error Analysis' "
         "(Kellison, Zielinski, Bindel, Hsu; PLDI 2025): graded linear type "
         "system, backward error lenses, a flat IR with iterative "
-        "checker/interpreter passes, and a vectorized batch witness engine."
+        "checker/interpreter passes, a vectorized batch witness engine, "
+        "and a concurrent audit service over a content-addressed "
+        "artifact cache."
     ),
     long_description=README.read_text(encoding="utf-8") if README.exists() else "",
     long_description_content_type="text/markdown",

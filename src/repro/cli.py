@@ -15,23 +15,29 @@ Usage examples::
     repro-bean witness program.bean --batch --workers 4 --inputs '...'
     repro-bean bench --batch --family Sum --size 100 --envs 1000
     repro-bean bench --batch --workers 4 --family SafeDiv
+    repro-bean serve --port 8765 --cache-dir /var/cache/repro-bean
+    repro-bean client program.bean --port 8765 --batch --inputs '...'
 
 ``check`` mirrors the paper's OCaml prototype: given a program with no
 grade annotations it reports, per definition, the inferred type and the
 tightest backward error bound of every linear input, both symbolically
 (in units of ε = u/(1−u)) and numerically for the chosen unit roundoff.
+``serve`` keeps all per-program work (parse, typecheck, lower, inline,
+infer) warm across audit requests; ``client`` sends one audit to a
+running server and prints the response — byte-identical to what
+``witness --json`` prints for the same audit.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .core import BeanError, check_program, count_flops, parse_program
-from .core.grades import BINARY64_UNIT_ROUNDOFF
 from .core.types import is_discrete
 
 __all__ = ["main", "build_parser"]
@@ -39,12 +45,9 @@ __all__ = ["main", "build_parser"]
 
 def _parse_roundoff(text: str) -> float:
     """Accept '2^-53', '2**-53', or a literal float."""
-    text = text.strip()
-    for marker in ("^", "**"):
-        if marker in text:
-            base, _, exponent = text.partition(marker)
-            return float(base) ** float(exponent)
-    return float(text)
+    from .service.audit import parse_roundoff
+
+    return parse_roundoff(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +150,117 @@ def build_parser() -> argparse.ArgumentParser:
         "--u",
         default=None,
         help="unit roundoff for the bound check (default: 2^-precision_bits)",
+    )
+    witness.add_argument(
+        "--engine",
+        choices=["ir", "recursive"],
+        default="ir",
+        help=(
+            "scalar lens implementation (ignored with --batch, which "
+            "selects the vectorized/sharded engines)"
+        ),
+    )
+    witness.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the canonical audit payload — the same bytes a "
+            "`repro serve` response body carries for this audit"
+        ),
+    )
+    witness.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR") or None,
+        help=(
+            "on-disk artifact cache directory (lowered/inlined IR, "
+            "inferred grades persist across runs; default: "
+            "$REPRO_CACHE_DIR, else no persistence)"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent audit server over a shared artifact cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR") or None,
+        help=(
+            "artifact cache directory shared with workers and other "
+            "servers (default: $REPRO_CACHE_DIR, else no persistence)"
+        ),
+    )
+    serve.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used cache entries beyond this size",
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="audit thread pool size (default: Python's executor default)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="default process count for engine=sharded requests",
+    )
+    serve.add_argument(
+        "--max-request-workers",
+        type=int,
+        default=None,
+        help=(
+            "reject audit requests asking for more shard workers than "
+            "this (default: max(cpu count, 8))"
+        ),
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="send one audit to a running server and print the response",
+    )
+    client.add_argument("file", help="path to a Bean source file")
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, default=8765, help="server port")
+    client.add_argument(
+        "--name", default=None, help="definition to run (default: the last one)"
+    )
+    client.add_argument(
+        "--inputs",
+        required=True,
+        help="JSON object mapping parameters to scalars/vectors (or batches)",
+    )
+    client.add_argument(
+        "--batch", action="store_true", help="audit with the batch engine"
+    )
+    client.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with --batch: shard rows across this many server-side processes",
+    )
+    client.add_argument(
+        "--engine",
+        choices=["ir", "recursive"],
+        default="ir",
+        help="scalar lens implementation (ignored with --batch)",
+    )
+    client.add_argument(
+        "--precision-bits", type=int, default=53,
+        help="simulated significand width of the run",
+    )
+    client.add_argument(
+        "--u", default=None, help="unit roundoff for the bound check"
+    )
+    client.add_argument(
+        "--timeout", type=float, default=300.0, help="request timeout (s)"
     )
 
     bench = sub.add_parser(
@@ -263,9 +377,16 @@ def _cmd_table3(_: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_name(batch: bool, workers: int, scalar_engine: str) -> str:
+    """Map CLI flags to an audit engine name (shared by witness/client)."""
+    if batch:
+        return "sharded" if workers > 1 else "batch"
+    return scalar_engine
+
+
 def _cmd_witness(args: argparse.Namespace) -> int:
-    from .semantics.interp import lens_of_program
-    from .semantics.witness import run_witness
+    from .service.audit import perform_audit
+    from .service.protocol import render_payload
 
     with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
@@ -275,47 +396,115 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    definition = program[args.name] if args.name else program.main
     # Input data is user-supplied: render shape/JSON/missing-parameter
     # problems as CLI errors, not tracebacks.
     try:
         inputs = json.loads(args.inputs)
-        u = _parse_roundoff(args.u) if args.u else 2.0 ** -args.precision_bits
-        if args.batch and args.workers > 1:
-            # The sharded runner derives its own lens (workers rebuild
-            # it from the configuration); don't typecheck twice here.
-            from .semantics.shard import run_witness_sharded
-
-            report = run_witness_sharded(
-                definition,
-                inputs,
-                program=program,
-                u=u,
-                workers=args.workers,
-                precision_bits=args.precision_bits,
-            )
-        elif args.batch:
-            from .semantics.batch import run_witness_batch
-
-            lens = lens_of_program(program, definition.name)
-            lens.precision_bits = args.precision_bits
-            report = run_witness_batch(
-                definition, inputs, program=program, u=u, lens=lens
-            )
-        if args.batch:
-            print(report.describe())
-            print(f"soundness theorem holds on all rows: {report.all_sound}")
-            return 0 if report.all_sound else 2
-        lens = lens_of_program(program, definition.name)
-        lens.precision_bits = args.precision_bits
-        report = run_witness(definition, inputs, program=program, lens=lens, u=u)
+        result = perform_audit(
+            program,
+            args.name,
+            inputs=inputs,
+            engine=_engine_name(args.batch, args.workers, args.engine),
+            workers=args.workers,
+            precision_bits=args.precision_bits,
+            u=args.u,
+            cache_dir=args.cache_dir,
+        )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
-    print(report.describe())
-    print(f"soundness theorem holds on this run: {report.sound}")
-    return 0 if report.sound else 2
+    if args.json:
+        print(render_payload(result.payload))
+        return 0 if result.sound else 2
+    print(result.report.describe())
+    if result.batch:
+        print(f"soundness theorem holds on all rows: {result.sound}")
+    else:
+        print(f"soundness theorem holds on this run: {result.sound}")
+    return 0 if result.sound else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import AuditServer
+
+    server = AuditServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        threads=args.threads,
+        default_workers=args.workers,
+        max_request_workers=args.max_request_workers,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        cache_note = (
+            f"artifact cache at {args.cache_dir}"
+            if args.cache_dir
+            else "no artifact cache (--cache-dir to persist)"
+        )
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"({cache_note})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .service.client import ClientError, audit
+
+    with open(args.file, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        inputs = json.loads(args.inputs)
+    except json.JSONDecodeError as exc:
+        print(f"error: --inputs is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    spec = {
+        "source": source,
+        "name": args.name,
+        "inputs": inputs,
+        "engine": _engine_name(args.batch, args.workers, args.engine),
+        "workers": args.workers,
+        "precision_bits": args.precision_bits,
+        "u": args.u,
+    }
+    try:
+        status, body = audit(
+            args.host, args.port, spec, timeout=args.timeout
+        )
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if status != 200:
+        try:
+            message = json.loads(body).get("error", body)
+        except json.JSONDecodeError:
+            message = body
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    # The body is exactly what `witness --json` prints (incl. trailing
+    # newline); write it verbatim so outputs stay byte-comparable.
+    sys.stdout.write(body)
+    try:
+        payload = json.loads(body)
+        sound = payload.get(
+            "all_sound", payload.get("sound", False)
+        )
+    except json.JSONDecodeError:
+        return 1
+    return 0 if sound else 2
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -429,6 +618,8 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "witness": _cmd_witness,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

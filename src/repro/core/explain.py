@@ -19,7 +19,7 @@ is ``repro-bean explain FILE --var NAME``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
 from . import ast_nodes as A
 from .checker import Judgment

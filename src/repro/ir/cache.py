@@ -9,6 +9,14 @@ identity is the right equality, and hashing a 10000-deep expression tree
 package exists to avoid.  A weak reference per entry evicts the cache
 line when the definition is garbage collected, so ``id`` reuse cannot
 serve stale programs.
+
+Behind the identity layer sits an optional **persistent layer**
+(:func:`set_persistent_cache`): a content-addressed store — in practice
+:class:`repro.service.cache.ArtifactCache` — consulted on identity-cache
+misses so lowered and inlined IR survive process restarts.  The
+registration point lives here (rather than in :mod:`repro.service`) so
+this package and :mod:`repro.core.checker` can consult it without
+importing the serving layer.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ __all__ = [
     "semantic_expr_ir",
     "inlined_definition_ir",
     "clear_caches",
+    "set_persistent_cache",
+    "persistent_cache",
 ]
 
 
@@ -55,7 +65,41 @@ class IdentityCache:
         return len(self._entries)
 
 
-_SEMANTIC_DEFS = IdentityCache(lambda d: lower_definition(d, checked=False))
+#: The cross-process artifact store, if one is activated.  Anything with
+#: ``get(kind, definition, program, build)`` works; see
+#: :class:`repro.service.cache.ArtifactCache`.
+_PERSISTENT = None
+
+
+def set_persistent_cache(cache) -> None:
+    """Install (or with ``None`` remove) the persistent outer layer.
+
+    The in-memory identity caches are cleared so artifacts built before
+    the switch cannot bypass (or leak from) the new store.
+    """
+    global _PERSISTENT
+    _PERSISTENT = cache
+    clear_caches()
+    from ..core import checker
+
+    checker.clear_judgment_caches()
+
+
+def persistent_cache():
+    """The installed persistent layer, or ``None``."""
+    return _PERSISTENT
+
+
+def _build_semantic(definition: A.Definition) -> IRProgram:
+    def build() -> IRProgram:
+        return lower_definition(definition, checked=False)
+
+    if _PERSISTENT is None or not isinstance(definition, A.Definition):
+        return build()
+    return _PERSISTENT.get("semantic-ir", definition, None, build)
+
+
+_SEMANTIC_DEFS = IdentityCache(_build_semantic)
 _SEMANTIC_EXPRS = IdentityCache(lambda e: lower_expr(e))
 
 
@@ -95,7 +139,13 @@ def inlined_definition_ir(definition: A.Definition, program) -> IRProgram:
         return entry[2]
     from .inline import inline_calls
 
-    value = inline_calls(semantic_definition_ir(definition), program)
+    def build() -> IRProgram:
+        return inline_calls(semantic_definition_ir(definition), program)
+
+    if _PERSISTENT is None or not isinstance(definition, A.Definition):
+        value = build()
+    else:
+        value = _PERSISTENT.get("inlined-ir", definition, program, build)
     _INLINED[key] = (_ref(definition, key), _ref(program, key), value)
     return value
 

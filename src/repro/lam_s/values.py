@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from decimal import Decimal
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
 
 __all__ = [
     "Value",

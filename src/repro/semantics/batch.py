@@ -1068,6 +1068,14 @@ class BatchWitnessEngine:
             nf = nw.astype(np.float64)
             bad = (o == 0.0) | (nf == 0.0) | ((o > 0.0) != (nf > 0.0))
             do, dn = dec_orig[j], dec_new[j]
+            if dn.dtype != object:
+                # A float perturbed leaf (e.g. rnd's backward map hands
+                # the rounded approximant through under reduced
+                # precision): convert exactly, like the scalar
+                # to_decimal, before the Decimal screening arithmetic.
+                # Stored back so the exact candidate pass below sees
+                # Decimals too.
+                dn = dec_new[j] = _to_dec(dn)
             # Perturbations are relative ~1e-16..1e-13 — far below what a
             # float ratio can resolve.  A 12-digit Decimal difference
             # captures them exactly enough for screening (~1e-11 relative

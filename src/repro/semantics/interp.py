@@ -38,7 +38,6 @@ from ..ir import lower as L
 from ..ir.cache import semantic_definition_ir
 from ..lam_s.eval import _Interp, _IRInterp
 from ..lam_s.values import (
-    UNIT_VALUE,
     Value,
     VInl,
     VInr,

@@ -72,12 +72,19 @@ def shard_bounds(n_rows: int, shards: int) -> List[int]:
 
 
 def _run_shard(blob: bytes, columns: Dict[str, np.ndarray], u: float,
-               engine_options: Dict):
+               engine_options: Dict, cache_dir: Optional[str] = None):
     """Worker body: re-lower the IR locally and certify one row slice.
 
     Returns a picklable summary — the lazy per-row reports stay behind
-    (they close over worker-local engine state).
+    (they close over worker-local engine state).  With ``cache_dir``,
+    the worker warm-starts its re-lowering (semantic IR, inlined IR,
+    inferred judgments) from the shared on-disk artifact cache the
+    parent populated, instead of recomputing them from the AST.
     """
+    if cache_dir:
+        from ..service.cache import activate
+
+        activate(cache_dir)
     definition, program = call_with_deep_stack(pickle.loads, blob)
     engine = BatchWitnessEngine(definition, program, u=u, **engine_options)
     report = engine.run(columns)
@@ -98,6 +105,7 @@ def run_witness_sharded(
     u: float = BINARY64_UNIT_ROUNDOFF,
     workers: Optional[int] = None,
     mp_context: Optional[str] = None,
+    cache_dir: Optional[str] = None,
     **engine_options,
 ) -> BatchWitnessReport:
     """Certify a batch of environments across ``workers`` processes.
@@ -105,10 +113,17 @@ def run_witness_sharded(
     ``inputs`` takes the same shape as
     :func:`~repro.semantics.batch.run_witness_batch`; ``engine_options``
     are the engine's configuration kwargs (``precision``, ``rounding``,
-    ``seed``, ``precision_bits``).  A pre-built lens cannot cross the
-    process boundary — pass its configuration instead.  ``mp_context``
+    ``seed``, ``precision_bits``).  A pre-built lens cannot ship to
+    worker processes — pass its configuration instead.  ``mp_context``
     selects the multiprocessing start method (default: the platform's);
     the workers are spawn-safe either way.
+
+    ``cache_dir`` names a shared on-disk artifact cache
+    (:class:`repro.service.cache.ArtifactCache`): the parent activates
+    it before building its engine — persisting the lowered IR, inlined
+    IR, and judgments — and every worker warm-starts from it instead of
+    re-lowering from the pickled AST.  Results are bitwise identical
+    either way; the cache only changes who pays for lowering.
     """
     if "lens" in engine_options:
         raise ValueError(
@@ -116,6 +131,10 @@ def run_witness_sharded(
             "pass the engine configuration (precision, rounding, seed, "
             "precision_bits) instead"
         )
+    if cache_dir:
+        from ..service.cache import activate
+
+        activate(cache_dir)
     engine = BatchWitnessEngine(definition, program, u=u, **engine_options)
     columns = engine._columns(inputs)
     n_rows = next(iter(columns.values())).shape[0]
@@ -144,6 +163,7 @@ def run_witness_sharded(
                 {name: arr[bounds[i]: bounds[i + 1]] for name, arr in columns.items()},
                 u,
                 engine_options,
+                cache_dir,
             )
             for i in range(shards)
         ]

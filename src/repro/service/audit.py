@@ -1,0 +1,141 @@
+"""The one audit entry point shared by the CLI and the audit server.
+
+``repro witness`` and ``POST /audit`` must answer every request with
+*bitwise identical* results — same verdicts, same Decimal distance
+strings, same value reprs, same captured error messages — for all four
+engines.  The only reliable way to guarantee that is to run both through
+the same function: :func:`perform_audit` maps an engine name to exactly
+the call sequence the CLI has always made, and
+:mod:`repro.service.protocol` renders the one JSON payload both emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
+
+from ..core import ast_nodes as A
+
+if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
+    from ..semantics.batch import BatchWitnessReport
+    from ..semantics.witness import WitnessReport
+
+__all__ = ["ENGINES", "AuditResult", "parse_roundoff", "perform_audit"]
+
+#: The four audit engines a request may name.
+ENGINES = ("ir", "recursive", "batch", "sharded")
+
+
+def parse_roundoff(text: Union[str, float, int]) -> float:
+    """Accept '2^-53', '2**-53', or a literal float."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    text = text.strip()
+    for marker in ("^", "**"):
+        if marker in text:
+            base, _, exponent = text.partition(marker)
+            return float(base) ** float(exponent)
+    return float(text)
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """A finished audit: the raw report plus its canonical JSON payload."""
+
+    report: "Union[WitnessReport, BatchWitnessReport]"
+    payload: Dict[str, Any]
+    sound: bool
+    batch: bool
+
+
+def perform_audit(
+    program: A.Program,
+    name: Optional[str] = None,
+    *,
+    inputs: Mapping[str, Any],
+    engine: str = "ir",
+    workers: int = 2,
+    precision_bits: int = 53,
+    u: Optional[Union[str, float]] = None,
+    cache_dir: Optional[str] = None,
+    mp_context: Optional[str] = None,
+) -> AuditResult:
+    """Audit ``name`` (default: the last definition) on ``inputs``.
+
+    ``engine`` is one of :data:`ENGINES`: ``"ir"`` / ``"recursive"``
+    run the scalar witness through the respective lens implementation;
+    ``"batch"`` runs the vectorized engine over environment rows;
+    ``"sharded"`` distributes the rows over ``workers`` processes.
+    ``u`` accepts the CLI's roundoff spellings (default
+    ``2**-precision_bits``); ``cache_dir`` activates the on-disk
+    artifact cache for this process (and the shard workers).
+    ``mp_context`` selects the sharded engine's multiprocessing start
+    method — verdicts are bitwise identical in any of them; the audit
+    server passes ``"spawn"`` because forking a multi-threaded server
+    process can deadlock the child on inherited locks.
+    """
+    from ..semantics.interp import lens_of_program
+    from ..semantics.witness import run_witness
+    from .protocol import batch_report_payload, scalar_report_payload
+
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
+        )
+    if cache_dir:
+        from .cache import activate
+
+        activate(cache_dir)
+    definition = program[name] if name else program.main
+    roundoff = (
+        parse_roundoff(u) if u is not None else 2.0**-precision_bits
+    )
+
+    if engine == "sharded":
+        from ..semantics.shard import run_witness_sharded
+
+        report = run_witness_sharded(
+            definition,
+            inputs,
+            program=program,
+            u=roundoff,
+            workers=workers,
+            precision_bits=precision_bits,
+            cache_dir=cache_dir,
+            mp_context=mp_context,
+        )
+        payload = batch_report_payload(
+            report,
+            engine=engine,
+            u=roundoff,
+            precision_bits=precision_bits,
+            workers=workers,
+        )
+        return AuditResult(report, payload, report.all_sound, True)
+
+    if engine == "batch":
+        from ..semantics.batch import run_witness_batch
+
+        lens = lens_of_program(program, definition.name)
+        lens.precision_bits = precision_bits
+        report = run_witness_batch(
+            definition, inputs, program=program, u=roundoff, lens=lens
+        )
+        payload = batch_report_payload(
+            report, engine=engine, u=roundoff, precision_bits=precision_bits
+        )
+        return AuditResult(report, payload, report.all_sound, True)
+
+    lens = lens_of_program(program, definition.name, engine=engine)
+    lens.precision_bits = precision_bits
+    scalar_report = run_witness(
+        definition, inputs, program=program, lens=lens, u=roundoff
+    )
+    payload = scalar_report_payload(
+        scalar_report,
+        definition=definition,
+        engine=engine,
+        u=roundoff,
+        precision_bits=precision_bits,
+    )
+    return AuditResult(scalar_report, payload, scalar_report.sound, False)

@@ -1,0 +1,108 @@
+"""``repro client`` — a blocking HTTP client for the audit service.
+
+Stdlib-socket only (the server side is asyncio; the client has no
+reason to be).  One request per connection, mirroring the server's
+``Connection: close`` discipline.  The high-level helpers return the
+response body *exactly* as received, because the body of a successful
+audit is the same byte string ``repro witness --json`` prints — callers
+(the CLI, the differential harness, the soak driver) compare it
+verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ClientError", "audit", "healthz", "request"]
+
+_MAX_RESPONSE_BYTES = 1024 * 1024 * 1024
+
+
+class ClientError(Exception):
+    """Connection-level or protocol-level failure talking to the server."""
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    *,
+    timeout: float = 300.0,
+) -> Tuple[int, bytes]:
+    """One HTTP exchange; returns ``(status, response_body)``."""
+    payload = body or b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(head.encode("latin-1") + payload)
+            chunks = []
+            total = 0
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                total += len(chunk)
+                if total > _MAX_RESPONSE_BYTES:
+                    raise ClientError("response too large")
+    except OSError as exc:
+        raise ClientError(f"cannot reach {host}:{port}: {exc}") from exc
+    raw = b"".join(chunks)
+    head_blob, sep, rest = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise ClientError("malformed response: no header terminator")
+    head_lines = head_blob.decode("latin-1").split("\r\n")
+    status_parts = head_lines[0].split(" ", 2)
+    if len(status_parts) < 2 or not status_parts[1].isdigit():
+        raise ClientError(f"malformed status line: {head_lines[0]!r}")
+    status = int(status_parts[1])
+    length: Optional[int] = None
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                raise ClientError(f"bad Content-Length: {value!r}")
+    if length is not None and len(rest) < length:
+        raise ClientError(
+            f"truncated response body: got {len(rest)} of {length} bytes"
+        )
+    return status, rest if length is None else rest[:length]
+
+
+def audit(
+    host: str,
+    port: int,
+    spec: Dict[str, Any],
+    *,
+    timeout: float = 300.0,
+) -> Tuple[int, str]:
+    """POST one audit request; returns ``(status, body_text)``."""
+    body = json.dumps(spec).encode("utf-8")
+    status, raw = request(
+        host, port, "POST", "/audit", body, timeout=timeout
+    )
+    return status, raw.decode("utf-8")
+
+
+def healthz(host: str, port: int, *, timeout: float = 30.0) -> Dict[str, Any]:
+    """GET /healthz, parsed."""
+    status, raw = request(host, port, "GET", "/healthz", timeout=timeout)
+    if status != 200:
+        raise ClientError(f"health check failed with HTTP {status}")
+    result = json.loads(raw.decode("utf-8"))
+    if not isinstance(result, dict):
+        raise ClientError("health check returned a non-object")
+    return result

@@ -1,0 +1,245 @@
+"""Wire formats for the audit service.
+
+Two layers, both stdlib-only:
+
+* **payloads** — the canonical JSON rendering of witness reports.
+  :func:`render_payload` is the *single* serialization point: the CLI
+  prints it, the server sends it as the response body, and the
+  differential harness asserts the two byte strings are equal.  Every
+  value that matters for the bitwise contract (Decimal distances,
+  value reprs, captured error messages) is rendered as the exact
+  string the in-process objects produce.
+* **HTTP** — a minimal HTTP/1.1 request reader and response writer
+  over asyncio streams.  The protocol subset is deliberately tiny
+  (no chunked encoding, no keep-alive pipelining guarantees beyond
+  one request per connection) but speaks well enough HTTP that
+  ``curl`` works against the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from ..core import ast_nodes as A
+
+if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
+    from ..semantics.batch import BatchWitnessReport
+    from ..semantics.witness import WitnessReport
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "batch_report_payload",
+    "http_response",
+    "read_request",
+    "render_payload",
+    "scalar_report_payload",
+]
+
+#: Hard limits against hostile or broken peers.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+# --------------------------------------------------------------------------
+# Report payloads
+# --------------------------------------------------------------------------
+
+
+def scalar_report_payload(
+    report: "WitnessReport",
+    *,
+    definition: A.Definition,
+    engine: str,
+    u: float,
+    precision_bits: int,
+) -> Dict[str, Any]:
+    """The canonical JSON payload of one scalar witness run."""
+    params: Dict[str, Any] = {}
+    for name, w in report.params.items():
+        params[name] = {
+            "grade": str(w.grade),
+            "distance": str(w.distance),
+            "bound": str(w.bound),
+            "within_bound": w.within_bound,
+            "original": repr(w.original),
+            "perturbed": repr(w.perturbed),
+        }
+    return {
+        "definition": definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+        "sound": report.sound,
+        "exact_match": report.exact_match,
+        "approx_value": repr(report.approx_value),
+        "ideal_on_perturbed": repr(report.ideal_on_perturbed),
+        "params": params,
+    }
+
+
+def batch_report_payload(
+    report: "BatchWitnessReport",
+    *,
+    engine: str,
+    u: float,
+    precision_bits: int,
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The canonical JSON payload of a batch/sharded witness run."""
+    payload: Dict[str, Any] = {
+        "definition": report.definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+    }
+    if workers is not None:
+        payload["workers"] = workers
+    payload.update(
+        {
+            "n_rows": report.n_rows,
+            "all_sound": report.all_sound,
+            "sound_rows": report.sound_count,
+            "fallback_rows": report.fallback_rows,
+            "sound": [bool(x) for x in report.sound],
+            "exact": [bool(x) for x in report.exact],
+            "errors": {
+                str(i): {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                }
+                for i, exc in sorted(report.errors.items())
+            },
+            "params": {
+                name: {
+                    "max_distance": str(dist),
+                    "bound": str(report.param_bound[name]),
+                    "within_bound": dist <= report.param_bound[name],
+                }
+                for name, dist in report.param_max_distance.items()
+            },
+        }
+    )
+    return payload
+
+
+def render_payload(payload: Dict[str, Any]) -> str:
+    """The one rendering both the CLI and the server emit, byte for byte."""
+    return json.dumps(payload, indent=2)
+
+
+# --------------------------------------------------------------------------
+# Minimal HTTP/1.1 over asyncio streams
+# --------------------------------------------------------------------------
+
+
+class HttpError(Exception):
+    """A malformed or oversized request, mapped to a 4xx response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    writer: Optional[asyncio.StreamWriter] = None,
+) -> Optional[Request]:
+    """Parse one request from the stream (``None`` on a clean EOF).
+
+    With ``writer`` given, an ``Expect: 100-continue`` header gets the
+    interim ``100 Continue`` response before the body is read —
+    otherwise curl (which sends the header for bodies over 1 KiB, i.e.
+    any realistic batch audit) stalls ~1 s per request waiting for it.
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # connection closed between requests
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large")
+    if len(header_blob) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    request_parts = lines[0].split(" ")
+    if len(request_parts) != 3 or not request_parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = request_parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    if (
+        writer is not None
+        and "100-continue" in headers.get("expect", "").lower()
+    ):
+        writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+        await writer.drain()
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def http_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+) -> bytes:
+    """Serialize one HTTP/1.1 response (connection: close)."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

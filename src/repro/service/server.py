@@ -1,0 +1,452 @@
+"""``repro serve`` — the concurrent audit server.
+
+One long-lived process amortizes every per-program cost the CLI pays on
+each invocation: interpreter and NumPy startup, parsing, typechecking,
+IR lowering and inlining, grade inference.  The server keeps prepared
+programs in memory (coalescing concurrent preparations of the same
+program hash into a single task), persists the derived artifacts in the
+shared on-disk :class:`~repro.service.cache.ArtifactCache`, and
+dispatches audits through the exact CLI code path
+(:func:`~repro.service.audit.perform_audit`), so every response body is
+bitwise identical to the one-shot ``repro witness --json`` output.
+
+Protocol (HTTP/1.1, JSON bodies)::
+
+    POST /audit    {"source": "...bean text...", "inputs": {...},
+                    "name": null, "engine": "batch", "workers": 2,
+                    "precision_bits": 53, "u": "2^-53"}
+    GET  /healthz  liveness + uptime counters
+    GET  /stats    request/coalescing/cache statistics
+
+Audit responses carry 200 (all rows sound), 200 with ``"sound": false``
+bodies still being valid audits; 400 for malformed requests, 422 for
+Bean-level errors (parse/type/input), 404/405 elsewhere.  CPU-bound
+audit work runs on a thread pool (sharded audits fan out to worker
+processes from there), keeping the event loop free to accept and
+coalesce further requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from ..core import BeanError, ast_nodes as A, check_program, parse_program
+from ..lam_s.eval import EvalError
+from ..semantics.lens import LensDomainError
+from .audit import ENGINES, perform_audit
+from .cache import ArtifactCache, activate
+from .fingerprint import fingerprint_source
+from .protocol import (
+    HttpError,
+    Request,
+    http_response,
+    read_request,
+    render_payload,
+)
+
+__all__ = ["AuditServer", "ServerHandle", "serve"]
+
+#: Prepared programs kept in memory (each entry is one parsed+checked
+#: program; artifacts also live in the on-disk cache, so eviction only
+#: costs a re-parse).
+MAX_PREPARED_PROGRAMS = 128
+
+
+class _Prepared:
+    """A parsed and checked program, ready to audit."""
+
+    __slots__ = ("program", "key")
+
+    def __init__(self, program: A.Program, key: str) -> None:
+        self.program = program
+        self.key = key
+
+
+class AuditServer:
+    """The asyncio audit server.  See the module docstring for protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_dir: Optional[str] = None,
+        max_cache_bytes: Optional[int] = None,
+        threads: Optional[int] = None,
+        default_workers: int = 2,
+        max_request_workers: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.max_cache_bytes = max_cache_bytes
+        self.default_workers = default_workers
+        # A client chooses its shard width, but not without bound: each
+        # spawned worker is a fresh interpreter + NumPy import, so an
+        # unbounded 'workers' field would let one request exhaust the
+        # host.  Over-cap requests are rejected, never clamped.
+        if max_request_workers is None:
+            max_request_workers = max(os.cpu_count() or 1, 8)
+        self.max_request_workers = max_request_workers
+        self.cache: Optional[ArtifactCache] = None
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "audits": 0,
+            "audit_failures": 0,
+            "prep_hits": 0,
+            "prep_misses": 0,
+            "http_errors": 0,
+        }
+        self._prep_tasks: "Dict[str, asyncio.Task[_Prepared]]" = {}
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-audit"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving (resolves ``port`` when it was 0)."""
+        if self.cache_dir:
+            self.cache = activate(
+                self.cache_dir, max_bytes=self.max_cache_bytes
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader, writer)
+            except HttpError as exc:
+                self.stats["http_errors"] += 1
+                writer.write(
+                    http_response(
+                        exc.status, _error_body(exc.message)
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return
+            self.stats["requests"] += 1
+            try:
+                status, body = await self._route(request)
+            except Exception as exc:  # noqa: BLE001 - see _handle_audit
+                self.stats["http_errors"] += 1
+                status, body = 500, _error_body(
+                    f"internal error: {type(exc).__name__}: {exc}"
+                )
+            writer.write(http_response(status, body))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, request: Request) -> Tuple[int, bytes]:
+        if request.path == "/audit":
+            if request.method != "POST":
+                return 405, _error_body("POST /audit")
+            return await self._handle_audit(request)
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return 405, _error_body("GET /healthz")
+            return 200, self._render(self._health_payload())
+        if request.path == "/stats":
+            if request.method != "GET":
+                return 405, _error_body("GET /stats")
+            # The cache numbers walk the objects/ directory; keep that
+            # off the event loop so /stats polls never stall audits.
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self._pool, self._stats_payload
+            )
+            return 200, self._render(payload)
+        return 404, _error_body(f"no such endpoint: {request.path}")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _health_payload(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "prepared_programs": len(self._prep_tasks),
+            "requests": self.stats["requests"],
+            "audits": self.stats["audits"],
+        }
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"server": dict(self.stats)}
+        payload["prepared_programs"] = len(self._prep_tasks)
+        if self.cache is not None:
+            entries = self.cache._entries()  # one scan for both numbers
+            payload["cache"] = {
+                "root": self.cache.root,
+                "entries": len(entries),
+                "bytes": sum(size for _, size, _ in entries),
+                **self.cache.stats,
+            }
+        return payload
+
+    async def _handle_audit(self, request: Request) -> Tuple[int, bytes]:
+        try:
+            spec = request.json()
+        except HttpError as exc:
+            self.stats["http_errors"] += 1
+            return exc.status, _error_body(exc.message)
+        try:
+            source, name, kwargs = _validate_audit_spec(
+                spec,
+                default_workers=self.default_workers,
+                max_workers=self.max_request_workers,
+            )
+        except HttpError as exc:
+            self.stats["http_errors"] += 1
+            return exc.status, _error_body(exc.message)
+        try:
+            prepared = await self._prepare(source)
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._pool,
+                lambda: perform_audit(
+                    prepared.program,
+                    name,
+                    cache_dir=self.cache_dir,
+                    # Never fork a multi-threaded server: a forked shard
+                    # worker can inherit a lock some other thread holds.
+                    mp_context="spawn",
+                    **kwargs,
+                ),
+            )
+        except BeanError as exc:
+            self.stats["audit_failures"] += 1
+            return 422, _error_body(str(exc))
+        except (EvalError, LensDomainError) as exc:
+            self.stats["audit_failures"] += 1
+            return 422, _error_body(str(exc))
+        except (ValueError, KeyError, OverflowError) as exc:
+            # Ill-shaped input data — the CLI renders these as `error:`
+            # lines; the service maps them to 422.  OverflowError covers
+            # absurd roundoff spellings like "2^99999".
+            self.stats["audit_failures"] += 1
+            message = exc.args[0] if exc.args else exc
+            return 422, _error_body(str(message))
+        except Exception as exc:  # noqa: BLE001 - a crashed audit must
+            # still answer the request: 500, never a dropped connection.
+            self.stats["audit_failures"] += 1
+            return 500, _error_body(
+                f"internal error: {type(exc).__name__}: {exc}"
+            )
+        self.stats["audits"] += 1
+        body = (render_payload(result.payload) + "\n").encode("utf-8")
+        return 200, body
+
+    # -- program preparation (coalesced) ----------------------------------
+
+    async def _prepare(self, source: str) -> _Prepared:
+        """Parse + check ``source`` once per program hash.
+
+        Concurrent requests for the same hash await one shared task;
+        later requests hit the completed task's result directly.
+        """
+        key = fingerprint_source(source, kind="program")
+        task = self._prep_tasks.get(key)
+        if task is not None and not (task.done() and task.exception()):
+            self.stats["prep_hits"] += 1
+            return await task
+        self.stats["prep_misses"] += 1
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._prepare_uncoalesced(source, key))
+        self._prep_tasks[key] = task
+        if len(self._prep_tasks) > MAX_PREPARED_PROGRAMS:
+            self._evict_prepared()
+        try:
+            return await task
+        except BaseException:
+            # A failed preparation must not poison the hash for retries.
+            self._prep_tasks.pop(key, None)
+            raise
+
+    async def _prepare_uncoalesced(self, source: str, key: str) -> _Prepared:
+        loop = asyncio.get_running_loop()
+
+        def build() -> _Prepared:
+            program = parse_program(source)
+            check_program(program)  # typecheck + infer grades once
+            return _Prepared(program, key)
+
+        return await loop.run_in_executor(self._pool, build)
+
+    def _evict_prepared(self) -> None:
+        """Drop oldest finished programs over the cap (insertion order).
+
+        In-flight preparations are never dropped; the on-disk artifact
+        cache keeps eviction cheap (re-entry costs one re-parse).
+        """
+        excess = len(self._prep_tasks) - MAX_PREPARED_PROGRAMS
+        if excess <= 0:
+            return
+        for key in list(self._prep_tasks):
+            if excess <= 0:
+                break
+            if self._prep_tasks[key].done():
+                del self._prep_tasks[key]
+                excess -= 1
+
+    @staticmethod
+    def _render(payload: Dict[str, Any]) -> bytes:
+        return (render_payload(payload) + "\n").encode("utf-8")
+
+
+def _error_body(message: str) -> bytes:
+    return (render_payload({"error": message}) + "\n").encode("utf-8")
+
+
+def _validate_audit_spec(
+    spec: Any, *, default_workers: int, max_workers: int
+) -> Tuple[str, Optional[str], Dict[str, Any]]:
+    """Check an /audit request body; raise :class:`HttpError` 400 on bad."""
+    if not isinstance(spec, dict):
+        raise HttpError(400, "audit request must be a JSON object")
+    source = spec.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise HttpError(400, "audit request needs a non-empty 'source'")
+    inputs = spec.get("inputs")
+    if not isinstance(inputs, dict):
+        raise HttpError(400, "audit request needs an 'inputs' object")
+    name = spec.get("name")
+    if name is not None and not isinstance(name, str):
+        raise HttpError(400, "'name' must be a string or null")
+    engine = spec.get("engine", "ir")
+    if engine not in ENGINES:
+        raise HttpError(
+            400, f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
+        )
+    workers = spec.get("workers", default_workers)
+    # bool is an int subclass; reject it explicitly or True would pass.
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise HttpError(400, "'workers' must be a positive integer")
+    if workers > max_workers:
+        # Rejecting (not clamping) preserves the byte-parity contract:
+        # a served response always matches the CLI run it claims.
+        raise HttpError(
+            400,
+            f"'workers' capped at {max_workers} on this server "
+            "(--max-request-workers)",
+        )
+    precision_bits = spec.get("precision_bits", 53)
+    if (
+        isinstance(precision_bits, bool)
+        or not isinstance(precision_bits, int)
+        or not 1 <= precision_bits <= 64
+    ):
+        raise HttpError(400, "'precision_bits' must be an integer in [1, 64]")
+    u = spec.get("u")
+    if u is not None:
+        if not isinstance(u, (str, int, float)):
+            raise HttpError(
+                400, "'u' must be a number or a string like '2^-53'"
+            )
+        from .audit import parse_roundoff
+
+        try:
+            parse_roundoff(u)
+        except (ValueError, OverflowError):
+            raise HttpError(400, f"cannot parse 'u': {u!r}")
+    unknown = set(spec) - {
+        "source", "inputs", "name", "engine", "workers", "precision_bits", "u"
+    }
+    if unknown:
+        raise HttpError(400, f"unknown request field(s): {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {
+        "inputs": inputs,
+        "engine": engine,
+        "workers": workers,
+        "precision_bits": precision_bits,
+        "u": u,
+    }
+    return source, name, kwargs
+
+
+# --------------------------------------------------------------------------
+# Embedding helpers (tests, benchmarks, the soak driver)
+# --------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread with its own event loop."""
+
+    def __init__(self, server: AuditServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def stop(self, timeout: float = 10.0) -> None:
+        async def _shutdown() -> None:
+            await self.server.stop()
+
+        future = asyncio.run_coroutine_threadsafe(_shutdown(), self.loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout=timeout)
+
+
+def serve(server: AuditServer, *, timeout: float = 30.0) -> ServerHandle:
+    """Start ``server`` on a daemon thread; returns once it is bound."""
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("audit server failed to start in time")
+    return ServerHandle(server, loop, thread)

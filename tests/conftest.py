@@ -20,6 +20,15 @@ settings.register_profile(
     settings.get_profile("repro"),
     derandomize=True,
 )
+# Nightly soak profile: fresh seeds and a 10x examples budget — the
+# schedule-triggered workflow hunts for parity counterexamples the
+# per-PR budget cannot reach.
+settings.register_profile(
+    "nightly",
+    settings.get_profile("repro"),
+    max_examples=400,
+    derandomize=False,
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 

@@ -100,6 +100,40 @@ class TestBitwiseAgreement:
             _assert_bitwise_equal(report, reference, i)
 
 
+class TestRndLowPrecisionRegression:
+    """rnd on a raw parameter under reduced precision (PR 3 regression).
+
+    The backward map for ``rnd`` hands the *rounded float array* through
+    as the parameter's perturbed value; with ``precision_bits < 53``
+    that array differs from the original, and the vectorized distance
+    screen used to mix it (float64) with the Decimal originals and raise
+    ``TypeError`` instead of converting exactly like the scalar path.
+    """
+
+    @pytest.mark.parametrize("precision_bits", [11, 24, 53])
+    def test_rnd_param_distance_bitwise(self, precision_bits):
+        from repro.core import parse_program
+
+        program = parse_program(
+            "RndId (x0 : num) : num := let r = rnd x0 in r"
+        )
+        engine = BatchWitnessEngine(
+            program.main, program, precision_bits=precision_bits
+        )
+        columns = {"x0": np.array([3.45547648, -1.97200053, 0.125, 1e-30])}
+        report = engine.run(columns)
+        assert report.fallback_rows == 0
+        for i in range(4):
+            reference = run_witness(
+                program.main,
+                {"x0": float(columns["x0"][i])},
+                program=program,
+                u=engine.u,
+                lens=engine.lens,
+            )
+            _assert_bitwise_equal(report, reference, i)
+
+
 class TestFallbacks:
     def test_case_programs_vectorize_without_fallback(self):
         # Div + case used to drop the whole batch to the scalar loop;

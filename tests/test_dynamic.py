@@ -1,7 +1,6 @@
 """Tests for the Fu-et-al-style dynamic backward error estimator."""
 
 import math
-from decimal import Decimal
 
 import pytest
 

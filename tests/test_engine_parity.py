@@ -1,13 +1,16 @@
-"""Cross-engine differential harness: four engines, one bit pattern.
+"""Cross-engine differential harness: five engines, one bit pattern.
 
-The repository now certifies the soundness theorem through four
+The repository now certifies the soundness theorem through five
 engines — the recursive reference interpreters (``engine="recursive"``),
 the iterative IR sweeps (``engine="ir"``), the vectorized
-:class:`~repro.semantics.batch.BatchWitnessEngine`, and the
-multiprocess :func:`~repro.semantics.shard.run_witness_sharded` — and
-the contract between them is not "approximately equal": identical float
+:class:`~repro.semantics.batch.BatchWitnessEngine`, the multiprocess
+:func:`~repro.semantics.shard.run_witness_sharded`, and the **served**
+path (``repro serve`` dispatching the same audits over HTTP) — and the
+contract between them is not "approximately equal": identical float
 approximants, identical Decimal perturbed inputs and distances,
-identical verdicts, identical captured exceptions, row for row.
+identical verdicts, identical captured exceptions, row for row.  For
+the served engine the contract is byte-level: the response body equals
+the ``repro witness --json`` stdout for the same audit.
 
 This module is the fuzz oracle for that contract.  Hypothesis drives
 randomly generated well-typed Bean programs across the *whole* language
@@ -22,9 +25,12 @@ see ``conftest.py``).
 
 from __future__ import annotations
 
-import numpy as np
+import contextlib
+import io
+import json
+
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from strategies import (
     batch_row,
@@ -35,6 +41,12 @@ from strategies import (
 from repro.semantics.batch import BatchWitnessEngine
 from repro.semantics.interp import lens_of_definition
 from repro.semantics.witness import run_witness
+
+#: Examples budgets scale with the loaded hypothesis profile (40 for
+#: the default/ci profiles, 400 under HYPOTHESIS_PROFILE=nightly), so
+#: the schedule-triggered soak deepens the search without code changes.
+_BUDGET = settings().max_examples
+_SMALL_BUDGET = max(_BUDGET // 4, 10)
 
 
 def assert_witness_reports_equal(got, reference, ctx=""):
@@ -116,7 +128,7 @@ def engine_cases(draw):
 
 
 @given(case=engine_cases(), data=st.data())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=_BUDGET, deadline=None)
 def test_engines_bitwise_agree(case, data):
     """The differential property: recursive ≡ IR ≡ batch, bit for bit."""
     spec, engine_options = case
@@ -159,7 +171,7 @@ def test_engines_bitwise_agree(case, data):
 
 
 @given(data=st.data())
-@settings(max_examples=10, deadline=None)
+@settings(max_examples=_SMALL_BUDGET, deadline=None)
 def test_call_programs_see_through_inlining(data):
     """Programs with calls vectorize (no whole-batch scalar fallback)."""
     seed = data.draw(st.integers(0, 2**16))
@@ -207,3 +219,114 @@ class TestShardedParity:
         # Materialized rows rebuild through the scalar runner: bitwise.
         for i in (0, 8):
             assert_witness_reports_equal(sharded[i], batch[i], ctx=i)
+
+
+class TestServedParity:
+    """The served engine against the one-shot CLI, byte for byte.
+
+    The server and the CLI share :func:`repro.service.audit.perform_audit`
+    by construction; this class is the end-to-end oracle that the HTTP
+    layer (request validation, coalescing, executor dispatch, response
+    rendering) preserves that equality — over randomized programs whose
+    *source text* travels to the server while the CLI re-parses the same
+    text locally.
+    """
+
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        from repro.service.cache import deactivate
+        from repro.service.server import AuditServer, serve
+
+        deactivate()
+        cache_dir = tmp_path_factory.mktemp("parity-cache")
+        handle = serve(AuditServer(port=0, cache_dir=str(cache_dir)))
+        try:
+            yield handle
+        finally:
+            handle.stop()
+            deactivate()
+
+    @staticmethod
+    def assert_served_equals_cli(handle, source, inputs, engine, tmp_path):
+        from repro.cli import main
+        from repro.service.client import audit
+
+        status, body = audit(
+            handle.host,
+            handle.port,
+            {"source": source, "inputs": inputs, "engine": engine, "workers": 2},
+        )
+        assert status == 200, body
+        path = tmp_path / "prog.bean"
+        path.write_text(source)
+        argv = ["witness", str(path), "--inputs", json.dumps(inputs), "--json"]
+        if engine in ("batch", "sharded"):
+            argv.append("--batch")
+        if engine == "sharded":
+            argv += ["--workers", "2"]
+        if engine == "recursive":
+            argv += ["--engine", "recursive"]
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            main(argv)
+        assert body == buffer.getvalue(), (engine, source)
+
+    @given(data=st.data())
+    @settings(
+        max_examples=_SMALL_BUDGET,
+        deadline=None,
+        suppress_health_check=[
+            # The server fixture is class-scoped by design (one server,
+            # many examples); tmp_path is only a scratch file path.
+            HealthCheck.function_scoped_fixture,
+            HealthCheck.too_slow,
+        ],
+    )
+    def test_served_random_programs_bitwise(self, served, tmp_path, data):
+        from repro.core import pretty_program
+
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        spec = random_program(
+            seed, n_helpers=data.draw(st.integers(1, 2)),
+            allow_div=data.draw(st.booleans()),
+        )
+        source = pretty_program(spec.program)
+        engine = data.draw(st.sampled_from(["ir", "batch"]), label="engine")
+        n_rows = data.draw(st.integers(1, 3), label="n_rows")
+        columns = random_batch_inputs(spec, seed + 1, n_rows)
+        if engine == "ir":
+            inputs = batch_row(columns, 0)
+        else:
+            inputs = {k: v.tolist() for k, v in columns.items()}
+        self.assert_served_equals_cli(served, source, inputs, engine, tmp_path)
+
+    @pytest.mark.parametrize("engine", ["recursive", "sharded"])
+    def test_served_slow_engines_bitwise(self, served, tmp_path, engine):
+        # One fixed seed per engine: the recursive lens and the process
+        # pool are too slow for a hypothesis inner loop.
+        from repro.core import pretty_program
+
+        spec = random_program(5, n_helpers=1, allow_div=True)
+        source = pretty_program(spec.program)
+        columns = random_batch_inputs(spec, 11, 4)
+        if engine == "recursive":
+            inputs = batch_row(columns, 0)
+        else:
+            inputs = {k: v.tolist() for k, v in columns.items()}
+        self.assert_served_equals_cli(served, source, inputs, engine, tmp_path)
+
+    def test_served_error_capture_bitwise(self, served, tmp_path):
+        # Poisoned rows (inf) force per-row scalar fallback and error
+        # capture; the captured type+message must cross the HTTP layer
+        # exactly as the CLI renders them.
+        from repro.core import pretty_program
+
+        spec = random_program(3, n_helpers=1, allow_div=True)
+        source = pretty_program(spec.program)
+        columns = random_batch_inputs(spec, 7, 3)
+        inputs = {}
+        for name, arr in columns.items():
+            arr = arr.copy()
+            arr[1] = float("inf")
+            inputs[name] = arr.tolist()
+        self.assert_served_equals_cli(served, source, inputs, "batch", tmp_path)

@@ -7,7 +7,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import parse_expression
-from repro.core.ast_nodes import Program
 from repro.lam_s import (
     EvalError,
     UNIT_VALUE,
@@ -16,7 +15,6 @@ from repro.lam_s import (
     VNum,
     VPair,
     evaluate,
-    values_close,
 )
 from repro.programs.generators import vec_sum
 from repro.lam_s.values import vector_value

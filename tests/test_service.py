@@ -1,0 +1,673 @@
+"""The serving layer: fingerprints, the artifact cache, the audit server.
+
+Three contracts under test:
+
+* **fingerprints** are canonical: stable across parses (the parser's
+  fresh-name counter must not leak into keys), alpha-invariant, and
+  sensitive to everything semantic (structure, types, grades, kinds);
+* **the artifact cache** is safe: corrupted/truncated entries are
+  transparently recomputed (never raised), writes are atomic under
+  concurrency, entries survive process restarts, eviction bounds size;
+* **the served audit path** is bitwise identical to the CLI: for all
+  four engines the response body equals the ``repro witness --json``
+  stdout for the same audit, byte for byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core import parse_program
+from repro.core.checker import check_program
+from repro.ir.cache import (
+    inlined_definition_ir,
+    persistent_cache,
+    semantic_definition_ir,
+)
+from repro.service.cache import ArtifactCache, activate, deactivate
+from repro.service.fingerprint import (
+    fingerprint_definition,
+    fingerprint_program,
+    fingerprint_source,
+)
+from repro.service import client as service_client
+from repro.service.server import AuditServer, serve
+
+SAFEDIV = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "bean", "safediv4.bean"
+)
+
+DOTPROD = """
+DotProd2 (x : vec(2)) (y : vec(2)) : num :=
+  let (x0, x1) = x in
+  let (y0, y1) = y in
+  let v = mul x0 y0 in
+  let w = mul x1 y1 in
+  add v w
+"""
+
+BATCH_INPUTS = {
+    "x": [[1, 2, 3, 4], [2, 3, 4, 5], [1, 1, 1, 1]],
+    "y": [[1, 1, 2, 2], [0, 1, 1, 2], [4, 3, 2, 1]],
+    "f": [[1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3]],
+}
+SCALAR_INPUTS = {k: v[0] for k, v in BATCH_INPUTS.items()}
+
+
+@pytest.fixture()
+def no_persistence():
+    """Ensure a test starts and ends without an active artifact cache."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def cli_json(argv):
+    """Run the CLI in-process, capturing stdout."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+# --------------------------------------------------------------------------
+# Fingerprints
+# --------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_parses(self):
+        p1 = parse_program(DOTPROD)
+        p2 = parse_program(DOTPROD)
+        assert fingerprint_program(p1) == fingerprint_program(p2)
+
+    def test_stable_under_fresh_name_drift(self):
+        # Desugared call arguments mint fresh names from a process-global
+        # counter; interleaving another parse shifts the counter.
+        source = "H (x : num) (y : num) : num := add (mul x y) y"
+        p1 = parse_program(source)
+        parse_program(DOTPROD)  # bump the fresh-name counter
+        p2 = parse_program(source)
+        assert p1.main.body is not p2.main.body
+        assert fingerprint_definition(p1.main, p1) == fingerprint_definition(
+            p2.main, p2
+        )
+
+    def test_alpha_invariant(self):
+        a = parse_program("F (x : num) : num := let t = add x x in mul t t")
+        b = parse_program("F (x : num) : num := let s = add x x in mul s s")
+        assert fingerprint_program(a) == fingerprint_program(b)
+
+    def test_sensitive_to_structure(self):
+        a = parse_program("F (x : num) : num := add x x")
+        b = parse_program("F (x : num) : num := mul x x")
+        assert fingerprint_program(a) != fingerprint_program(b)
+
+    def test_sensitive_to_parameter_names(self):
+        # Parameter names are free names: callers address them in the
+        # inputs mapping, so they are semantic, not alpha-convertible.
+        a = parse_program("F (x : num) : num := add x x")
+        b = parse_program("F (y : num) : num := add y y")
+        assert fingerprint_program(a) != fingerprint_program(b)
+
+    def test_sensitive_to_kind_and_options(self):
+        p = parse_program(DOTPROD)
+        plain = fingerprint_definition(p.main, p)
+        kinded = fingerprint_definition(p.main, p, kind="inlined-ir")
+        optioned = fingerprint_definition(
+            p.main, p, options={"precision_bits": 24}
+        )
+        assert len({plain, kinded, optioned}) == 3
+
+    def test_deep_programs_fingerprint_iteratively(self):
+        from repro.programs.generators import BENCHMARK_FAMILIES
+
+        deep = BENCHMARK_FAMILIES["Sum"](5000)
+        # A recursive walk would blow the default recursion limit here.
+        assert fingerprint_definition(deep)
+
+    def test_source_fingerprint(self):
+        assert fingerprint_source("abc") == fingerprint_source("abc")
+        assert fingerprint_source("abc") != fingerprint_source("abd")
+        assert fingerprint_source("abc", kind="x") != fingerprint_source(
+            "abc", kind="y"
+        )
+
+
+# --------------------------------------------------------------------------
+# The artifact cache
+# --------------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        p = parse_program(DOTPROD)
+        key = cache.key_for("semantic-ir", p.main)
+        assert cache.load(key) is None
+        ir = semantic_definition_ir(p.main)
+        assert cache.store(key, ir)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert len(loaded.ops) == len(ir.ops)
+        assert cache.stats["hits"] == 1
+
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("ab" * 32, {"value": 1})
+        path = cache._path("ab" * 32)
+        blob = open(path, "rb").read()
+        # Flip a byte inside the pickled payload: digest check must fail.
+        open(path, "wb").write(blob[:-3] + bytes([blob[-3] ^ 0xFF]) + blob[-2:])
+        assert cache.load("ab" * 32) is None
+        assert cache.stats["corrupt"] == 1
+        assert not os.path.exists(path)  # bad entries are dropped
+
+    def test_truncated_entry_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("cd" * 32, list(range(100)))
+        path = cache._path("cd" * 32)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        assert cache.load("cd" * 32) is None
+        assert cache.stats["corrupt"] == 1
+
+    def test_garbage_entry_recomputes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache._path("ef" * 32)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        open(path, "wb").write(b"not an artifact at all")
+        assert cache.load("ef" * 32) is None
+
+    def test_valid_header_bad_pickle_recomputes(self, tmp_path):
+        import hashlib
+
+        cache = ArtifactCache(tmp_path)
+        path = cache._path("01" * 32)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = b"\x80\x05but-not-really-pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode()
+        open(path, "wb").write(
+            b"repro-artifact-v1\n" + digest + b"\n" + payload
+        )
+        assert cache.load("01" * 32) is None
+        assert cache.stats["corrupt"] == 1
+
+    def test_get_builds_once_then_hits(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        p = parse_program(DOTPROD)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        first = cache.get("judgment", p.main, None, build)
+        second = cache.get("judgment", p.main, None, build)
+        assert first == second == {"n": 1}
+        assert len(calls) == 1
+
+    def test_unpicklable_value_skips_persistence(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        p = parse_program(DOTPROD)
+        value = cache.get("judgment", p.main, None, lambda: lambda: None)
+        assert callable(value)
+        assert len(cache) == 0  # nothing persisted, nothing raised
+
+    def test_concurrent_writers_never_corrupt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "77" * 32
+        payload = list(range(5000))
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    other = ArtifactCache(tmp_path)
+                    other.store(key, payload)
+                    loaded = cache.load(key)
+                    # A reader may only ever see a whole entry or a miss.
+                    assert loaded is None or loaded == payload
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.load(key) == payload
+        assert cache.stats["corrupt"] == 0
+
+    def test_stale_tmp_files_are_swept(self, tmp_path):
+        # A writer killed between mkstemp and rename leaves a .tmp file
+        # no *.art accounting sees; prune must reclaim it eventually.
+        cache = ArtifactCache(tmp_path, max_bytes=10_000_000)
+        cache.store("ab" * 32, {"v": 1})
+        bucket = os.path.join(cache.objects_dir, "ab")
+        orphan = os.path.join(bucket, "tmp_orphan.tmp")
+        open(orphan, "wb").write(b"half-written")
+        os.utime(orphan, (1, 1))  # ancient: clearly not in flight
+        fresh = os.path.join(bucket, "tmp_fresh.tmp")
+        open(fresh, "wb").write(b"in flight")
+        cache.prune(10_000_000)
+        assert not os.path.exists(orphan)
+        assert os.path.exists(fresh)  # recent writers are left alone
+        assert cache.load("ab" * 32) == {"v": 1}
+
+    def test_eviction_bounds_size(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=4096)
+        for i in range(40):
+            cache.store(f"{i:02d}" + "a" * 60, os.urandom(512))
+        assert cache.size_bytes() <= 4096
+        assert cache.stats["evicted"] > 0
+
+    def test_hits_survive_process_restart(self, tmp_path):
+        script = (
+            "import sys\n"
+            "from repro.core import parse_program\n"
+            "from repro.core.checker import check_program\n"
+            "from repro.ir.cache import inlined_definition_ir\n"
+            "from repro.service.cache import activate\n"
+            "cache = activate(sys.argv[1])\n"
+            "program = parse_program(open(sys.argv[2]).read())\n"
+            "check_program(program)\n"
+            "inlined_definition_ir(program.main, program)\n"
+            "print(cache.stats['hits'], cache.stats['misses'])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(__file__), "..", "src")
+            + os.pathsep
+            + env.get("PYTHONPATH", "")
+        )
+        runs = []
+        for _ in range(2):
+            out = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path), SAFEDIV],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            runs.append(tuple(int(x) for x in out.stdout.split()))
+        (cold_hits, cold_misses), (warm_hits, warm_misses) = runs
+        assert cold_hits == 0 and cold_misses > 0
+        assert warm_hits > 0 and warm_misses == 0
+
+
+# --------------------------------------------------------------------------
+# The persistent layer behind the identity caches
+# --------------------------------------------------------------------------
+
+
+class TestPersistentLayer:
+    def test_activate_idempotent_for_same_root(self, tmp_path, no_persistence):
+        first = activate(tmp_path)
+        second = activate(tmp_path)
+        assert first is second
+        assert persistent_cache() is first
+
+    def test_warm_start_equals_cold_artifacts(self, tmp_path, no_persistence):
+        source = open(SAFEDIV).read()
+        cold_program = parse_program(source)
+        cold_judgments = check_program(cold_program)
+        cold_ir = inlined_definition_ir(cold_program.main, cold_program)
+
+        cache = activate(tmp_path)
+        warm_once = parse_program(source)
+        check_program(warm_once)
+        inlined_definition_ir(warm_once.main, warm_once)  # populate disk
+
+        warm_program = parse_program(source)
+        warm_judgments = check_program(warm_program)
+        warm_ir = inlined_definition_ir(warm_program.main, warm_program)
+        assert cache.stats["hits"] > 0
+        name = warm_program.main.name
+        assert str(cold_judgments[name].grade_of("x")) == str(
+            warm_judgments[name].grade_of("x")
+        )
+        assert [op.code for op in warm_ir.ops] == [
+            op.code for op in cold_ir.ops
+        ]
+        assert warm_ir.result == cold_ir.result
+
+    def test_sharded_with_cache_dir_matches_batch(
+        self, tmp_path, no_persistence
+    ):
+        from repro.semantics.batch import BatchWitnessEngine
+        from repro.semantics.shard import run_witness_sharded
+
+        program = parse_program(open(SAFEDIV).read())
+        definition = program.main
+        engine = BatchWitnessEngine(definition, program)
+        batch = engine.run(BATCH_INPUTS)
+        for _round in range(2):  # cold then warm cache
+            sharded = run_witness_sharded(
+                definition,
+                BATCH_INPUTS,
+                program=program,
+                workers=2,
+                cache_dir=str(tmp_path),
+            )
+            assert list(sharded.sound) == list(batch.sound)
+            assert list(sharded.exact) == list(batch.exact)
+            assert {
+                k: str(v) for k, v in sharded.param_max_distance.items()
+            } == {k: str(v) for k, v in batch.param_max_distance.items()}
+        assert len(ArtifactCache(tmp_path)) > 0
+
+
+# --------------------------------------------------------------------------
+# The audit server
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def audit_server():
+    deactivate()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        handle = serve(AuditServer(port=0, cache_dir=cache_dir))
+        try:
+            yield handle
+        finally:
+            handle.stop()
+            deactivate()
+
+
+def served_audit(handle, spec):
+    return service_client.audit(handle.host, handle.port, spec)
+
+
+class TestAuditServer:
+    @pytest.mark.parametrize("engine", ["ir", "recursive", "batch", "sharded"])
+    def test_served_bitwise_equals_cli(self, audit_server, engine):
+        source = open(SAFEDIV).read()
+        batch = engine in ("batch", "sharded")
+        inputs = BATCH_INPUTS if batch else SCALAR_INPUTS
+        status, body = served_audit(
+            audit_server,
+            {"source": source, "inputs": inputs, "engine": engine, "workers": 2},
+        )
+        assert status == 200
+        argv = [
+            "witness", SAFEDIV, "--inputs", json.dumps(inputs), "--json",
+        ]
+        if batch:
+            argv.append("--batch")
+        if engine == "sharded":
+            argv += ["--workers", "2"]
+        if engine == "recursive":
+            argv += ["--engine", "recursive"]
+        code, out = cli_json(argv)
+        assert body == out  # byte-for-byte, trailing newline included
+        assert code == 0
+        assert json.loads(body)["engine"] == engine
+
+    def test_low_precision_and_custom_u(self, audit_server):
+        source = open(SAFEDIV).read()
+        status, body = served_audit(
+            audit_server,
+            {
+                "source": source,
+                "inputs": BATCH_INPUTS,
+                "engine": "batch",
+                "precision_bits": 24,
+                "u": "2^-24",
+            },
+        )
+        assert status == 200
+        code, out = cli_json(
+            [
+                "witness", SAFEDIV, "--inputs", json.dumps(BATCH_INPUTS),
+                "--json", "--batch", "--precision-bits", "24", "--u", "2^-24",
+            ]
+        )
+        assert body == out
+
+    def test_named_definition(self, audit_server):
+        source = DOTPROD + "\nMain (z : num) (w : num) : num := add z w\n"
+        status, body = served_audit(
+            audit_server,
+            {
+                "source": source,
+                "name": "DotProd2",
+                "inputs": {"x": [1.5, 2.25], "y": [3.1, -0.7]},
+            },
+        )
+        assert status == 200
+        assert json.loads(body)["definition"] == "DotProd2"
+
+    def test_unsound_rows_still_audit(self, audit_server):
+        # A divisor of exactly zero routes through inl/inr fallback and
+        # the audit still completes; soundness is reported per row.
+        status, body = served_audit(
+            audit_server,
+            {
+                "source": open(SAFEDIV).read(),
+                "inputs": BATCH_INPUTS,
+                "engine": "batch",
+            },
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["n_rows"] == 3
+        assert payload["sound_rows"] == sum(payload["sound"])
+
+    def test_coalesces_concurrent_preparations(self):
+        deactivate()
+        handle = serve(AuditServer(port=0))
+        try:
+            # A program the server has never seen, hit by many clients
+            # at once: preparation must run exactly once.
+            source = DOTPROD.replace("DotProd2", "DotProdCoalesce")
+            spec = {
+                "source": source,
+                "inputs": {"x": [1.0, 2.0], "y": [3.0, 4.0]},
+            }
+            results = []
+            errors = []
+
+            def worker():
+                try:
+                    results.append(served_audit(handle, spec))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert {status for status, _ in results} == {200}
+            assert len({body for _, body in results}) == 1
+            stats = handle.server.stats
+            assert stats["prep_misses"] == 1
+            assert stats["prep_hits"] == 7
+        finally:
+            handle.stop()
+            deactivate()
+
+    def test_health_and_stats(self, audit_server):
+        health = service_client.healthz(audit_server.host, audit_server.port)
+        assert health["status"] == "ok"
+        status, raw = service_client.request(
+            audit_server.host, audit_server.port, "GET", "/stats"
+        )
+        assert status == 200
+        stats = json.loads(raw)
+        assert "server" in stats and "cache" in stats
+
+    def test_malformed_body_is_400(self, audit_server):
+        status, raw = service_client.request(
+            audit_server.host, audit_server.port, "POST", "/audit",
+            b"this is not json",
+        )
+        assert status == 400
+        assert "error" in json.loads(raw)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {},
+            {"source": "F (x : num) := add x x"},  # no inputs
+            {"source": "", "inputs": {}},
+            {"source": "F (x : num) := x", "inputs": {}, "engine": "warp"},
+            {"source": "F (x : num) := x", "inputs": {}, "workers": 0},
+            {"source": "F (x : num) := x", "inputs": {}, "precision_bits": 0},
+            {"source": "F (x : num) := x", "inputs": {}, "bogus_field": 1},
+            {"source": "F (x : num) := x", "inputs": [], "u": None},
+            # Overflowing roundoff spellings must 400, not drop the
+            # connection (regression: OverflowError escaped the handler).
+            {"source": "F (x : num) := x", "inputs": {"x": 1}, "u": "2^99999"},
+            {"source": "F (x : num) := x", "inputs": {"x": 1}, "u": "huge"},
+            # bool is an int subclass; it must not pass the int checks.
+            {"source": "F (x : num) := x", "inputs": {"x": 1},
+             "precision_bits": True},
+            {"source": "F (x : num) := x", "inputs": {"x": 1},
+             "engine": "sharded", "workers": True},
+            # A client cannot dictate an unbounded process-pool size.
+            {"source": "F (x : num) := x", "inputs": {"x": 1},
+             "engine": "sharded", "workers": 10_000},
+        ],
+    )
+    def test_invalid_specs_are_400(self, audit_server, spec):
+        status, body = served_audit(audit_server, spec)
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_bean_errors_are_422(self, audit_server):
+        # Parse error.
+        status, _ = served_audit(
+            audit_server,
+            {"source": "F (x : num := x", "inputs": {"x": 1.0}},
+        )
+        assert status == 422
+        # Type error (same variable twice).
+        status, _ = served_audit(
+            audit_server,
+            {"source": "F (x : num) : num := add x x", "inputs": {"x": 1.0}},
+        )
+        assert status == 422
+        # Missing input for a parameter.
+        status, body = served_audit(
+            audit_server,
+            {"source": DOTPROD, "inputs": {"x": [1.0, 2.0]}},
+        )
+        assert status == 422
+        assert "y" in json.loads(body)["error"]
+
+    def test_unknown_path_and_method(self, audit_server):
+        status, _ = service_client.request(
+            audit_server.host, audit_server.port, "GET", "/nope"
+        )
+        assert status == 404
+        status, _ = service_client.request(
+            audit_server.host, audit_server.port, "GET", "/audit"
+        )
+        assert status == 405
+
+    def test_client_cli_round_trip(self, audit_server):
+        code, out = cli_json(
+            [
+                "client", SAFEDIV,
+                "--host", audit_server.host,
+                "--port", str(audit_server.port),
+                "--inputs", json.dumps(BATCH_INPUTS),
+                "--batch", "--workers", "2",
+            ]
+        )
+        ref_code, ref_out = cli_json(
+            [
+                "witness", SAFEDIV, "--inputs", json.dumps(BATCH_INPUTS),
+                "--json", "--batch", "--workers", "2",
+            ]
+        )
+        assert out == ref_out
+        assert code == ref_code == 0
+
+    def test_client_cli_unreachable_server(self):
+        code, _out = cli_json(
+            [
+                "client", SAFEDIV, "--port", "1",
+                "--inputs", json.dumps(SCALAR_INPUTS), "--timeout", "2",
+            ]
+        )
+        assert code == 1
+
+
+# --------------------------------------------------------------------------
+# Nightly soak (opt-in: REPRO_SOAK=1)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SOAK"),
+    reason="soak workload only runs in the nightly pipeline (REPRO_SOAK=1)",
+)
+class TestServeSoak:
+    def test_concurrent_clients_bitwise_stable(self):
+        deactivate()
+        clients = int(os.environ.get("REPRO_SOAK_CLIENTS", "8"))
+        requests_each = int(os.environ.get("REPRO_SOAK_REQUESTS", "25"))
+        source = open(SAFEDIV).read()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            handle = serve(AuditServer(port=0, cache_dir=cache_dir))
+            try:
+                # The golden bodies, one per engine, from the CLI path.
+                golden = {}
+                for engine in ("ir", "batch", "sharded"):
+                    batch = engine != "ir"
+                    inputs = BATCH_INPUTS if batch else SCALAR_INPUTS
+                    argv = [
+                        "witness", SAFEDIV, "--inputs", json.dumps(inputs),
+                        "--json",
+                    ]
+                    if batch:
+                        argv.append("--batch")
+                    if engine == "sharded":
+                        argv += ["--workers", "2"]
+                    _, golden[engine] = cli_json(argv)
+                failures = []
+
+                def worker(worker_id: int):
+                    engines = ["ir", "batch", "sharded"]
+                    for i in range(requests_each):
+                        engine = engines[(worker_id + i) % len(engines)]
+                        batch = engine != "ir"
+                        spec = {
+                            "source": source,
+                            "inputs": BATCH_INPUTS if batch else SCALAR_INPUTS,
+                            "engine": engine,
+                            "workers": 2,
+                        }
+                        status, body = served_audit(handle, spec)
+                        if status != 200 or body != golden[engine]:
+                            failures.append((worker_id, i, engine, status))
+
+                threads = [
+                    threading.Thread(target=worker, args=(w,))
+                    for w in range(clients)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not failures
+                stats = handle.server.stats
+                assert stats["audits"] == clients * requests_each
+            finally:
+                handle.stop()
+                deactivate()

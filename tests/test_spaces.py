@@ -8,7 +8,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.grades import Grade
-from repro.core.types import NUM, UNIT, Discrete, Sum, Tensor, vector
+from repro.core.types import NUM, UNIT, Discrete, Sum, vector
 from repro.lam_s.values import UNIT_VALUE, VInl, VInr, VNum, VPair
 from repro.semantics.spaces import (
     INF,

@@ -13,7 +13,6 @@ from repro.programs.transcendental import (
     SIN_COEFFICIENTS,
     SIN_EXPECTED_GRADE,
     TABLE2_RANGE,
-    cos_ideal,
     cos_kernel,
     glibc_cos,
     glibc_sin,
