@@ -1,0 +1,114 @@
+"""Session API benchmark: Session reuse vs. per-call cold setup.
+
+The point of :class:`repro.api.Session` is that the expensive
+per-program work — parse, typecheck, IR lowering, call inlining, grade
+inference, lens construction — happens once and is amortized across
+audits: reusing one Session with one parsed program keeps every
+identity-keyed IR cache warm.  This module quantifies that claim on the
+div+case ``SafeDiv`` kernel:
+
+* **warm** — one Session, one parsed program, ``REQUESTS`` audits;
+* **cold** — every audit re-parses the source into fresh AST objects
+  (exactly what each pre-Session entry point paid when handed source
+  text), so every identity-keyed cache misses and the whole
+  parse→check→lower→inline→infer pipeline reruns.
+
+Both sides produce byte-identical payloads — the benchmark asserts it —
+so the ratio ``session_reuse_vs_cold_x`` measures pure setup
+amortization and is gated against the committed baseline (ratios are
+hardware-insensitive; absolute seconds are recorded but not gated).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_bench_json
+
+from repro.api import Session
+from repro.core import Program, pretty_program
+from repro.programs.generators import BENCHMARK_FAMILIES
+from repro.semantics.batch import _leaf_count
+
+#: Sized so per-program setup dominates per-audit compute: a larger
+#: div+case chain (more to lower/inline/infer) over few rows.
+SIZE = 40  #: SafeDiv kernel size (a div+case chain)
+ENVS = 5  #: environment rows per audit
+REQUESTS = 15  #: audits per side
+
+
+def _workload():
+    definition = BENCHMARK_FAMILIES["SafeDiv"](SIZE)
+    source = pretty_program(Program([definition]))
+    rng = np.random.default_rng(7)
+    inputs = {}
+    for p in definition.params:
+        k = _leaf_count(p.ty)
+        shape = (ENVS, k) if k > 1 else (ENVS,)
+        inputs[p.name] = rng.uniform(0.5, 4.0, shape).tolist()
+    return source, inputs
+
+
+class ApiBench:
+    """Everything measured once, shared by the assertions below."""
+
+    def __init__(self) -> None:
+        source, inputs = self._source, self._inputs = _workload()
+
+        # Warm: one Session, one parsed program, caches stay hot.
+        session = Session()
+        program = session.parse(source)
+        golden = session.audit(program, inputs=inputs, engine="batch")
+        assert golden.sound, "workload must be sound"
+        self.golden_json = golden.to_json()
+        start = time.perf_counter()
+        for _ in range(REQUESTS):
+            result = session.audit(program, inputs=inputs, engine="batch")
+            assert result.to_json() == self.golden_json
+        self.warm_total_s = time.perf_counter() - start
+
+        # Cold: a fresh parse per audit — fresh AST identities, so the
+        # identity-keyed caches miss and per-program setup reruns.
+        start = time.perf_counter()
+        for _ in range(REQUESTS):
+            cold = Session()
+            result = cold.audit(cold.parse(source), inputs=inputs, engine="batch")
+            assert result.to_json() == self.golden_json
+        self.cold_total_s = time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return ApiBench()
+
+
+def test_api_bench_report(bench):
+    speedup = bench.cold_total_s / bench.warm_total_s
+    write_bench_json(
+        "api",
+        {
+            "session_warm_total_s": bench.warm_total_s,
+            "session_warm_per_audit_s": bench.warm_total_s / REQUESTS,
+            "cold_setup_total_s": bench.cold_total_s,
+            "cold_setup_per_audit_s": bench.cold_total_s / REQUESTS,
+            "session_reuse_vs_cold_x": speedup,
+        },
+        gate_metrics=["session_reuse_vs_cold_x"],
+        meta={
+            "kernel": f"SafeDiv{SIZE}",
+            "envs_per_audit": ENVS,
+            "audits": REQUESTS,
+            "engine": "batch",
+        },
+    )
+
+
+def test_session_reuse_beats_cold_setup(bench):
+    """The acceptance bar: reuse must clearly win the same workload."""
+    assert bench.warm_total_s < bench.cold_total_s / 1.5, (
+        f"warm Session took {bench.warm_total_s:.3f}s for {REQUESTS} audits; "
+        f"cold setup took {bench.cold_total_s:.3f}s — expected >= 1.5x headroom"
+    )

@@ -12,7 +12,7 @@ This walks the full Bean pipeline on the paper's opening example, the
    soundness theorem (Theorem 3.1) end to end.
 """
 
-from repro import check_program, parse_program, run_witness
+from repro.api import Session
 
 SOURCE = """
 // a0*x0 + a1*x1, error assigned to both vectors (mul splits it evenly)
@@ -26,8 +26,9 @@ DotProd2 (x : vec(2)) (y : vec(2)) : num :=
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
-    judgments = check_program(program)
+    session = Session()  # the one front door: parse -> check -> audit
+    program = session.parse(SOURCE)
+    judgments = session.check(program)
     judgment = judgments["DotProd2"]
 
     print("Inferred judgment (the backward error analysis):")
@@ -41,15 +42,16 @@ def main() -> None:
 
     # Now verify the theorem on a concrete execution.
     inputs = {"x": [1.5, 2.25], "y": [3.1, -0.7]}
-    report = run_witness(program["DotProd2"], inputs, program=program)
+    result = session.audit(program, "DotProd2", inputs=inputs)
+    report = result.report
     print(f"binary64 result            : {report.approx_value!r}")
     print("perturbed inputs (witness) :")
     for name, w in report.params.items():
         print(f"  {name}: {w.perturbed!r}")
         print(f"      distance {w.distance:.3e} <= bound {w.bound:.3e} ({w.grade})")
     print(f"ideal result on perturbed  : {report.ideal_on_perturbed!r}")
-    print(f"soundness theorem holds    : {report.sound}")
-    assert report.sound
+    print(f"soundness theorem holds    : {result.sound}")
+    assert result.sound
 
 
 if __name__ == "__main__":

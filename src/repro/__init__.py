@@ -5,10 +5,12 @@ A from-scratch implementation of the system described in
     Ariel E. Kellison, Laura Zielinski, David Bindel, Justin Hsu.
     "Bean: A Language for Backward Error Analysis." PLDI 2025.
 
-Quick tour::
+Quick tour (the Session API is the one front door; everything the CLI
+and the audit server do goes through it)::
 
-    >>> import repro
-    >>> prog = repro.parse_program('''
+    >>> from repro.api import Session
+    >>> session = Session()
+    >>> prog = session.parse('''
     ... DotProd2 (x : vec(2)) (y : vec(2)) : num :=
     ...   let (x0, x1) = x in
     ...   let (y0, y1) = y in
@@ -16,17 +18,23 @@ Quick tour::
     ...   let w = mul x1 y1 in
     ...   add v w
     ... ''')
-    >>> judgment = repro.check_program(prog)["DotProd2"]
-    >>> str(judgment.grade_of("x"))
+    >>> str(session.check(prog)["DotProd2"].grade_of("x"))
     '3ε/2'
-    >>> report = repro.run_witness(prog["DotProd2"],
-    ...                            {"x": [1.5, 2.25], "y": [3.1, -0.7]},
-    ...                            program=prog)
-    >>> report.sound
+    >>> result = session.audit(prog,
+    ...                        inputs={"x": [1.5, 2.25], "y": [3.1, -0.7]})
+    >>> result.sound
     True
+    >>> "batch" in session.engines()  # engine discovery, registry-backed
+    True
+
+``result.to_json()`` renders the versioned audit payload — the exact
+bytes ``repro witness --json`` prints and ``repro serve`` answers.
 
 Subpackages:
 
+* :mod:`repro.api` — the public audit API: :class:`~repro.api.Session`,
+  the pluggable engine registry, and the versioned
+  :class:`~repro.api.AuditResult` schema.
 * :mod:`repro.core` — the Bean language: syntax, linear/graded type
   system, and the backward error bound inference algorithm.
 * :mod:`repro.ir` — the flat compiled representation every analysis and
@@ -43,7 +51,13 @@ Subpackages:
 * :mod:`repro.programs` — the paper's example programs and scalable
   benchmark generators.
 * :mod:`repro.bench` — drivers that regenerate Tables 1, 2 and 3.
+* :mod:`repro.service` — the artifact cache and the ``repro serve``
+  audit server.
 """
+
+import functools
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, List
 
 from .core import (
     EPS,
@@ -75,33 +89,93 @@ from .semantics import (
     WitnessReport,
     lens_of_definition,
     lens_of_program,
-    run_witness,
 )
+
+if TYPE_CHECKING:
+    # Lazy (PEP 562) names, spelled out so mypy/IDEs resolve them.
+    from .api import AuditResult, Session
+    from .semantics.batch import (
+        BatchWitnessEngine,
+        BatchWitnessReport,
+        run_witness_batch,
+    )
+    from .semantics.shard import run_witness_sharded
+    from .semantics.witness import run_witness
 
 #: Batch-witness API is loaded lazily (PEP 562): it is the only part of
 #: the package that needs numpy, and eager loading would tax every CLI
 #: start-up with the numpy import.
-_LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
-_LAZY_SHARD = ("run_witness_sharded",)
+_LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport")
+#: The public-API façade is lazy too, keeping `import repro` minimal.
+_LAZY_API = ("AuditResult", "Session")
+
+#: Legacy module-level witness entry points, kept as deprecation shims:
+#: each call emits one DeprecationWarning and returns results bitwise
+#: identical to the Session API (name → (module, hint)).
+_DEPRECATED_WITNESS = {
+    "run_witness": (".semantics.witness", "session.audit(..., engine='ir')"),
+    "run_witness_batch": (
+        ".semantics.batch",
+        "session.audit(..., engine='batch')",
+    ),
+    "run_witness_sharded": (
+        ".semantics.shard",
+        "session.audit(..., engine='sharded')",
+    ),
+}
+_deprecated_cache: dict = {}
 
 
-def __getattr__(name):
+def _deprecated_shim(name: str) -> Callable[..., Any]:
+    import importlib
+
+    module_name, hint = _DEPRECATED_WITNESS[name]
+    target = getattr(
+        importlib.import_module(module_name, __name__), name
+    )
+
+    @functools.wraps(target)
+    def shim(*args: Any, **kwargs: Any) -> Any:
+        warnings.warn(
+            f"repro.{name} is deprecated; use repro.api.Session — "
+            f"e.g. {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return target(*args, **kwargs)
+
+    return shim
+
+
+def __getattr__(name: str) -> Any:
+    if name in _DEPRECATED_WITNESS:
+        if name not in _deprecated_cache:
+            _deprecated_cache[name] = _deprecated_shim(name)
+        return _deprecated_cache[name]
     if name in _LAZY_BATCH:
         from .semantics import batch
 
         return getattr(batch, name)
-    if name in _LAZY_SHARD:
-        from .semantics import shard
+    if name in _LAZY_API:
+        from . import api
 
-        return getattr(shard, name)
+        return getattr(api, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-__version__ = "1.1.0"
+def __dir__() -> List[str]:
+    # Lazy names are invisible to the default dir(); advertise the full
+    # public surface (globals for submodules/private helpers included,
+    # as regular modules do).
+    return sorted(set(globals()) | set(__all__))
+
+
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisReport",
     "analyze",
+    "AuditResult",
     "EPS",
     "HALF_EPS",
     "ZERO",
@@ -116,6 +190,7 @@ __all__ = [
     "Judgment",
     "LinearityError",
     "Program",
+    "Session",
     "UnboundVariableError",
     "WitnessReport",
     "check_definition",

@@ -1,0 +1,80 @@
+"""``repro.api`` — the public, versioned audit API.
+
+One front door for everything the toolchain does, replacing the four
+divergent witness entry points (``run_witness``, ``run_witness_batch``,
+``run_witness_sharded``, ``service.audit.perform_audit``) that each
+re-mapped the same options by hand::
+
+    from repro.api import Session
+
+    session = Session(precision_bits=53, cache_dir="/var/cache/bean")
+    program = session.parse(open("prog.bean").read())
+    result = session.audit(program, inputs={"x": [1.5, 2.25]},
+                           engine="ir")
+    result.sound            # the soundness-theorem verdict
+    result.to_json()        # == `repro witness --json` stdout,
+                            # == the `repro serve` response body
+
+The pieces:
+
+* :class:`Session` (:mod:`repro.api.session`) — owns the cross-cutting
+  state (precision, roundoff, artifact-cache dir, shard workers,
+  mp-context) and the ``parse`` → ``check`` → ``audit`` pipeline;
+* the engine registry (:mod:`repro.api.registry`) — ``@register_engine``
+  adapters with capability flags, :func:`engines` discovery, and the
+  uniform :class:`UnknownEngineError`; the CLI ``--engine`` choices,
+  the server's accepted engine set, and the parity harness all derive
+  from it;
+* :class:`AuditResult` (:mod:`repro.api.result`) — the structured,
+  ``schema_version``-stamped result owning the canonical JSON payload
+  every surface emits byte-identically.
+
+The four built-in engines register on import
+(:mod:`repro.api.builtin`); anything else can register its own without
+touching the CLI, server, client, or harness.
+"""
+
+from __future__ import annotations
+
+from .errors import UnknownEngineError
+from .registry import (
+    AuditRequest,
+    Engine,
+    EngineCaps,
+    engine_names,
+    engines,
+    format_engine_table,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from .result import (
+    SCHEMA_VERSION,
+    AuditResult,
+    batch_report_payload,
+    render_payload,
+    scalar_report_payload,
+)
+from .session import Session, parse_roundoff
+from .builtin import ScalarLensEngine
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AuditRequest",
+    "AuditResult",
+    "Engine",
+    "EngineCaps",
+    "ScalarLensEngine",
+    "Session",
+    "UnknownEngineError",
+    "batch_report_payload",
+    "engine_names",
+    "engines",
+    "format_engine_table",
+    "get_engine",
+    "parse_roundoff",
+    "register_engine",
+    "render_payload",
+    "scalar_report_payload",
+    "unregister_engine",
+]

@@ -1,0 +1,145 @@
+"""The four built-in engines, as registry adapters.
+
+Each adapter wraps one pre-existing implementation — the scalar witness
+runner through the IR or recursive lens, the vectorized NumPy batch
+engine, the multiprocess sharded runner — behind the uniform
+:class:`~repro.api.registry.Engine` protocol.  The heavy imports
+(NumPy, the process-pool machinery) stay inside ``audit`` so that
+importing :mod:`repro.api` costs no more than the CLI's start-up
+budget allows.
+
+:class:`ScalarLensEngine` is exported as a convenience base for
+plugins and tests: subclass it, point ``lens_engine`` at a lens
+implementation, and register the subclass under a new name to get a
+fully wired engine whose payloads carry that name.
+"""
+
+from __future__ import annotations
+
+from .registry import AuditRequest, register_engine
+from .result import (
+    AuditResult,
+    batch_report_payload,
+    scalar_report_payload,
+)
+
+__all__ = ["ScalarLensEngine"]
+
+
+class ScalarLensEngine:
+    """One-environment witness runs through a scalar lens implementation.
+
+    ``lens_engine`` selects the lens internals
+    (:func:`repro.semantics.interp.lens_of_program`'s ``engine=``):
+    ``"ir"`` for the iterative flat-IR sweeps, ``"recursive"`` for the
+    structural reference interpreters.
+    """
+
+    #: stamped by ``register_engine`` at registration time
+    name: str
+    lens_engine: str = "ir"
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..semantics.interp import lens_of_program
+        from ..semantics.witness import run_witness
+
+        lens = lens_of_program(
+            request.program, request.definition.name, engine=self.lens_engine
+        )
+        lens.precision_bits = request.precision_bits
+        report = run_witness(
+            request.definition,
+            request.inputs,
+            program=request.program,
+            lens=lens,
+            u=request.u,
+        )
+        payload = scalar_report_payload(
+            report,
+            definition=request.definition,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+        )
+        return AuditResult(report, payload, report.sound, False)
+
+
+@register_engine(
+    "ir",
+    description="iterative flat-IR scalar lens (the default)",
+)
+class IrEngine(ScalarLensEngine):
+    lens_engine = "ir"
+
+
+@register_engine(
+    "recursive",
+    reference=True,
+    description="structural recursive interpreters, quadratic backward map",
+)
+class RecursiveEngine(ScalarLensEngine):
+    lens_engine = "recursive"
+
+
+@register_engine(
+    "batch",
+    batched=True,
+    needs_numpy=True,
+    description="vectorized NumPy witness over environment rows",
+)
+class BatchEngine:
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..semantics.batch import run_witness_batch
+        from ..semantics.interp import lens_of_program
+
+        lens = lens_of_program(request.program, request.definition.name)
+        lens.precision_bits = request.precision_bits
+        report = run_witness_batch(
+            request.definition,
+            request.inputs,
+            program=request.program,
+            u=request.u,
+            lens=lens,
+        )
+        payload = batch_report_payload(
+            report,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+        )
+        return AuditResult(report, payload, report.all_sound, True)
+
+
+@register_engine(
+    "sharded",
+    batched=True,
+    multiprocess=True,
+    needs_numpy=True,
+    description="batch rows fanned out over worker processes",
+)
+class ShardedEngine:
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..semantics.shard import run_witness_sharded
+
+        report = run_witness_sharded(
+            request.definition,
+            request.inputs,
+            program=request.program,
+            u=request.u,
+            workers=request.workers,
+            precision_bits=request.precision_bits,
+            cache_dir=request.cache_dir,
+            mp_context=request.mp_context,
+        )
+        payload = batch_report_payload(
+            report,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+            workers=request.workers,
+        )
+        return AuditResult(report, payload, report.all_sound, True)

@@ -1,0 +1,26 @@
+"""Errors raised by the public audit API."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["UnknownEngineError"]
+
+
+class UnknownEngineError(ValueError):
+    """An audit named an engine the registry does not know.
+
+    Subclasses :class:`ValueError` so pre-redesign callers that caught
+    ``ValueError`` around an audit keep working; new callers can catch
+    this precisely.  ``engine`` is the requested name, ``known`` the
+    registered names at raise time, and the message lists them so every
+    surface (Python, CLI stderr, HTTP 400 body) shows the caller what
+    it could have asked for.
+    """
+
+    def __init__(self, engine: str, known: Iterable[str]) -> None:
+        self.engine = engine
+        self.known: Tuple[str, ...] = tuple(known)
+        super().__init__(
+            f"unknown engine {engine!r} (choose from {', '.join(self.known)})"
+        )

@@ -1,0 +1,179 @@
+"""The versioned audit result and its canonical JSON schema.
+
+This module *owns* the audit payload: the exact key set, the exact
+string renderings (Decimal distances, value ``repr``\\ s, captured error
+messages), and the ``schema_version`` stamp.  Everything that ever
+serializes an audit — ``repro witness --json``, the ``repro serve``
+response body, the parity harness — goes through
+:func:`scalar_report_payload` / :func:`batch_report_payload` and
+:func:`render_payload`, which is why the CLI and the served path are
+byte-identical by construction.
+
+Schema history:
+
+* **1** — the implicit, unversioned payload of the original serving
+  layer (no ``schema_version`` key).
+* **2** — identical keys plus the leading ``schema_version`` field;
+  introduced with the :mod:`repro.api` Session redesign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from ..core import ast_nodes as A
+
+if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
+    from ..semantics.batch import BatchWitnessReport
+    from ..semantics.witness import WitnessReport
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AuditResult",
+    "batch_report_payload",
+    "render_payload",
+    "scalar_report_payload",
+]
+
+#: Version stamped into every payload this build emits.
+SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """A finished audit: the raw report plus its canonical JSON payload.
+
+    ``report`` is the live in-process object (a ``WitnessReport`` or
+    ``BatchWitnessReport``) — or ``None`` when the result was rebuilt
+    from JSON with :meth:`from_json`, where only the payload crossed
+    the wire.  ``payload`` is the canonical dict; :meth:`to_json`
+    renders it to the exact string every surface emits.
+    """
+
+    report: "Optional[Union[WitnessReport, BatchWitnessReport]]"
+    payload: Dict[str, Any]
+    sound: bool
+    batch: bool
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.payload["schema_version"])
+
+    @property
+    def engine(self) -> str:
+        return str(self.payload["engine"])
+
+    @property
+    def definition(self) -> str:
+        return str(self.payload["definition"])
+
+    def to_json(self) -> str:
+        """The canonical rendering (no trailing newline), byte-stable."""
+        return render_payload(self.payload)
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "AuditResult":
+        """Rebuild a result from a payload this schema version emitted.
+
+        Raises ``ValueError`` on non-object JSON or a missing/foreign
+        ``schema_version`` — a client talking to a newer server should
+        fail loudly rather than misread fields.
+        """
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("audit payload must be a JSON object")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported audit schema_version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        batch = "all_sound" in payload
+        sound = bool(payload["all_sound"] if batch else payload["sound"])
+        return cls(report=None, payload=payload, sound=sound, batch=batch)
+
+
+def scalar_report_payload(
+    report: "WitnessReport",
+    *,
+    definition: A.Definition,
+    engine: str,
+    u: float,
+    precision_bits: int,
+) -> Dict[str, Any]:
+    """The canonical JSON payload of one scalar witness run."""
+    params: Dict[str, Any] = {}
+    for name, w in report.params.items():
+        params[name] = {
+            "grade": str(w.grade),
+            "distance": str(w.distance),
+            "bound": str(w.bound),
+            "within_bound": w.within_bound,
+            "original": repr(w.original),
+            "perturbed": repr(w.perturbed),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "definition": definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+        "sound": report.sound,
+        "exact_match": report.exact_match,
+        "approx_value": repr(report.approx_value),
+        "ideal_on_perturbed": repr(report.ideal_on_perturbed),
+        "params": params,
+    }
+
+
+def batch_report_payload(
+    report: "BatchWitnessReport",
+    *,
+    engine: str,
+    u: float,
+    precision_bits: int,
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The canonical JSON payload of a batch/sharded witness run."""
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "definition": report.definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+    }
+    if workers is not None:
+        payload["workers"] = workers
+    payload.update(
+        {
+            "n_rows": report.n_rows,
+            "all_sound": report.all_sound,
+            "sound_rows": report.sound_count,
+            "fallback_rows": report.fallback_rows,
+            "sound": [bool(x) for x in report.sound],
+            "exact": [bool(x) for x in report.exact],
+            "errors": {
+                str(i): {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                }
+                for i, exc in sorted(report.errors.items())
+            },
+            "params": {
+                name: {
+                    "max_distance": str(dist),
+                    "bound": str(report.param_bound[name]),
+                    "within_bound": dist <= report.param_bound[name],
+                }
+                for name, dist in report.param_max_distance.items()
+            },
+        }
+    )
+    return payload
+
+
+def render_payload(payload: Dict[str, Any]) -> str:
+    """The one rendering every surface emits, byte for byte."""
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,168 @@
+"""The Session: one front door to the Bean toolchain.
+
+A :class:`Session` owns the cross-cutting audit state that used to
+travel as loose kwargs through four divergent entry points — simulated
+precision / unit roundoff, the on-disk artifact cache directory, the
+shard worker count and multiprocessing start method — and exposes the
+pipeline as three methods::
+
+    >>> from repro.api import Session
+    >>> session = Session(precision_bits=53)
+    >>> prog = session.parse("Scale (x : num) (y : num) : num := mul x y")
+    >>> str(session.check(prog)["Scale"].grade_of("x"))
+    'ε/2'
+    >>> result = session.audit(prog, inputs={"x": 1.5, "y": 3.1})
+    >>> result.sound, result.engine
+    (True, 'ir')
+
+``audit`` resolves its engine through the
+:mod:`~repro.api.registry` — so every registered engine (built-in or
+plugin) is reachable with the same call — and returns the versioned
+:class:`~repro.api.result.AuditResult` whose JSON rendering is what the
+CLI prints and the audit server serves, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..core import ast_nodes as A
+from ..core.checker import Judgment, check_program
+from ..core.parser import parse_program
+from .registry import AuditRequest, Engine, engines, get_engine
+from .result import AuditResult
+
+__all__ = ["Session", "parse_roundoff"]
+
+
+def _validate_limits(
+    precision_bits: Optional[int], workers: Optional[int]
+) -> None:
+    if precision_bits is not None and precision_bits < 1:
+        raise ValueError("precision_bits must be a positive integer")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+
+
+def parse_roundoff(text: Union[str, float, int]) -> float:
+    """Accept '2^-53', '2**-53', or a literal float."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    text = text.strip()
+    for marker in ("^", "**"):
+        if marker in text:
+            base, _, exponent = text.partition(marker)
+            return float(base) ** float(exponent)
+    return float(text)
+
+
+class Session:
+    """Shared audit configuration plus the parse/check/audit pipeline.
+
+    Parameters mirror the CLI flags they replace: ``precision_bits``
+    (simulated significand width; 53 = binary64), ``u`` (unit-roundoff
+    override, accepting the CLI spellings ``"2^-24"`` / ``"2**-24"`` /
+    a float; default ``2**-precision_bits``), ``cache_dir`` (on-disk
+    artifact cache, activated lazily on first check/audit), ``workers``
+    (default shard width for multiprocess engines) and ``mp_context``
+    (multiprocessing start method; the audit server passes ``"spawn"``
+    because forking a multi-threaded process can deadlock the child).
+
+    A Session is cheap to construct and safe to reuse: reusing one
+    across audits of the same parsed program keeps every identity-keyed
+    IR cache warm (see ``benchmarks/bench_api.py`` for the measured
+    win).  Per-call keyword overrides on :meth:`audit` never mutate the
+    session.
+    """
+
+    def __init__(
+        self,
+        *,
+        precision_bits: int = 53,
+        u: Optional[Union[str, float]] = None,
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        _validate_limits(precision_bits, workers)
+        self.precision_bits = precision_bits
+        self.u = u
+        self.cache_dir = cache_dir
+        self.workers = workers
+        self.mp_context = mp_context
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def roundoff(self) -> float:
+        """The session's unit roundoff as a float."""
+        if self.u is not None:
+            return parse_roundoff(self.u)
+        return 2.0**-self.precision_bits
+
+    def engines(self) -> Dict[str, Engine]:
+        """The engine registry snapshot (see :func:`repro.api.engines`)."""
+        return engines()
+
+    def _activate_cache(self) -> None:
+        if self.cache_dir:
+            from ..service.cache import activate
+
+            activate(self.cache_dir)
+
+    # -- the pipeline ------------------------------------------------------
+
+    def parse(self, source: str) -> A.Program:
+        """Parse Bean source text into a program."""
+        return parse_program(source)
+
+    def check(self, program: Union[str, A.Program]) -> Dict[str, Judgment]:
+        """Typecheck + infer backward error grades for every definition."""
+        if isinstance(program, str):
+            program = self.parse(program)
+        self._activate_cache()
+        return check_program(program)
+
+    def audit(
+        self,
+        program: Union[str, A.Program],
+        name: Optional[str] = None,
+        *,
+        inputs: Mapping[str, Any],
+        engine: str = "ir",
+        workers: Optional[int] = None,
+        precision_bits: Optional[int] = None,
+        u: Optional[Union[str, float]] = None,
+    ) -> AuditResult:
+        """Audit ``name`` (default: the last definition) on ``inputs``.
+
+        ``engine`` names any registered engine
+        (:exc:`~repro.api.errors.UnknownEngineError` lists the choices
+        otherwise).  For ``caps.batched`` engines each input is a batch
+        of environment rows; otherwise it is one environment.  The
+        keyword overrides apply to this call only.
+        """
+        resolved = get_engine(engine)
+        # Per-call overrides face the same bounds as the constructor:
+        # reject at the API boundary, not deep in an engine.
+        _validate_limits(precision_bits, workers)
+        if isinstance(program, str):
+            program = self.parse(program)
+        self._activate_cache()
+        definition = program[name] if name else program.main
+        bits = self.precision_bits if precision_bits is None else precision_bits
+        spelled = self.u if u is None else u
+        roundoff = (
+            parse_roundoff(spelled) if spelled is not None else 2.0**-bits
+        )
+        request = AuditRequest(
+            program=program,
+            definition=definition,
+            inputs=inputs,
+            u=roundoff,
+            precision_bits=bits,
+            workers=self.workers if workers is None else workers,
+            mp_context=self.mp_context,
+            cache_dir=self.cache_dir,
+        )
+        return resolved.audit(request)

@@ -45,9 +45,20 @@ __all__ = ["main", "build_parser"]
 
 def _parse_roundoff(text: str) -> float:
     """Accept '2^-53', '2**-53', or a literal float."""
-    from .service.audit import parse_roundoff
+    from .api import parse_roundoff
 
     return parse_roundoff(text)
+
+
+def _engine_choices() -> List[str]:
+    """The ``--engine`` choice list, straight from the engine registry.
+
+    Evaluated at parser-build time, so engines registered by plugins or
+    tests before :func:`main` runs are selectable without CLI changes.
+    """
+    from .api import engine_names
+
+    return list(engine_names())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,11 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     witness.add_argument(
         "--engine",
-        choices=["ir", "recursive"],
+        choices=_engine_choices(),
         default="ir",
         help=(
-            "scalar lens implementation (ignored with --batch, which "
-            "selects the vectorized/sharded engines)"
+            "audit engine, any registered name (--batch overrides to "
+            "the batch/sharded engines; batched engines expect one row "
+            "per environment in --inputs)"
         ),
     )
     witness.add_argument(
@@ -248,9 +260,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--engine",
-        choices=["ir", "recursive"],
+        choices=_engine_choices(),
         default="ir",
-        help="scalar lens implementation (ignored with --batch)",
+        help="audit engine, any registered name (--batch overrides)",
     )
     client.add_argument(
         "--precision-bits", type=int, default=53,
@@ -385,8 +397,7 @@ def _engine_name(batch: bool, workers: int, scalar_engine: str) -> str:
 
 
 def _cmd_witness(args: argparse.Namespace) -> int:
-    from .service.audit import perform_audit
-    from .service.protocol import render_payload
+    from .api import Session
 
     with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
@@ -396,26 +407,28 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    # Input data is user-supplied: render shape/JSON/missing-parameter
-    # problems as CLI errors, not tracebacks.
+    # Flags and input data are user-supplied: render bad-option/shape/
+    # JSON/missing-parameter problems as CLI errors, not tracebacks.
     try:
+        session = Session(
+            precision_bits=args.precision_bits,
+            u=args.u,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+        )
         inputs = json.loads(args.inputs)
-        result = perform_audit(
+        result = session.audit(
             program,
             args.name,
             inputs=inputs,
             engine=_engine_name(args.batch, args.workers, args.engine),
-            workers=args.workers,
-            precision_bits=args.precision_bits,
-            u=args.u,
-            cache_dir=args.cache_dir,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
     if args.json:
-        print(render_payload(result.payload))
+        print(result.to_json())
         return 0 if result.sound else 2
     print(result.report.describe())
     if result.batch:

@@ -15,12 +15,14 @@ processes and across requests:
   behind the identity-keyed in-memory caches of :mod:`repro.ir.cache`,
   and warm-starts the spawn-per-worker re-lowering in
   :mod:`repro.semantics.shard`;
-* :mod:`repro.service.audit` — the one audit entry point
-  (:func:`~repro.service.audit.perform_audit`) shared by the CLI and
-  the server, so served responses are bitwise identical to one-shot
-  CLI runs by construction;
-* :mod:`repro.service.protocol` — the JSON wire payloads and a minimal
-  HTTP/1.1 reader/writer over asyncio streams (stdlib only);
+* :mod:`repro.service.audit` — the legacy audit entry point
+  (:func:`~repro.service.audit.perform_audit`), now a deprecation shim
+  over :class:`repro.api.Session` — the CLI and server call the
+  Session directly, so served responses are bitwise identical to
+  one-shot CLI runs by construction;
+* :mod:`repro.service.protocol` — a minimal HTTP/1.1 reader/writer
+  over asyncio streams (stdlib only); the JSON payload schema lives in
+  :mod:`repro.api.result`;
 * :mod:`repro.service.server` — ``repro serve``: an asyncio audit
   server that coalesces concurrent requests for the same program hash
   and dispatches batches through the batch/sharded witness engines;

@@ -1,51 +1,36 @@
-"""The one audit entry point shared by the CLI and the audit server.
+"""Legacy audit entry point — a deprecation shim over :mod:`repro.api`.
 
-``repro witness`` and ``POST /audit`` must answer every request with
-*bitwise identical* results — same verdicts, same Decimal distance
-strings, same value reprs, same captured error messages — for all four
-engines.  The only reliable way to guarantee that is to run both through
-the same function: :func:`perform_audit` maps an engine name to exactly
-the call sequence the CLI has always made, and
-:mod:`repro.service.protocol` renders the one JSON payload both emit.
+This module used to *be* the one audit entry point shared by the CLI
+and the audit server.  That role moved to the public API:
+:class:`repro.api.Session` owns the cross-cutting state,
+the :mod:`repro.api.registry` resolves engine names, and
+:class:`repro.api.AuditResult` owns the JSON schema.  The CLI and the
+server now call the Session directly; :func:`perform_audit` remains as
+a thin shim — one :class:`DeprecationWarning` per call, results bitwise
+identical to the Session API (it *is* the Session API underneath).
+
+``ENGINES`` is served dynamically from the registry so stale copies of
+the old hardcoded tuple cannot exist: engines registered at runtime
+(plugins, tests) appear here too.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
+import warnings
+from typing import Any, Mapping, Optional, Tuple, Union
 
+from ..api import AuditResult, Session, parse_roundoff
+from ..api.registry import engine_names
 from ..core import ast_nodes as A
-
-if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
-    from ..semantics.batch import BatchWitnessReport
-    from ..semantics.witness import WitnessReport
 
 __all__ = ["ENGINES", "AuditResult", "parse_roundoff", "perform_audit"]
 
-#: The four audit engines a request may name.
-ENGINES = ("ir", "recursive", "batch", "sharded")
 
-
-def parse_roundoff(text: Union[str, float, int]) -> float:
-    """Accept '2^-53', '2**-53', or a literal float."""
-    if isinstance(text, (int, float)):
-        return float(text)
-    text = text.strip()
-    for marker in ("^", "**"):
-        if marker in text:
-            base, _, exponent = text.partition(marker)
-            return float(base) ** float(exponent)
-    return float(text)
-
-
-@dataclass(frozen=True)
-class AuditResult:
-    """A finished audit: the raw report plus its canonical JSON payload."""
-
-    report: "Union[WitnessReport, BatchWitnessReport]"
-    payload: Dict[str, Any]
-    sound: bool
-    batch: bool
+def __getattr__(name: str) -> Tuple[str, ...]:
+    # The historical module constant, derived live from the registry.
+    if name == "ENGINES":
+        return engine_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def perform_audit(
@@ -60,82 +45,24 @@ def perform_audit(
     cache_dir: Optional[str] = None,
     mp_context: Optional[str] = None,
 ) -> AuditResult:
-    """Audit ``name`` (default: the last definition) on ``inputs``.
+    """Deprecated: use :meth:`repro.api.Session.audit`.
 
-    ``engine`` is one of :data:`ENGINES`: ``"ir"`` / ``"recursive"``
-    run the scalar witness through the respective lens implementation;
-    ``"batch"`` runs the vectorized engine over environment rows;
-    ``"sharded"`` distributes the rows over ``workers`` processes.
-    ``u`` accepts the CLI's roundoff spellings (default
-    ``2**-precision_bits``); ``cache_dir`` activates the on-disk
-    artifact cache for this process (and the shard workers).
-    ``mp_context`` selects the sharded engine's multiprocessing start
-    method — verdicts are bitwise identical in any of them; the audit
-    server passes ``"spawn"`` because forking a multi-threaded server
-    process can deadlock the child on inherited locks.
+    Audits ``name`` (default: the last definition) on ``inputs`` with
+    the named registered engine and returns the same
+    :class:`~repro.api.AuditResult` the Session API returns, bit for
+    bit.
     """
-    from ..semantics.interp import lens_of_program
-    from ..semantics.witness import run_witness
-    from .protocol import batch_report_payload, scalar_report_payload
-
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
-        )
-    if cache_dir:
-        from .cache import activate
-
-        activate(cache_dir)
-    definition = program[name] if name else program.main
-    roundoff = (
-        parse_roundoff(u) if u is not None else 2.0**-precision_bits
+    warnings.warn(
+        "repro.service.audit.perform_audit is deprecated; use "
+        "repro.api.Session(...).audit(...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-
-    if engine == "sharded":
-        from ..semantics.shard import run_witness_sharded
-
-        report = run_witness_sharded(
-            definition,
-            inputs,
-            program=program,
-            u=roundoff,
-            workers=workers,
-            precision_bits=precision_bits,
-            cache_dir=cache_dir,
-            mp_context=mp_context,
-        )
-        payload = batch_report_payload(
-            report,
-            engine=engine,
-            u=roundoff,
-            precision_bits=precision_bits,
-            workers=workers,
-        )
-        return AuditResult(report, payload, report.all_sound, True)
-
-    if engine == "batch":
-        from ..semantics.batch import run_witness_batch
-
-        lens = lens_of_program(program, definition.name)
-        lens.precision_bits = precision_bits
-        report = run_witness_batch(
-            definition, inputs, program=program, u=roundoff, lens=lens
-        )
-        payload = batch_report_payload(
-            report, engine=engine, u=roundoff, precision_bits=precision_bits
-        )
-        return AuditResult(report, payload, report.all_sound, True)
-
-    lens = lens_of_program(program, definition.name, engine=engine)
-    lens.precision_bits = precision_bits
-    scalar_report = run_witness(
-        definition, inputs, program=program, lens=lens, u=roundoff
-    )
-    payload = scalar_report_payload(
-        scalar_report,
-        definition=definition,
-        engine=engine,
-        u=roundoff,
+    session = Session(
         precision_bits=precision_bits,
+        u=u,
+        cache_dir=cache_dir,
+        workers=workers,
+        mp_context=mp_context,
     )
-    return AuditResult(scalar_report, payload, scalar_report.sound, False)
+    return session.audit(program, name, inputs=inputs, engine=engine)

@@ -1,19 +1,16 @@
-"""Wire formats for the audit service.
+"""The HTTP layer of the audit service.
 
-Two layers, both stdlib-only:
+A minimal HTTP/1.1 request reader and response writer over asyncio
+streams, stdlib-only.  The protocol subset is deliberately tiny (no
+chunked encoding, no keep-alive pipelining guarantees beyond one
+request per connection) but speaks well enough HTTP that ``curl`` works
+against the server.
 
-* **payloads** — the canonical JSON rendering of witness reports.
-  :func:`render_payload` is the *single* serialization point: the CLI
-  prints it, the server sends it as the response body, and the
-  differential harness asserts the two byte strings are equal.  Every
-  value that matters for the bitwise contract (Decimal distances,
-  value reprs, captured error messages) is rendered as the exact
-  string the in-process objects produce.
-* **HTTP** — a minimal HTTP/1.1 request reader and response writer
-  over asyncio streams.  The protocol subset is deliberately tiny
-  (no chunked encoding, no keep-alive pipelining guarantees beyond
-  one request per connection) but speaks well enough HTTP that
-  ``curl`` works against the server.
+The JSON *payload* layer that used to live here — the canonical
+rendering of witness reports the CLI prints and the server serves,
+byte for byte — is owned by :mod:`repro.api.result` now (it is the
+schema of the versioned :class:`~repro.api.AuditResult`); the names
+are re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -21,13 +18,13 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import Any, Dict, Optional
 
-from ..core import ast_nodes as A
-
-if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
-    from ..semantics.batch import BatchWitnessReport
-    from ..semantics.witness import WitnessReport
+from ..api.result import (  # noqa: F401  (compat re-exports)
+    batch_report_payload,
+    render_payload,
+    scalar_report_payload,
+)
 
 __all__ = [
     "HttpError",
@@ -52,93 +49,6 @@ _REASONS = {
     422: "Unprocessable Entity",
     500: "Internal Server Error",
 }
-
-
-# --------------------------------------------------------------------------
-# Report payloads
-# --------------------------------------------------------------------------
-
-
-def scalar_report_payload(
-    report: "WitnessReport",
-    *,
-    definition: A.Definition,
-    engine: str,
-    u: float,
-    precision_bits: int,
-) -> Dict[str, Any]:
-    """The canonical JSON payload of one scalar witness run."""
-    params: Dict[str, Any] = {}
-    for name, w in report.params.items():
-        params[name] = {
-            "grade": str(w.grade),
-            "distance": str(w.distance),
-            "bound": str(w.bound),
-            "within_bound": w.within_bound,
-            "original": repr(w.original),
-            "perturbed": repr(w.perturbed),
-        }
-    return {
-        "definition": definition.name,
-        "engine": engine,
-        "u": u,
-        "precision_bits": precision_bits,
-        "sound": report.sound,
-        "exact_match": report.exact_match,
-        "approx_value": repr(report.approx_value),
-        "ideal_on_perturbed": repr(report.ideal_on_perturbed),
-        "params": params,
-    }
-
-
-def batch_report_payload(
-    report: "BatchWitnessReport",
-    *,
-    engine: str,
-    u: float,
-    precision_bits: int,
-    workers: Optional[int] = None,
-) -> Dict[str, Any]:
-    """The canonical JSON payload of a batch/sharded witness run."""
-    payload: Dict[str, Any] = {
-        "definition": report.definition.name,
-        "engine": engine,
-        "u": u,
-        "precision_bits": precision_bits,
-    }
-    if workers is not None:
-        payload["workers"] = workers
-    payload.update(
-        {
-            "n_rows": report.n_rows,
-            "all_sound": report.all_sound,
-            "sound_rows": report.sound_count,
-            "fallback_rows": report.fallback_rows,
-            "sound": [bool(x) for x in report.sound],
-            "exact": [bool(x) for x in report.exact],
-            "errors": {
-                str(i): {
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                }
-                for i, exc in sorted(report.errors.items())
-            },
-            "params": {
-                name: {
-                    "max_distance": str(dist),
-                    "bound": str(report.param_bound[name]),
-                    "within_bound": dist <= report.param_bound[name],
-                }
-                for name, dist in report.param_max_distance.items()
-            },
-        }
-    )
-    return payload
-
-
-def render_payload(payload: Dict[str, Any]) -> str:
-    """The one rendering both the CLI and the server emit, byte for byte."""
-    return json.dumps(payload, indent=2)
 
 
 # --------------------------------------------------------------------------

@@ -6,9 +6,10 @@ IR lowering and inlining, grade inference.  The server keeps prepared
 programs in memory (coalescing concurrent preparations of the same
 program hash into a single task), persists the derived artifacts in the
 shared on-disk :class:`~repro.service.cache.ArtifactCache`, and
-dispatches audits through the exact CLI code path
-(:func:`~repro.service.audit.perform_audit`), so every response body is
-bitwise identical to the one-shot ``repro witness --json`` output.
+dispatches audits through the exact CLI code path (one
+:class:`repro.api.Session` resolving engines from the shared registry),
+so every response body is bitwise identical to the one-shot
+``repro witness --json`` output.
 
 Protocol (HTTP/1.1, JSON bodies)::
 
@@ -34,10 +35,11 @@ import os
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from ..api import Session, UnknownEngineError
+from ..api.registry import get_engine
 from ..core import BeanError, ast_nodes as A, check_program, parse_program
 from ..lam_s.eval import EvalError
 from ..semantics.lens import LensDomainError
-from .audit import ENGINES, perform_audit
 from .cache import ArtifactCache, activate
 from .fingerprint import fingerprint_source
 from .protocol import (
@@ -92,6 +94,14 @@ class AuditServer:
         if max_request_workers is None:
             max_request_workers = max(os.cpu_count() or 1, 8)
         self.max_request_workers = max_request_workers
+        # One Session owns the audit-side cross-cutting state.  Never
+        # fork a multi-threaded server: a forked shard worker can
+        # inherit a lock some other thread holds.
+        self.session = Session(
+            cache_dir=cache_dir,
+            workers=default_workers,
+            mp_context="spawn",
+        )
         self.cache: Optional[ArtifactCache] = None
         self.stats: Dict[str, int] = {
             "requests": 0,
@@ -240,16 +250,14 @@ class AuditServer:
             loop = asyncio.get_running_loop()
             result = await loop.run_in_executor(
                 self._pool,
-                lambda: perform_audit(
-                    prepared.program,
-                    name,
-                    cache_dir=self.cache_dir,
-                    # Never fork a multi-threaded server: a forked shard
-                    # worker can inherit a lock some other thread holds.
-                    mp_context="spawn",
-                    **kwargs,
-                ),
+                lambda: self.session.audit(prepared.program, name, **kwargs),
             )
+        except UnknownEngineError as exc:
+            # An engine can vanish between validation and dispatch
+            # (plugin unregistered); the failure stays a client-side
+            # 400 listing the registered names, never a 500.
+            self.stats["http_errors"] += 1
+            return 400, _error_body(str(exc))
         except BeanError as exc:
             self.stats["audit_failures"] += 1
             return 422, _error_body(str(exc))
@@ -350,10 +358,14 @@ def _validate_audit_spec(
     if name is not None and not isinstance(name, str):
         raise HttpError(400, "'name' must be a string or null")
     engine = spec.get("engine", "ir")
-    if engine not in ENGINES:
-        raise HttpError(
-            400, f"unknown engine {engine!r} (choose from {', '.join(ENGINES)})"
-        )
+    if not isinstance(engine, str):
+        raise HttpError(400, "'engine' must be a string")
+    try:
+        get_engine(engine)
+    except UnknownEngineError as exc:
+        # The one unknown-engine failure, uniform across surfaces: the
+        # registry's error text becomes the HTTP 400 body.
+        raise HttpError(400, str(exc)) from None
     workers = spec.get("workers", default_workers)
     # bool is an int subclass; reject it explicitly or True would pass.
     if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
@@ -379,7 +391,7 @@ def _validate_audit_spec(
             raise HttpError(
                 400, "'u' must be a number or a string like '2^-53'"
             )
-        from .audit import parse_roundoff
+        from ..api import parse_roundoff
 
         try:
             parse_roundoff(u)

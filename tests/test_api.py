@@ -1,0 +1,634 @@
+"""The public audit API: Session, engine registry, versioned results.
+
+Four contracts under test:
+
+* **registry** — the four built-in engines resolve by name with honest
+  capability flags; unknown names raise the one
+  :class:`~repro.api.UnknownEngineError` (listing the registered
+  names) on every surface — Python, CLI stderr, HTTP 400; engines
+  registered at runtime are first-class on *all* surfaces, including
+  the served-vs-CLI byte-parity harness;
+* **Session** — owns the cross-cutting state (precision, roundoff,
+  cache dir, workers) and produces the same bits the CLI and server
+  emit;
+* **AuditResult** — stamps ``schema_version``, round-trips through
+  ``to_json``/``from_json``, and rejects foreign versions;
+* **deprecation shims** — every legacy entry point (``run_witness``,
+  ``run_witness_batch``, ``run_witness_sharded``, ``perform_audit``)
+  emits exactly one :class:`DeprecationWarning` per call and returns
+  results bitwise identical to the Session API, on
+  hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from strategies import batch_row, random_batch_inputs, random_program
+from repro import api
+from repro.api import (
+    AuditResult,
+    ScalarLensEngine,
+    Session,
+    UnknownEngineError,
+)
+
+from test_engine_parity import assert_witness_reports_equal
+
+_BUDGET = max(settings().max_examples // 4, 10)
+
+SOURCE = """
+DotProd2 (x : vec(2)) (y : vec(2)) : num :=
+  let (x0, x1) = x in
+  let (y0, y1) = y in
+  let v = mul x0 y0 in
+  let w = mul x1 y1 in
+  add v w
+"""
+SCALAR_INPUTS = {"x": [1.5, 2.25], "y": [3.1, -0.7]}
+BATCH_INPUTS = {
+    "x": [[1.5, 2.25], [2.0, 1.0], [0.5, -4.0]],
+    "y": [[3.1, -0.7], [1.0, 1.0], [2.0, 8.0]],
+}
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = api.engine_names()
+        assert names[0] == "ir"  # the default engine leads
+        assert set(names) >= {"ir", "recursive", "batch", "sharded"}
+
+    def test_capability_flags(self):
+        engines = api.engines()
+        assert not engines["ir"].caps.batched
+        assert engines["recursive"].caps.reference
+        assert engines["batch"].caps.batched
+        assert engines["batch"].caps.needs_numpy
+        assert engines["sharded"].caps.multiprocess
+        assert engines["sharded"].caps.batched
+
+    def test_engines_returns_snapshot(self):
+        snapshot = api.engines()
+        snapshot["bogus"] = snapshot["ir"]
+        assert "bogus" not in api.engine_names()
+
+    def test_get_engine_unknown_lists_names(self):
+        with pytest.raises(UnknownEngineError) as excinfo:
+            api.get_engine("warp")
+        message = str(excinfo.value)
+        assert "unknown engine 'warp'" in message
+        for name in api.engine_names():
+            assert name in message
+        assert excinfo.value.engine == "warp"
+        assert excinfo.value.known == api.engine_names()
+        # Pre-registry callers caught ValueError; that must keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @api.register_engine("ir")
+            class Clash(ScalarLensEngine):
+                pass
+
+    def test_register_replace_and_unregister(self):
+        original = api.get_engine("ir")
+
+        @api.register_engine("ir", replace=True, description="swapped")
+        class Replacement(ScalarLensEngine):
+            pass
+
+        try:
+            assert api.get_engine("ir").caps.description == "swapped"
+        finally:
+            # Restore in place: replacing an existing name keeps its
+            # registry position, so engine ordering survives this test.
+            api.register_engine(
+                "ir", description=original.caps.description, replace=True
+            )(original)
+        assert api.get_engine("ir") is original
+        assert api.engine_names()[0] == "ir"
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownEngineError):
+            api.unregister_engine("warp")
+
+    def test_engine_protocol(self):
+        for engine in api.engines().values():
+            assert isinstance(engine, api.Engine)
+
+    def test_legacy_engines_constant_tracks_registry(self):
+        from repro.service import audit as legacy
+
+        assert legacy.ENGINES == api.engine_names()
+
+        @api.register_engine("test-tracking")
+        class Tracking(ScalarLensEngine):
+            pass
+
+        try:
+            assert "test-tracking" in legacy.ENGINES
+        finally:
+            api.unregister_engine("test-tracking")
+        assert "test-tracking" not in legacy.ENGINES
+
+    def test_format_engine_table_lists_every_engine(self):
+        table = api.format_engine_table()
+        for name in api.engine_names():
+            assert f"`{name}`" in table
+
+
+# --------------------------------------------------------------------------
+# Session
+# --------------------------------------------------------------------------
+
+
+class TestSession:
+    def test_parse_check_audit_pipeline(self):
+        session = Session()
+        program = session.parse(SOURCE)
+        judgments = session.check(program)
+        assert str(judgments["DotProd2"].grade_of("x")) == "3ε/2"
+        result = session.audit(program, inputs=SCALAR_INPUTS)
+        assert result.sound and not result.batch
+        assert result.engine == "ir"
+        assert result.definition == "DotProd2"
+
+    def test_audit_accepts_source_text(self):
+        result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
+        assert result.sound
+
+    def test_every_registered_engine_audits(self):
+        session = Session(workers=2)
+        program = session.parse(SOURCE)
+        for name, engine in session.engines().items():
+            inputs = BATCH_INPUTS if engine.caps.batched else SCALAR_INPUTS
+            result = session.audit(program, inputs=inputs, engine=name)
+            assert result.sound, name
+            assert result.engine == name
+            assert result.batch == engine.caps.batched
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(UnknownEngineError):
+            Session().audit(SOURCE, inputs=SCALAR_INPUTS, engine="warp")
+
+    def test_session_defaults_and_overrides(self):
+        session = Session(precision_bits=24)
+        assert session.roundoff == 2.0**-24
+        result = session.audit(SOURCE, inputs=SCALAR_INPUTS)
+        assert result.payload["precision_bits"] == 24
+        assert result.payload["u"] == 2.0**-24
+        # Per-call overrides never mutate the session.
+        override = session.audit(
+            SOURCE, inputs=SCALAR_INPUTS, precision_bits=53, u="2^-53"
+        )
+        assert override.payload["precision_bits"] == 53
+        assert override.payload["u"] == 2.0**-53
+        assert session.precision_bits == 24
+
+    def test_roundoff_spellings(self):
+        assert Session(u="2^-24").roundoff == 2.0**-24
+        assert Session(u="2**-24").roundoff == 2.0**-24
+        assert Session(u=1e-8).roundoff == 1e-8
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            Session(precision_bits=0)
+        with pytest.raises(ValueError):
+            Session(workers=0)
+
+    def test_invalid_per_call_overrides_rejected(self):
+        # The overrides face the same bounds as the constructor — a bad
+        # value must fail at the API boundary, not audit with u=1.0 or
+        # crash deep in the process pool.
+        session = Session()
+        with pytest.raises(ValueError, match="precision_bits"):
+            session.audit(SOURCE, inputs=SCALAR_INPUTS, precision_bits=0)
+        with pytest.raises(ValueError, match="workers"):
+            session.audit(
+                SOURCE, inputs=BATCH_INPUTS, engine="sharded", workers=0
+            )
+
+    def test_cli_renders_bad_flags_as_error_lines(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "prog.bean"
+        path.write_text(SOURCE)
+        for flags in (["--precision-bits", "0"], ["--workers", "0"]):
+            code = main(
+                [
+                    "witness", str(path),
+                    "--inputs", json.dumps(SCALAR_INPUTS), *flags,
+                ]
+            )
+            assert code == 1
+            assert capsys.readouterr().err.startswith("error:")
+
+    def test_cache_dir_activates_artifact_cache(self, tmp_path):
+        from repro.ir.cache import persistent_cache
+        from repro.service.cache import deactivate
+
+        deactivate()
+        try:
+            session = Session(cache_dir=str(tmp_path / "cache"))
+            result = session.audit(SOURCE, inputs=SCALAR_INPUTS)
+            assert result.sound
+            assert persistent_cache() is not None
+        finally:
+            deactivate()
+
+    def test_session_reuse_is_bitwise_stable(self):
+        session = Session()
+        program = session.parse(SOURCE)
+        first = session.audit(program, inputs=SCALAR_INPUTS)
+        second = session.audit(program, inputs=SCALAR_INPUTS)
+        assert first.to_json() == second.to_json()
+
+
+# --------------------------------------------------------------------------
+# AuditResult: the versioned schema
+# --------------------------------------------------------------------------
+
+
+class TestAuditResult:
+    def test_schema_version_stamped(self):
+        result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
+        assert result.schema_version == api.SCHEMA_VERSION
+        assert list(result.payload)[0] == "schema_version"
+
+    def test_to_json_from_json_roundtrip_scalar(self):
+        result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
+        rebuilt = AuditResult.from_json(result.to_json())
+        assert rebuilt.payload == result.payload
+        assert rebuilt.sound == result.sound
+        assert rebuilt.batch == result.batch
+        assert rebuilt.report is None
+        assert rebuilt.to_json() == result.to_json()
+
+    def test_to_json_from_json_roundtrip_batch(self):
+        result = Session().audit(
+            SOURCE, inputs=BATCH_INPUTS, engine="batch"
+        )
+        rebuilt = AuditResult.from_json(result.to_json())
+        assert rebuilt.batch and rebuilt.sound == result.sound
+        assert rebuilt.payload == result.payload
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[]",
+            "{}",
+            json.dumps({"schema_version": 1, "sound": True}),
+            json.dumps({"schema_version": 999, "sound": True}),
+        ],
+    )
+    def test_from_json_rejects_foreign_payloads(self, text):
+        with pytest.raises(ValueError):
+            AuditResult.from_json(text)
+
+
+# --------------------------------------------------------------------------
+# Uniform unknown-engine failures on the CLI and HTTP surfaces
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served():
+    from repro.service.cache import deactivate
+    from repro.service.server import AuditServer, serve
+
+    deactivate()
+    handle = serve(AuditServer(port=0))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+        deactivate()
+
+
+class TestUnknownEngineSurfaces:
+    def test_http_maps_unknown_engine_to_400(self, served):
+        from repro.service.client import audit
+
+        status, body = audit(
+            served.host,
+            served.port,
+            {"source": SOURCE, "inputs": SCALAR_INPUTS, "engine": "warp"},
+        )
+        assert status == 400
+        message = json.loads(body)["error"]
+        assert message == str(UnknownEngineError("warp", api.engine_names()))
+
+    def test_http_400_lists_runtime_registered_engines(self, served):
+        from repro.service.client import audit
+
+        @api.register_engine("test-listed")
+        class Listed(ScalarLensEngine):
+            pass
+
+        try:
+            status, body = audit(
+                served.host,
+                served.port,
+                {"source": SOURCE, "inputs": SCALAR_INPUTS, "engine": "warp"},
+            )
+        finally:
+            api.unregister_engine("test-listed")
+        assert status == 400
+        assert "test-listed" in json.loads(body)["error"]
+
+    def test_cli_renders_unknown_engine_as_error_line(self, tmp_path, capsys):
+        # The argparse choices come from the registry, so an unknown
+        # name never reaches the audit; register a transient engine,
+        # build the spec against it, then unregister to hit the
+        # audit-time failure the CLI must render as `error:`, not a
+        # traceback.
+        from repro.cli import main
+
+        path = tmp_path / "prog.bean"
+        path.write_text(SOURCE)
+
+        @api.register_engine("test-vanishing")
+        class Vanishing(ScalarLensEngine):
+            def audit(self, request):
+                api.unregister_engine("test-vanishing")
+                return api.get_engine("test-vanishing").audit(request)
+
+        try:
+            code = main(
+                [
+                    "witness", str(path),
+                    "--inputs", json.dumps(SCALAR_INPUTS),
+                    "--engine", "test-vanishing",
+                ]
+            )
+        finally:
+            with contextlib.suppress(UnknownEngineError):
+                api.unregister_engine("test-vanishing")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: unknown engine 'test-vanishing'" in err
+
+    def test_cli_rejects_unregistered_engine_choice(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "prog.bean"
+        path.write_text(SOURCE)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "witness", str(path),
+                    "--inputs", json.dumps(SCALAR_INPUTS),
+                    "--engine", "warp",
+                ]
+            )
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "--engine" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# A dummy engine registered only here is first-class on every surface
+# --------------------------------------------------------------------------
+
+
+class TestRuntimeRegisteredEngineParity:
+    @pytest.fixture()
+    def mirror_engine(self):
+        @api.register_engine(
+            "mirror", description="test-only scalar engine (IR lens)"
+        )
+        class Mirror(ScalarLensEngine):
+            lens_engine = "ir"
+
+        try:
+            yield "mirror"
+        finally:
+            api.unregister_engine("mirror")
+
+    def test_session_audits_dummy_engine(self, mirror_engine):
+        result = Session().audit(
+            SOURCE, inputs=SCALAR_INPUTS, engine=mirror_engine
+        )
+        assert result.sound
+        assert result.engine == mirror_engine
+        # Same lens, same bits — only the engine stamp differs.
+        reference = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
+        patched = dict(result.payload, engine="ir")
+        assert patched == reference.payload
+
+    def test_served_equals_cli_for_dummy_engine(
+        self, served, mirror_engine, tmp_path
+    ):
+        from repro.cli import main
+        from repro.service.client import audit
+
+        status, body = audit(
+            served.host,
+            served.port,
+            {"source": SOURCE, "inputs": SCALAR_INPUTS, "engine": mirror_engine},
+        )
+        assert status == 200
+        path = tmp_path / "prog.bean"
+        path.write_text(SOURCE)
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(
+                [
+                    "witness", str(path),
+                    "--inputs", json.dumps(SCALAR_INPUTS),
+                    "--json", "--engine", mirror_engine,
+                ]
+            )
+        assert code == 0
+        assert body == buffer.getvalue()  # byte-for-byte, newline included
+        assert json.loads(body)["engine"] == mirror_engine
+
+
+# --------------------------------------------------------------------------
+# Deprecation shims: one warning, identical bits
+# --------------------------------------------------------------------------
+
+
+def _single_deprecation(record):
+    warns = [w for w in record if w.category is DeprecationWarning]
+    assert len(warns) == 1, [str(w.message) for w in record]
+    return warns[0]
+
+
+class TestLegacyShims:
+    @given(data=st.data())
+    @settings(max_examples=_BUDGET, deadline=None)
+    def test_run_witness_shim_bitwise_equals_session(self, data):
+        import repro
+
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        spec = random_program(seed, n_helpers=1)
+        columns = random_batch_inputs(spec, seed + 1, 1)
+        row = batch_row(columns, 0)
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = repro.run_witness(
+                spec.definition, row, program=spec.program
+            )
+        _single_deprecation(record)
+        session_report = Session().audit(
+            spec.program, spec.definition.name, inputs=row, engine="ir"
+        ).report
+        assert_witness_reports_equal(legacy, session_report, ctx="shim")
+
+    @given(data=st.data())
+    @settings(max_examples=_BUDGET, deadline=None)
+    def test_run_witness_batch_shim_bitwise_equals_session(self, data):
+        import repro
+
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        n_rows = data.draw(st.integers(1, 3), label="n_rows")
+        spec = random_program(seed, n_helpers=1)
+        columns = random_batch_inputs(spec, seed + 1, n_rows)
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = repro.run_witness_batch(
+                spec.definition, columns, program=spec.program
+            )
+        _single_deprecation(record)
+        result = Session().audit(
+            spec.program,
+            spec.definition.name,
+            inputs={k: v.tolist() for k, v in columns.items()},
+            engine="batch",
+        )
+        assert list(legacy.sound) == result.payload["sound"]
+        assert list(legacy.exact) == result.payload["exact"]
+        assert {
+            k: str(v) for k, v in legacy.param_max_distance.items()
+        } == {
+            k: v["max_distance"] for k, v in result.payload["params"].items()
+        }
+
+    def test_run_witness_sharded_shim_bitwise_equals_session(self):
+        import repro
+
+        spec = random_program(3, n_helpers=1, allow_div=True)
+        columns = random_batch_inputs(spec, 5, 6)
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = repro.run_witness_sharded(
+                spec.definition, columns, program=spec.program, workers=2
+            )
+        _single_deprecation(record)
+        result = Session().audit(
+            spec.program,
+            spec.definition.name,
+            inputs={k: v.tolist() for k, v in columns.items()},
+            engine="sharded",
+            workers=2,
+        )
+        assert list(legacy.sound) == result.payload["sound"]
+        assert list(legacy.exact) == result.payload["exact"]
+
+    @given(data=st.data())
+    @settings(max_examples=_BUDGET, deadline=None)
+    def test_perform_audit_shim_bitwise_equals_session(self, data):
+        from repro.service.audit import perform_audit
+
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        engine = data.draw(
+            st.sampled_from(
+                [
+                    name
+                    for name, eng in api.engines().items()
+                    if not (eng.caps.multiprocess or eng.caps.reference)
+                ]
+            ),
+            label="engine",
+        )
+        spec = random_program(seed, n_helpers=1)
+        columns = random_batch_inputs(spec, seed + 1, 2)
+        if api.engines()[engine].caps.batched:
+            inputs = {k: v.tolist() for k, v in columns.items()}
+        else:
+            inputs = batch_row(columns, 0)
+        with pytest.warns(DeprecationWarning) as record:
+            legacy = perform_audit(spec.program, inputs=inputs, engine=engine)
+        _single_deprecation(record)
+        result = Session().audit(spec.program, inputs=inputs, engine=engine)
+        assert legacy.payload == result.payload
+        assert legacy.to_json() == result.to_json()
+        assert (legacy.sound, legacy.batch) == (result.sound, result.batch)
+
+    def test_internal_paths_do_not_warn(self):
+        # The CLI and server run on the Session API; a plain witness run
+        # through them must not trip the legacy shims.
+        from repro.cli import main
+
+        import os
+        import tempfile
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            buffer = io.StringIO()
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "prog.bean")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(SOURCE)
+                with contextlib.redirect_stdout(buffer):
+                    code = main(
+                        [
+                            "witness", path,
+                            "--inputs", json.dumps(SCALAR_INPUTS), "--json",
+                        ]
+                    )
+            assert code == 0
+
+
+# --------------------------------------------------------------------------
+# Package ergonomics: lazy names are discoverable
+# --------------------------------------------------------------------------
+
+
+class TestPackageSurface:
+    def test_lazy_names_appear_in_dir(self):
+        import repro
+
+        listing = dir(repro)
+        for name in (
+            "BatchWitnessEngine",
+            "BatchWitnessReport",
+            "run_witness_sharded",
+            "run_witness_batch",
+            "Session",
+            "AuditResult",
+        ):
+            assert name in listing, name
+
+    def test_lazy_api_names_resolve(self):
+        import repro
+
+        assert repro.Session is Session
+        assert repro.AuditResult is AuditResult
+        assert repro.BatchWitnessEngine is not None
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_name
+
+    def test_readme_engine_table_in_sync(self):
+        # The README's registry table is generated output — registering
+        # an engine updates format_engine_table(), and this assertion
+        # forces the README to follow.
+        import pathlib
+
+        readme = (
+            pathlib.Path(__file__).parent.parent / "README.md"
+        ).read_text(encoding="utf-8")
+        assert api.format_engine_table() in readme

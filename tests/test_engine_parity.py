@@ -38,9 +38,25 @@ from strategies import (
     random_definition,
     random_program,
 )
+from repro.api import engines as registered_engines
 from repro.semantics.batch import BatchWitnessEngine
 from repro.semantics.interp import lens_of_definition
 from repro.semantics.witness import run_witness
+
+#: Engine sets derived from the registry's capability flags — never a
+#: hand-maintained name list.  "Fast" engines go into hypothesis inner
+#: loops; reference interpreters and process pools are too slow for
+#: that and get fixed-seed coverage instead.
+FAST_ENGINES = [
+    name
+    for name, engine in registered_engines().items()
+    if not (engine.caps.multiprocess or engine.caps.reference)
+]
+SLOW_ENGINES = [
+    name
+    for name, engine in registered_engines().items()
+    if engine.caps.multiprocess or engine.caps.reference
+]
 
 #: Examples budgets scale with the loaded hypothesis profile (40 for
 #: the default/ci profiles, 400 under HYPOTHESIS_PROFILE=nightly), so
@@ -224,8 +240,8 @@ class TestShardedParity:
 class TestServedParity:
     """The served engine against the one-shot CLI, byte for byte.
 
-    The server and the CLI share :func:`repro.service.audit.perform_audit`
-    by construction; this class is the end-to-end oracle that the HTTP
+    The server and the CLI share one :class:`repro.api.Session` code
+    path by construction; this class is the end-to-end oracle that the HTTP
     layer (request validation, coalescing, executor dispatch, response
     rendering) preserves that equality — over randomized programs whose
     *source text* travels to the server while the CLI re-parses the same
@@ -260,12 +276,13 @@ class TestServedParity:
         path = tmp_path / "prog.bean"
         path.write_text(source)
         argv = ["witness", str(path), "--inputs", json.dumps(inputs), "--json"]
-        if engine in ("batch", "sharded"):
+        caps = registered_engines()[engine].caps
+        if caps.batched:
             argv.append("--batch")
-        if engine == "sharded":
+        else:
+            argv += ["--engine", engine]
+        if caps.multiprocess:
             argv += ["--workers", "2"]
-        if engine == "recursive":
-            argv += ["--engine", "recursive"]
         buffer = io.StringIO()
         with contextlib.redirect_stdout(buffer):
             main(argv)
@@ -291,16 +308,16 @@ class TestServedParity:
             allow_div=data.draw(st.booleans()),
         )
         source = pretty_program(spec.program)
-        engine = data.draw(st.sampled_from(["ir", "batch"]), label="engine")
+        engine = data.draw(st.sampled_from(FAST_ENGINES), label="engine")
         n_rows = data.draw(st.integers(1, 3), label="n_rows")
         columns = random_batch_inputs(spec, seed + 1, n_rows)
-        if engine == "ir":
-            inputs = batch_row(columns, 0)
-        else:
+        if registered_engines()[engine].caps.batched:
             inputs = {k: v.tolist() for k, v in columns.items()}
+        else:
+            inputs = batch_row(columns, 0)
         self.assert_served_equals_cli(served, source, inputs, engine, tmp_path)
 
-    @pytest.mark.parametrize("engine", ["recursive", "sharded"])
+    @pytest.mark.parametrize("engine", SLOW_ENGINES)
     def test_served_slow_engines_bitwise(self, served, tmp_path, engine):
         # One fixed seed per engine: the recursive lens and the process
         # pool are too slow for a hypothesis inner loop.
@@ -309,10 +326,10 @@ class TestServedParity:
         spec = random_program(5, n_helpers=1, allow_div=True)
         source = pretty_program(spec.program)
         columns = random_batch_inputs(spec, 11, 4)
-        if engine == "recursive":
-            inputs = batch_row(columns, 0)
-        else:
+        if registered_engines()[engine].caps.batched:
             inputs = {k: v.tolist() for k, v in columns.items()}
+        else:
+            inputs = batch_row(columns, 0)
         self.assert_served_equals_cli(served, source, inputs, engine, tmp_path)
 
     def test_served_error_capture_bitwise(self, served, tmp_path):

@@ -26,6 +26,7 @@ import threading
 
 import pytest
 
+from repro import api as repro_api
 from repro.cli import main
 from repro.core import parse_program
 from repro.core.checker import check_program
@@ -391,11 +392,11 @@ def served_audit(handle, spec):
 
 
 class TestAuditServer:
-    @pytest.mark.parametrize("engine", ["ir", "recursive", "batch", "sharded"])
+    @pytest.mark.parametrize("engine", repro_api.engine_names())
     def test_served_bitwise_equals_cli(self, audit_server, engine):
         source = open(SAFEDIV).read()
-        batch = engine in ("batch", "sharded")
-        inputs = BATCH_INPUTS if batch else SCALAR_INPUTS
+        caps = repro_api.engines()[engine].caps
+        inputs = BATCH_INPUTS if caps.batched else SCALAR_INPUTS
         status, body = served_audit(
             audit_server,
             {"source": source, "inputs": inputs, "engine": engine, "workers": 2},
@@ -404,12 +405,12 @@ class TestAuditServer:
         argv = [
             "witness", SAFEDIV, "--inputs", json.dumps(inputs), "--json",
         ]
-        if batch:
+        if caps.batched:
             argv.append("--batch")
-        if engine == "sharded":
+        else:
+            argv += ["--engine", engine]
+        if caps.multiprocess:
             argv += ["--workers", "2"]
-        if engine == "recursive":
-            argv += ["--engine", "recursive"]
         code, out = cli_json(argv)
         assert body == out  # byte-for-byte, trailing newline included
         assert code == 0
@@ -626,30 +627,38 @@ class TestServeSoak:
         with tempfile.TemporaryDirectory() as cache_dir:
             handle = serve(AuditServer(port=0, cache_dir=cache_dir))
             try:
-                # The golden bodies, one per engine, from the CLI path.
+                # The golden bodies, one per non-reference engine (the
+                # soak mix mirrors production traffic; the quadratic
+                # reference engine has its own parity coverage).
+                soak_engines = [
+                    name
+                    for name, eng in repro_api.engines().items()
+                    if not eng.caps.reference
+                ]
                 golden = {}
-                for engine in ("ir", "batch", "sharded"):
-                    batch = engine != "ir"
-                    inputs = BATCH_INPUTS if batch else SCALAR_INPUTS
+                for engine in soak_engines:
+                    caps = repro_api.engines()[engine].caps
+                    inputs = BATCH_INPUTS if caps.batched else SCALAR_INPUTS
                     argv = [
                         "witness", SAFEDIV, "--inputs", json.dumps(inputs),
                         "--json",
                     ]
-                    if batch:
+                    if caps.batched:
                         argv.append("--batch")
-                    if engine == "sharded":
+                    if caps.multiprocess:
                         argv += ["--workers", "2"]
                     _, golden[engine] = cli_json(argv)
                 failures = []
 
                 def worker(worker_id: int):
-                    engines = ["ir", "batch", "sharded"]
                     for i in range(requests_each):
-                        engine = engines[(worker_id + i) % len(engines)]
-                        batch = engine != "ir"
+                        engine = soak_engines[
+                            (worker_id + i) % len(soak_engines)
+                        ]
+                        batched = repro_api.engines()[engine].caps.batched
                         spec = {
                             "source": source,
-                            "inputs": BATCH_INPUTS if batch else SCALAR_INPUTS,
+                            "inputs": BATCH_INPUTS if batched else SCALAR_INPUTS,
                             "engine": engine,
                             "workers": 2,
                         }
