@@ -13,8 +13,8 @@ from .dynamic import (
     estimate_multivariate,
     estimate_scalar,
 )
-from .forward import UNBOUNDED, forward_error_bound, forward_error_value
-from .intervals import DEFAULT_RANGE, Interval, interval_forward_bound
+from .forward import UNBOUNDED, ForwardDomain, forward_error_bound, forward_error_value
+from .intervals import DEFAULT_RANGE, Interval, IntervalDomain, interval_forward_bound
 from .metrics import (
     componentwise_backward_error,
     relative_error,
@@ -25,6 +25,13 @@ from .standard_bounds import (
     HIGHAM_CITATIONS,
     standard_bound_grade,
     standard_bound_value,
+)
+from .transfer import (
+    TransferDomain,
+    TransferInterpreter,
+    abstract_of_type,
+    join_values,
+    worst_measure,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

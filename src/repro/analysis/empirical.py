@@ -122,7 +122,7 @@ def tightness_study(
     rng = random.Random(seed)
     lens = lens_of_definition(definition, program=program)
     violations = 0
-    utilizations = []
+    utilizations: list = []
     for _ in range(runs):
         report = run_witness(
             definition, sample_inputs(rng), program=program, lens=lens, u=u

@@ -20,21 +20,35 @@ distances compose additively, which is the point of the log metric):
 
 The result is exact symbolic arithmetic on Fractions, so e.g. Sum 500
 yields exactly ``499ε`` — the number NumFuzz reports.
+
+The rules are the :class:`ForwardDomain` transfer table; the walk itself
+is the shared fully-iterative IR sweep in
+:mod:`repro.analysis.transfer`, so arbitrarily deep programs (Sum 10000)
+analyze under the default recursion limit.  The old recursive AST
+walker this module started as is gone — the closed-form Table 3
+coefficients in ``tests/test_forward.py`` pin the semantics.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional
 
 from ..core import ast_nodes as A
-from ..core.checker import Judgment
-from ..core.errors import BeanTypeError
-from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade, eps_from_roundoff
-from ..ir import lower as L
-from ..ir.cache import semantic_definition_ir
+from ..core.grades import BINARY64_UNIT_ROUNDOFF, Grade
+from .transfer import (
+    AbstractValue,
+    TransferInterpreter,
+    abstract_of_type,
+    worst_measure,
+)
 
-__all__ = ["forward_error_bound", "forward_error_value", "UNBOUNDED"]
+__all__ = [
+    "UNBOUNDED",
+    "ForwardDomain",
+    "forward_error_bound",
+    "forward_error_value",
+]
 
 #: Sentinel for "no finite bound derivable" (subtraction / cancellation).
 UNBOUNDED = None
@@ -42,262 +56,52 @@ UNBOUNDED = None
 _Err = Optional[Fraction]  # None = unbounded
 
 
-class _Abs:
-    """Abstract values: structure trees with per-leaf error bounds."""
+class ForwardDomain:
+    """NumFuzz's positive-data rules as a transfer table.
+
+    Leaves are exact ε counts (:class:`~fractions.Fraction`), with
+    ``None`` marking "unbounded" — it propagates through every rule.
+    """
 
     __slots__ = ()
 
-
-class _ANum(_Abs):
-    __slots__ = ("err",)
-
-    def __init__(self, err: _Err) -> None:
-        self.err = err
-
-
-class _AUnit(_Abs):
-    __slots__ = ()
-
-
-class _APair(_Abs):
-    __slots__ = ("left", "right")
-
-    def __init__(self, left: _Abs, right: _Abs) -> None:
-        self.left = left
-        self.right = right
-
-
-class _ASum(_Abs):
-    __slots__ = ("left", "right")
-
-    def __init__(self, left: Optional[_Abs], right: Optional[_Abs]) -> None:
-        self.left = left
-        self.right = right
-
-
-def _err_add(a: _Err, b: _Err, op_cost: int) -> _Err:
-    if a is None or b is None:
-        return None
-    return a + b + op_cost
-
-
-def _err_max(a: _Err, b: _Err, op_cost: int) -> _Err:
-    if a is None or b is None:
-        return None
-    return max(a, b) + op_cost
-
-
-def _join(a: Optional[_Abs], b: Optional[_Abs]) -> Optional[_Abs]:
-    """Pointwise worst case of two abstract values (case branches)."""
-    if a is None:
-        return b
-    if b is None:
-        return a
-    if isinstance(a, _ANum) and isinstance(b, _ANum):
-        if a.err is None or b.err is None:
-            return _ANum(None)
-        return _ANum(max(a.err, b.err))
-    if isinstance(a, _AUnit) and isinstance(b, _AUnit):
-        return a
-    if isinstance(a, _APair) and isinstance(b, _APair):
-        return _APair(_join(a.left, b.left), _join(a.right, b.right))
-    if isinstance(a, _ASum) and isinstance(b, _ASum):
-        return _ASum(_join(a.left, b.left), _join(a.right, b.right))
-    raise BeanTypeError("case branches produce incompatible shapes")
-
-
-def _worst(a: _Abs) -> _Err:
-    """The largest leaf error of an abstract value."""
-    if isinstance(a, _ANum):
-        return a.err
-    if isinstance(a, _AUnit):
+    def const(self, value: float) -> _Err:
         return Fraction(0)
-    if isinstance(a, _APair):
-        l, r = _worst(a.left), _worst(a.right)
-        if l is None or r is None:
+
+    def rnd(self, x: _Err) -> _Err:
+        return None if x is None else x + 1
+
+    def add(self, a: _Err, b: _Err) -> _Err:
+        if a is None or b is None:
             return None
-        return max(l, r)
-    if isinstance(a, _ASum):
-        worst = Fraction(0)
-        for side in (a.left, a.right):
-            if side is None:
-                continue
-            w = _worst(side)
-            if w is None:
-                return None
-            worst = max(worst, w)
-        return worst
-    raise TypeError(f"bad abstract value {a!r}")
+        return max(a, b) + 1
 
+    def sub(self, a: _Err, b: _Err) -> _Err:
+        return None  # cancellation: no positive-data bound
 
-def _abs_of_type(ty) -> _Abs:
-    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+    def mul(self, a: _Err, b: _Err) -> _Err:
+        if a is None or b is None:
+            return None
+        return a + b + 1
 
-    if isinstance(ty, (Num,)):
-        return _ANum(Fraction(0))
-    if isinstance(ty, Unit):
-        return _AUnit()
-    if isinstance(ty, Discrete):
-        return _abs_of_type(ty.inner)
-    if isinstance(ty, Tensor):
-        return _APair(_abs_of_type(ty.left), _abs_of_type(ty.right))
-    if isinstance(ty, Sum):
-        return _ASum(_abs_of_type(ty.left), _abs_of_type(ty.right))
-    raise BeanTypeError(f"no abstraction for type {ty}")
+    def div(self, a: _Err, b: _Err) -> _Err:
+        return self.mul(a, b)
 
+    def join(self, a: _Err, b: _Err) -> _Err:
+        if a is None or b is None:
+            return None
+        return max(a, b)
 
-class _ForwardAnalyzer:
-    def __init__(self, program: Optional[A.Program]) -> None:
-        self.program = program
+    def measure(self, x: _Err) -> _Err:
+        return x
 
-    def analyze(self, expr: A.Expr, env: Dict[str, _Abs]) -> _Abs:
-        if isinstance(expr, A.Var):
-            return env[expr.name]
-        if isinstance(expr, A.UnitVal):
-            return _AUnit()
-        if isinstance(expr, A.Bang):
-            return self.analyze(expr.body, env)
-        if isinstance(expr, A.Pair):
-            return _APair(self.analyze(expr.left, env), self.analyze(expr.right, env))
-        if isinstance(expr, A.Inl):
-            return _ASum(self.analyze(expr.body, env), None)
-        if isinstance(expr, A.Inr):
-            return _ASum(None, self.analyze(expr.body, env))
-        if isinstance(expr, (A.Let, A.DLet)):
-            bound = self.analyze(expr.bound, env)
-            inner = dict(env)
-            inner[expr.name] = bound
-            return self.analyze(expr.body, inner)
-        if isinstance(expr, (A.LetPair, A.DLetPair)):
-            bound = self.analyze(expr.bound, env)
-            if not isinstance(bound, _APair):
-                raise BeanTypeError("pair elimination of non-pair abstraction")
-            inner = dict(env)
-            inner[expr.left] = bound.left
-            inner[expr.right] = bound.right
-            return self.analyze(expr.body, inner)
-        if isinstance(expr, A.Case):
-            scrut = self.analyze(expr.scrutinee, env)
-            if not isinstance(scrut, _ASum):
-                raise BeanTypeError("case of non-sum abstraction")
-            result: Optional[_Abs] = None
-            if scrut.left is not None:
-                inner = dict(env)
-                inner[expr.left_name] = scrut.left
-                result = _join(result, self.analyze(expr.left, inner))
-            if scrut.right is not None:
-                inner = dict(env)
-                inner[expr.right_name] = scrut.right
-                result = _join(result, self.analyze(expr.right, inner))
-            if result is None:
-                raise BeanTypeError("case with no reachable branch")
-            return result
-        if isinstance(expr, A.PrimOp):
-            left = self.analyze(expr.left, env)
-            right = self.analyze(expr.right, env)
-            if not isinstance(left, _ANum) or not isinstance(right, _ANum):
-                raise BeanTypeError("arithmetic on non-numeric abstraction")
-            if expr.op is A.Op.ADD:
-                return _ANum(_err_max(left.err, right.err, 1))
-            if expr.op is A.Op.SUB:
-                return _ANum(None)  # cancellation: no positive-data bound
-            if expr.op in (A.Op.MUL, A.Op.DMUL):
-                return _ANum(_err_add(left.err, right.err, 1))
-            if expr.op is A.Op.DIV:
-                return _ASum(_ANum(_err_add(left.err, right.err, 1)), _AUnit())
-        if isinstance(expr, A.Rnd):
-            inner = self.analyze(expr.body, env)
-            if not isinstance(inner, _ANum):
-                raise BeanTypeError("rnd of non-numeric abstraction")
-            return _ANum(None if inner.err is None else inner.err + 1)
-        if isinstance(expr, A.Call):
-            if self.program is None or expr.name not in self.program:
-                raise BeanTypeError(f"call to unknown definition {expr.name!r}")
-            callee = self.program[expr.name]
-            frame = {
-                p.name: self.analyze(a, env)
-                for p, a in zip(callee.params, expr.args)
-            }
-            return self.analyze(callee.body, frame)
-        raise BeanTypeError(f"cannot analyze {expr!r}")
+    def combine_measures(self, a: _Err, b: _Err) -> _Err:
+        if a is None or b is None:
+            return None
+        return max(a, b)
 
-    # -- the iterative IR walker ------------------------------------------
-
-    def analyze_ir(self, ir, env: Dict[str, _Abs]) -> _Abs:
-        """Same abstraction as :meth:`analyze`, as one sweep over the IR."""
-        vals: List[Optional[_Abs]] = [None] * ir.n_slots
-        for p in ir.params:
-            vals[p.slot] = env[p.name]
-        self._sweep_ir(ir.ops, vals)
-        return vals[ir.result]
-
-    def _sweep_ir(self, ops, vals: List) -> None:
-        for op in ops:
-            code = op.code
-            if L.ADD <= code <= L.DMUL:
-                left, right = vals[op.a], vals[op.b]
-                if not isinstance(left, _ANum) or not isinstance(right, _ANum):
-                    raise BeanTypeError("arithmetic on non-numeric abstraction")
-                if code == L.ADD:
-                    vals[op.dest] = _ANum(_err_max(left.err, right.err, 1))
-                elif code == L.SUB:
-                    vals[op.dest] = _ANum(None)  # cancellation
-                elif code == L.DIV:
-                    vals[op.dest] = _ASum(
-                        _ANum(_err_add(left.err, right.err, 1)), _AUnit()
-                    )
-                else:  # MUL / DMUL
-                    vals[op.dest] = _ANum(_err_add(left.err, right.err, 1))
-            elif code == L.DVAR or code == L.BANG:
-                vals[op.dest] = vals[op.a]
-            elif code == L.PAIR:
-                vals[op.dest] = _APair(vals[op.a], vals[op.b])
-            elif code == L.FST or code == L.SND:
-                bound = vals[op.a]
-                if not isinstance(bound, _APair):
-                    raise BeanTypeError("pair elimination of non-pair abstraction")
-                vals[op.dest] = bound.left if code == L.FST else bound.right
-            elif code == L.RND:
-                inner = vals[op.a]
-                if not isinstance(inner, _ANum):
-                    raise BeanTypeError("rnd of non-numeric abstraction")
-                vals[op.dest] = _ANum(None if inner.err is None else inner.err + 1)
-            elif code == L.INL:
-                vals[op.dest] = _ASum(vals[op.a], None)
-            elif code == L.INR:
-                vals[op.dest] = _ASum(None, vals[op.a])
-            elif code == L.CASE:
-                scrut = vals[op.a]
-                if not isinstance(scrut, _ASum):
-                    raise BeanTypeError("case of non-sum abstraction")
-                result: Optional[_Abs] = None
-                for side, region in zip((scrut.left, scrut.right), op.aux):
-                    if side is None:
-                        continue  # branch unreachable under this abstraction
-                    vals[region.payload] = side
-                    self._sweep_ir(region.ops, vals)
-                    result = _join(result, vals[region.result])
-                if result is None:
-                    raise BeanTypeError("case with no reachable branch")
-                vals[op.dest] = result
-            elif code == L.CALL:
-                name, arg_slots = op.aux
-                if self.program is None or name not in self.program:
-                    raise BeanTypeError(f"call to unknown definition {name!r}")
-                callee = self.program[name]
-                frame = {
-                    p.name: vals[s]
-                    for p, s in zip(callee.params, arg_slots)
-                }
-                vals[op.dest] = self.analyze_ir(
-                    semantic_definition_ir(callee), frame
-                )
-            elif code == L.UNIT:
-                vals[op.dest] = _AUnit()
-            elif code == L.CONST:
-                vals[op.dest] = _ANum(Fraction(0))
-            else:  # pragma: no cover - exhaustive over opcodes
-                raise BeanTypeError(f"cannot analyze opcode {code}")
+    def zero_measure(self) -> _Err:
+        return Fraction(0)
 
 
 def forward_error_bound(
@@ -312,10 +116,14 @@ def forward_error_bound(
     the definition's flat IR, so arbitrarily deep programs analyze under
     the default recursion limit.
     """
-    analyzer = _ForwardAnalyzer(program)
-    env = {p.name: _abs_of_type(p.ty) for p in definition.params}
-    result = analyzer.analyze_ir(semantic_definition_ir(definition), env)
-    worst = _worst(result)
+    domain = ForwardDomain()
+    env: Dict[str, AbstractValue] = {
+        p.name: abstract_of_type(p.ty, Fraction(0)) for p in definition.params
+    }
+    result = TransferInterpreter(domain, program).analyze_definition(
+        definition, env
+    )
+    worst = worst_measure(result, domain)
     if worst is None:
         return UNBOUNDED
     return Grade(worst)
@@ -328,12 +136,6 @@ def forward_error_value(
 ) -> Optional[float]:
     """The numeric forward bound at unit roundoff ``u`` (None = unbounded)."""
     grade = forward_error_bound(definition, program)
-    if grade is UNBOUNDED:
+    if grade is None:
         return None
     return grade.evaluate(u)
-
-
-# Referenced for documentation completeness.
-_ = eps_from_roundoff
-_ = Union
-_ = Judgment

@@ -16,20 +16,42 @@ min|I₁ ∓ I₂|``; when it straddles zero the error is unbounded.  On
 same-signed data the rules coincide with :mod:`repro.analysis.forward`,
 which is why the two baselines (and Bean's converted bound) agree to all
 printed digits on the Table 3 benchmarks.
+
+The numeric rules live in :class:`IntervalDomain`, a transfer table for
+the shared iterative IR interpreter in :mod:`repro.analysis.transfer`
+(``method="ir"``, the default — handles ``Sum 10000`` under the default
+recursion limit).  The pre-IR recursive AST walker is kept as the
+slow reference (``method="recursive"``), mirroring the witness side's
+``engine="recursive"`` pattern: a pinned-seed bit-parity test and
+``benchmarks/bench_analysis.py`` run both.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..core import ast_nodes as A
 from ..core.errors import BeanTypeError
 from ..core.grades import eps_from_roundoff
-from ..ir import lower as L
-from ..ir.cache import semantic_definition_ir
+from .transfer import (
+    ANum,
+    APair,
+    ASum,
+    AUnit,
+    AbstractValue,
+    TransferInterpreter,
+    abstract_of_type,
+    join_values,
+    worst_measure,
+)
 
-__all__ = ["Interval", "interval_forward_bound", "DEFAULT_RANGE"]
+__all__ = [
+    "DEFAULT_RANGE",
+    "Interval",
+    "IntervalDomain",
+    "interval_forward_bound",
+]
 
 #: The input range the paper uses for Gappa.
 DEFAULT_RANGE = (0.1, 1000.0)
@@ -100,13 +122,9 @@ class Interval:
         return f"[{self.lo}, {self.hi}]"
 
 
-class _IAbs:
-    """Abstract values for the interval analyzer."""
+class _ILeaf:
+    """One numeric leaf: its exact-value enclosure and error bound."""
 
-    __slots__ = ()
-
-
-class _INum(_IAbs):
     __slots__ = ("interval", "rel")
 
     def __init__(self, interval: Interval, rel: float) -> None:
@@ -114,28 +132,8 @@ class _INum(_IAbs):
         self.rel = rel  # bound on RP(approx, exact); math.inf = unbounded
 
 
-class _IUnit(_IAbs):
-    __slots__ = ()
-
-
-class _IPair(_IAbs):
-    __slots__ = ("left", "right")
-
-    def __init__(self, left: _IAbs, right: _IAbs) -> None:
-        self.left = left
-        self.right = right
-
-
-class _ISum(_IAbs):
-    __slots__ = ("left", "right")
-
-    def __init__(self, left: Optional[_IAbs], right: Optional[_IAbs]) -> None:
-        self.left = left
-        self.right = right
-
-
 def _linear_combination_rel(
-    a: _INum, b: _INum, result: Interval, eps: float
+    a: _ILeaf, b: _ILeaf, result: Interval, eps: float
 ) -> float:
     """Relative error of an add/sub through possibly-cancelling data."""
     if a.rel == math.inf or b.rel == math.inf:
@@ -159,24 +157,106 @@ def _linear_combination_rel(
     return math.log1p(amplified) + eps
 
 
-class _IntervalAnalyzer:
-    def __init__(self, program: Optional[A.Program], eps: float) -> None:
-        self.program = program
+class IntervalDomain:
+    """The interval analysis as a transfer table over ``_ILeaf`` leaves."""
+
+    __slots__ = ("eps",)
+
+    def __init__(self, eps: float) -> None:
         self.eps = eps
 
-    def analyze(self, expr: A.Expr, env: Dict[str, _IAbs]) -> _IAbs:
+    def const(self, value: float) -> _ILeaf:
+        return _ILeaf(Interval(value, value), 0.0)
+
+    def rnd(self, x: _ILeaf) -> _ILeaf:
+        rel = math.inf if x.rel == math.inf else x.rel + self.eps
+        return _ILeaf(x.interval, rel)
+
+    def add(self, a: _ILeaf, b: _ILeaf) -> _ILeaf:
+        result = a.interval + b.interval
+        return _ILeaf(result, _linear_combination_rel(a, b, result, self.eps))
+
+    def sub(self, a: _ILeaf, b: _ILeaf) -> _ILeaf:
+        result = a.interval - b.interval
+        flipped = _ILeaf(Interval(-b.interval.hi, -b.interval.lo), b.rel)
+        return _ILeaf(
+            result, _linear_combination_rel(a, flipped, result, self.eps)
+        )
+
+    def mul(self, a: _ILeaf, b: _ILeaf) -> _ILeaf:
+        rel = (
+            math.inf
+            if math.inf in (a.rel, b.rel)
+            else a.rel + b.rel + self.eps
+        )
+        return _ILeaf(a.interval * b.interval, rel)
+
+    def div(self, a: _ILeaf, b: _ILeaf) -> _ILeaf:
+        if b.interval.contains_zero():
+            # Cannot exclude the error branch; report both.
+            return _ILeaf(Interval(-math.inf, math.inf), math.inf)
+        rel = (
+            math.inf
+            if math.inf in (a.rel, b.rel)
+            else a.rel + b.rel + self.eps
+        )
+        return _ILeaf(a.interval.divide(b.interval), rel)
+
+    def join(self, a: _ILeaf, b: _ILeaf) -> _ILeaf:
+        return _ILeaf(
+            Interval(
+                min(a.interval.lo, b.interval.lo),
+                max(a.interval.hi, b.interval.hi),
+            ),
+            max(a.rel, b.rel),
+        )
+
+    def measure(self, x: _ILeaf) -> float:
+        return x.rel
+
+    def combine_measures(self, a: float, b: float) -> float:
+        return max(a, b)
+
+    def zero_measure(self) -> float:
+        return 0.0
+
+
+class _RecursiveIntervalAnalyzer:
+    """The pre-IR structural walker, kept as the slow reference.
+
+    Recurses on AST shape (and copies the environment per binder, the
+    quadratic behaviour ``benchmarks/bench_analysis.py`` measures), so
+    it is limited to programs whose nesting fits the default recursion
+    limit — exactly the regime the pinned-seed bit-parity test runs it
+    in against the iterative IR sweep.
+    """
+
+    __slots__ = ("program", "domain")
+
+    def __init__(
+        self, program: Optional[A.Program], domain: IntervalDomain
+    ) -> None:
+        self.program = program
+        self.domain = domain
+
+    def analyze(
+        self, expr: A.Expr, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        domain = self.domain
         if isinstance(expr, A.Var):
             return env[expr.name]
         if isinstance(expr, A.UnitVal):
-            return _IUnit()
+            return AUnit()
         if isinstance(expr, A.Bang):
             return self.analyze(expr.body, env)
         if isinstance(expr, A.Pair):
-            return _IPair(self.analyze(expr.left, env), self.analyze(expr.right, env))
+            return APair(
+                self.analyze(expr.left, env), self.analyze(expr.right, env)
+            )
         if isinstance(expr, A.Inl):
-            return _ISum(self.analyze(expr.body, env), None)
+            return ASum(self.analyze(expr.body, env), None)
         if isinstance(expr, A.Inr):
-            return _ISum(None, self.analyze(expr.body, env))
+            return ASum(None, self.analyze(expr.body, env))
         if isinstance(expr, (A.Let, A.DLet)):
             bound = self.analyze(expr.bound, env)
             inner = dict(env)
@@ -184,7 +264,7 @@ class _IntervalAnalyzer:
             return self.analyze(expr.body, inner)
         if isinstance(expr, (A.LetPair, A.DLetPair)):
             bound = self.analyze(expr.bound, env)
-            if not isinstance(bound, _IPair):
+            if not isinstance(bound, APair):
                 raise BeanTypeError("pair elimination of non-pair abstraction")
             inner = dict(env)
             inner[expr.left] = bound.left
@@ -192,32 +272,43 @@ class _IntervalAnalyzer:
             return self.analyze(expr.body, inner)
         if isinstance(expr, A.Case):
             scrut = self.analyze(expr.scrutinee, env)
-            if not isinstance(scrut, _ISum):
+            if not isinstance(scrut, ASum):
                 raise BeanTypeError("case of non-sum abstraction")
-            result: Optional[_IAbs] = None
+            result: Optional[AbstractValue] = None
             if scrut.left is not None:
                 inner = dict(env)
                 inner[expr.left_name] = scrut.left
-                result = _ijoin(result, self.analyze(expr.left, inner))
+                result = join_values(
+                    result, self.analyze(expr.left, inner), domain
+                )
             if scrut.right is not None:
                 inner = dict(env)
                 inner[expr.right_name] = scrut.right
-                result = _ijoin(result, self.analyze(expr.right, inner))
+                result = join_values(
+                    result, self.analyze(expr.right, inner), domain
+                )
             if result is None:
                 raise BeanTypeError("case with no reachable branch")
             return result
         if isinstance(expr, A.PrimOp):
             left = self.analyze(expr.left, env)
             right = self.analyze(expr.right, env)
-            if not isinstance(left, _INum) or not isinstance(right, _INum):
+            if not isinstance(left, ANum) or not isinstance(right, ANum):
                 raise BeanTypeError("arithmetic on non-numeric abstraction")
-            return self._op(expr.op, left, right)
+            if expr.op is A.Op.ADD:
+                return ANum(domain.add(left.leaf, right.leaf))
+            if expr.op is A.Op.SUB:
+                return ANum(domain.sub(left.leaf, right.leaf))
+            if expr.op in (A.Op.MUL, A.Op.DMUL):
+                return ANum(domain.mul(left.leaf, right.leaf))
+            if expr.op is A.Op.DIV:
+                return ASum(ANum(domain.div(left.leaf, right.leaf)), AUnit())
+            raise BeanTypeError(f"unknown op {expr.op}")
         if isinstance(expr, A.Rnd):
-            inner = self.analyze(expr.body, env)
-            if not isinstance(inner, _INum):
+            inner_val = self.analyze(expr.body, env)
+            if not isinstance(inner_val, ANum):
                 raise BeanTypeError("rnd of non-numeric abstraction")
-            rel = math.inf if inner.rel == math.inf else inner.rel + self.eps
-            return _INum(inner.interval, rel)
+            return ANum(domain.rnd(inner_val.leaf))
         if isinstance(expr, A.Call):
             if self.program is None or expr.name not in self.program:
                 raise BeanTypeError(f"call to unknown definition {expr.name!r}")
@@ -229,154 +320,6 @@ class _IntervalAnalyzer:
             return self.analyze(callee.body, frame)
         raise BeanTypeError(f"cannot analyze {expr!r}")
 
-    # -- the iterative IR walker ------------------------------------------
-
-    def analyze_ir(self, ir, env: Dict[str, _IAbs]) -> _IAbs:
-        """Same abstraction as :meth:`analyze`, as one sweep over the IR."""
-        vals: List[Optional[_IAbs]] = [None] * ir.n_slots
-        for p in ir.params:
-            vals[p.slot] = env[p.name]
-        self._sweep_ir(ir.ops, vals)
-        return vals[ir.result]
-
-    def _sweep_ir(self, ops, vals: List) -> None:
-        for op in ops:
-            code = op.code
-            if L.ADD <= code <= L.DMUL:
-                left, right = vals[op.a], vals[op.b]
-                if not isinstance(left, _INum) or not isinstance(right, _INum):
-                    raise BeanTypeError("arithmetic on non-numeric abstraction")
-                vals[op.dest] = self._op(L.CODE_TO_PRIM[code], left, right)
-            elif code == L.DVAR or code == L.BANG:
-                vals[op.dest] = vals[op.a]
-            elif code == L.PAIR:
-                vals[op.dest] = _IPair(vals[op.a], vals[op.b])
-            elif code == L.FST or code == L.SND:
-                bound = vals[op.a]
-                if not isinstance(bound, _IPair):
-                    raise BeanTypeError("pair elimination of non-pair abstraction")
-                vals[op.dest] = bound.left if code == L.FST else bound.right
-            elif code == L.RND:
-                inner = vals[op.a]
-                if not isinstance(inner, _INum):
-                    raise BeanTypeError("rnd of non-numeric abstraction")
-                rel = math.inf if inner.rel == math.inf else inner.rel + self.eps
-                vals[op.dest] = _INum(inner.interval, rel)
-            elif code == L.INL:
-                vals[op.dest] = _ISum(vals[op.a], None)
-            elif code == L.INR:
-                vals[op.dest] = _ISum(None, vals[op.a])
-            elif code == L.CASE:
-                scrut = vals[op.a]
-                if not isinstance(scrut, _ISum):
-                    raise BeanTypeError("case of non-sum abstraction")
-                result: Optional[_IAbs] = None
-                for side, region in zip((scrut.left, scrut.right), op.aux):
-                    if side is None:
-                        continue
-                    vals[region.payload] = side
-                    self._sweep_ir(region.ops, vals)
-                    result = _ijoin(result, vals[region.result])
-                if result is None:
-                    raise BeanTypeError("case with no reachable branch")
-                vals[op.dest] = result
-            elif code == L.CALL:
-                name, arg_slots = op.aux
-                if self.program is None or name not in self.program:
-                    raise BeanTypeError(f"call to unknown definition {name!r}")
-                callee = self.program[name]
-                frame = {
-                    p.name: vals[s]
-                    for p, s in zip(callee.params, arg_slots)
-                }
-                vals[op.dest] = self.analyze_ir(
-                    semantic_definition_ir(callee), frame
-                )
-            elif code == L.UNIT:
-                vals[op.dest] = _IUnit()
-            elif code == L.CONST:
-                value = float(op.aux)
-                vals[op.dest] = _INum(Interval(value, value), 0.0)
-            else:  # pragma: no cover - exhaustive over opcodes
-                raise BeanTypeError(f"cannot analyze opcode {code}")
-
-    def _op(self, op: A.Op, a: _INum, b: _INum) -> _IAbs:
-        eps = self.eps
-        if op is A.Op.ADD:
-            result = a.interval + b.interval
-            return _INum(result, _linear_combination_rel(a, b, result, eps))
-        if op is A.Op.SUB:
-            result = a.interval - b.interval
-            flipped = _INum(
-                Interval(-b.interval.hi, -b.interval.lo), b.rel
-            )
-            return _INum(result, _linear_combination_rel(a, flipped, result, eps))
-        if op in (A.Op.MUL, A.Op.DMUL):
-            result = a.interval * b.interval
-            rel = math.inf if math.inf in (a.rel, b.rel) else a.rel + b.rel + eps
-            return _INum(result, rel)
-        if op is A.Op.DIV:
-            if b.interval.contains_zero():
-                # Cannot exclude the error branch; report both.
-                rel = math.inf
-                result = Interval(-math.inf, math.inf)
-            else:
-                result = a.interval.divide(b.interval)
-                rel = math.inf if math.inf in (a.rel, b.rel) else a.rel + b.rel + eps
-            return _ISum(_INum(result, rel), _IUnit())
-        raise BeanTypeError(f"unknown op {op}")
-
-
-def _ijoin(a: Optional[_IAbs], b: Optional[_IAbs]) -> Optional[_IAbs]:
-    if a is None:
-        return b
-    if b is None:
-        return a
-    if isinstance(a, _INum) and isinstance(b, _INum):
-        return _INum(
-            Interval(min(a.interval.lo, b.interval.lo), max(a.interval.hi, b.interval.hi)),
-            max(a.rel, b.rel),
-        )
-    if isinstance(a, _IUnit) and isinstance(b, _IUnit):
-        return a
-    if isinstance(a, _IPair) and isinstance(b, _IPair):
-        return _IPair(_ijoin(a.left, b.left), _ijoin(a.right, b.right))
-    if isinstance(a, _ISum) and isinstance(b, _ISum):
-        return _ISum(_ijoin(a.left, b.left), _ijoin(a.right, b.right))
-    raise BeanTypeError("case branches produce incompatible shapes")
-
-
-def _iworst(a: _IAbs) -> float:
-    if isinstance(a, _INum):
-        return a.rel
-    if isinstance(a, _IUnit):
-        return 0.0
-    if isinstance(a, _IPair):
-        return max(_iworst(a.left), _iworst(a.right))
-    if isinstance(a, _ISum):
-        worst = 0.0
-        for side in (a.left, a.right):
-            if side is not None:
-                worst = max(worst, _iworst(side))
-        return worst
-    raise TypeError(f"bad abstract value {a!r}")
-
-
-def _iabs_of_type(ty, rng: Tuple[float, float]) -> _IAbs:
-    from ..core.types import Discrete, Num, Sum, Tensor, Unit
-
-    if isinstance(ty, Num):
-        return _INum(Interval(*rng), 0.0)
-    if isinstance(ty, Unit):
-        return _IUnit()
-    if isinstance(ty, Discrete):
-        return _iabs_of_type(ty.inner, rng)
-    if isinstance(ty, Tensor):
-        return _IPair(_iabs_of_type(ty.left, rng), _iabs_of_type(ty.right, rng))
-    if isinstance(ty, Sum):
-        return _ISum(_iabs_of_type(ty.left, rng), _iabs_of_type(ty.right, rng))
-    raise BeanTypeError(f"no abstraction for type {ty}")
-
 
 def interval_forward_bound(
     definition: A.Definition,
@@ -385,19 +328,31 @@ def interval_forward_bound(
     input_range: Tuple[float, float] = DEFAULT_RANGE,
     ranges: Optional[Mapping[str, Tuple[float, float]]] = None,
     u: float = 2.0**-53,
+    method: str = "ir",
 ) -> float:
     """A relative forward error bound from interval hypotheses.
 
     ``input_range`` applies to every numeric input leaf (the paper's
     "all variables in [0.1, 1000]"); ``ranges`` overrides per parameter.
     Returns the bound on ``RP(f̃(x), f(x))`` (``math.inf`` if the
-    intervals cannot exclude cancellation through zero).
+    intervals cannot exclude cancellation through zero).  ``method``
+    selects the iterative flat-IR sweep (``"ir"``, the default) or the
+    recursive reference walker (``"recursive"``).
     """
+    if method not in ("ir", "recursive"):
+        raise ValueError(f"unknown interval analysis method {method!r}")
     eps = eps_from_roundoff(u)
-    analyzer = _IntervalAnalyzer(program, eps)
-    env = {}
+    domain = IntervalDomain(eps)
+    env: Dict[str, AbstractValue] = {}
     for p in definition.params:
         rng = ranges.get(p.name, input_range) if ranges else input_range
-        env[p.name] = _iabs_of_type(p.ty, rng)
-    result = analyzer.analyze_ir(semantic_definition_ir(definition), env)
-    return _iworst(result)
+        env[p.name] = abstract_of_type(p.ty, _ILeaf(Interval(*rng), 0.0))
+    if method == "recursive":
+        result = _RecursiveIntervalAnalyzer(program, domain).analyze(
+            definition.body, env
+        )
+    else:
+        result = TransferInterpreter(domain, program).analyze_definition(
+            definition, env
+        )
+    return float(worst_measure(result, domain))

@@ -1,0 +1,401 @@
+"""The shared abstract-transfer machinery of the static analyzers.
+
+Both static analyzers — the NumFuzz-like forward error analysis
+(:mod:`repro.analysis.forward`) and the Gappa-like interval analysis
+(:mod:`repro.analysis.intervals`) — interpret the same flat IR over the
+same *shape* of abstract values: structure trees mirroring Bean's types
+(numbers, unit, tensors, sums) whose numeric leaves carry a
+domain-specific payload (an exact ε count, an interval plus a relative
+error bound).  This module owns everything the two have in common:
+
+* the structure classes :class:`ANum` / :class:`AUnit` / :class:`APair`
+  / :class:`ASum` and the structural operations over them
+  (:func:`abstract_of_type`, :func:`join_values`, :func:`worst_measure`);
+* the per-op dispatch: one :class:`TransferInterpreter` sweeps the IR
+  and calls a small :class:`TransferDomain` (``const`` / ``rnd`` /
+  ``add`` / ``sub`` / ``mul`` / ``div`` / ``join`` on leaves), so an
+  analyzer is just a transfer table, never an opcode switch.
+
+The interpreter is **fully iterative** — an explicit work stack drives
+straight-line ops, ``case`` regions, and ``call`` frames alike — and the
+structural helpers walk with explicit stacks too, so a ``Sum 10000``
+(ten thousand nested binders, a tensor type ten thousand deep) analyzes
+under the default recursion limit with no ``call_with_deep_stack``
+anywhere in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Tuple
+
+from ..core import ast_nodes as A
+from ..core.errors import BeanTypeError
+from ..ir import lower as L
+from ..ir.cache import semantic_definition_ir
+
+__all__ = [
+    "ANum",
+    "APair",
+    "ASum",
+    "AUnit",
+    "AbstractValue",
+    "TransferDomain",
+    "TransferInterpreter",
+    "abstract_of_type",
+    "join_values",
+    "worst_measure",
+]
+
+#: Leaf payloads are domain-specific (a Fraction-or-None for the forward
+#: analyzer, an interval+error record for the interval analyzer); the
+#: shared machinery treats them opaquely.
+Leaf = Any
+
+#: What :func:`worst_measure` folds leaves into (comparable per domain).
+Measure = Any
+
+
+class AbstractValue:
+    """Base of the structure trees all transfer domains share."""
+
+    __slots__ = ()
+
+
+class ANum(AbstractValue):
+    """A numeric leaf carrying one domain payload."""
+
+    __slots__ = ("leaf",)
+
+    def __init__(self, leaf: Leaf) -> None:
+        self.leaf = leaf
+
+
+class AUnit(AbstractValue):
+    """The unit value (no error content)."""
+
+    __slots__ = ()
+
+
+class APair(AbstractValue):
+    """A tensor of two abstract components."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AbstractValue, right: AbstractValue) -> None:
+        self.left = left
+        self.right = right
+
+
+class ASum(AbstractValue):
+    """A sum; ``None`` marks a side the analysis proved unreachable."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: Optional[AbstractValue], right: Optional[AbstractValue]
+    ) -> None:
+        self.left = left
+        self.right = right
+
+
+class TransferDomain(Protocol):
+    """The per-op transfer table one analyzer supplies.
+
+    Arithmetic methods combine the *leaf* payloads of numeric operands;
+    the structural rules (what ``pair`` / ``case`` / ``call`` / ``bang``
+    do, which operand shapes are type errors) live once in
+    :class:`TransferInterpreter`.  ``div`` returns the leaf of the
+    quotient's ``inl`` side — the interpreter wraps it into the
+    ``num + unit`` sum Bean's checked division produces.
+    """
+
+    def const(self, value: float) -> Leaf: ...
+
+    def rnd(self, x: Leaf) -> Leaf: ...
+
+    def add(self, a: Leaf, b: Leaf) -> Leaf: ...
+
+    def sub(self, a: Leaf, b: Leaf) -> Leaf: ...
+
+    def mul(self, a: Leaf, b: Leaf) -> Leaf: ...
+
+    def div(self, a: Leaf, b: Leaf) -> Leaf: ...
+
+    def join(self, a: Leaf, b: Leaf) -> Leaf: ...
+
+    def measure(self, x: Leaf) -> Measure: ...
+
+    def combine_measures(self, a: Measure, b: Measure) -> Measure: ...
+
+    def zero_measure(self) -> Measure: ...
+
+
+# --------------------------------------------------------------------------
+# Structural helpers (explicit stacks: type depth may reach program size)
+# --------------------------------------------------------------------------
+
+
+def abstract_of_type(ty: Any, leaf: Leaf) -> AbstractValue:
+    """The top abstraction of one type, with ``leaf`` at every number."""
+    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+
+    work: List[Tuple[str, Any]] = [("build", ty)]
+    out: List[AbstractValue] = []
+    while work:
+        tag, t = work.pop()
+        if tag == "pair":
+            right = out.pop()
+            left = out.pop()
+            out.append(APair(left, right))
+        elif tag == "sum":
+            right = out.pop()
+            left = out.pop()
+            out.append(ASum(left, right))
+        elif isinstance(t, Num):
+            out.append(ANum(leaf))
+        elif isinstance(t, Unit):
+            out.append(AUnit())
+        elif isinstance(t, Discrete):
+            work.append(("build", t.inner))
+        elif isinstance(t, Tensor):
+            work.append(("pair", None))
+            work.append(("build", t.right))
+            work.append(("build", t.left))
+        elif isinstance(t, Sum):
+            work.append(("sum", None))
+            work.append(("build", t.right))
+            work.append(("build", t.left))
+        else:
+            raise BeanTypeError(f"no abstraction for type {t}")
+    assert len(out) == 1
+    return out[0]
+
+
+def join_values(
+    a: Optional[AbstractValue],
+    b: Optional[AbstractValue],
+    domain: TransferDomain,
+) -> Optional[AbstractValue]:
+    """Pointwise worst case of two abstract values (case branches)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    work: List[Tuple[str, Any, Any]] = [("join", a, b)]
+    out: List[Optional[AbstractValue]] = []
+    while work:
+        tag, x, y = work.pop()
+        if tag == "lit":
+            out.append(x)
+        elif tag == "pair":
+            right = out.pop()
+            left = out.pop()
+            assert left is not None and right is not None
+            out.append(APair(left, right))
+        elif tag == "sum":
+            right = out.pop()
+            left = out.pop()
+            out.append(ASum(left, right))
+        elif isinstance(x, ANum) and isinstance(y, ANum):
+            out.append(ANum(domain.join(x.leaf, y.leaf)))
+        elif isinstance(x, AUnit) and isinstance(y, AUnit):
+            out.append(x)
+        elif isinstance(x, APair) and isinstance(y, APair):
+            work.append(("pair", None, None))
+            work.append(("join", x.right, y.right))
+            work.append(("join", x.left, y.left))
+        elif isinstance(x, ASum) and isinstance(y, ASum):
+            work.append(("sum", None, None))
+            for xs, ys in ((x.right, y.right), (x.left, y.left)):
+                if xs is None:
+                    work.append(("lit", ys, None))
+                elif ys is None:
+                    work.append(("lit", xs, None))
+                else:
+                    work.append(("join", xs, ys))
+        else:
+            raise BeanTypeError("case branches produce incompatible shapes")
+    assert len(out) == 1
+    return out[0]
+
+
+def worst_measure(value: AbstractValue, domain: TransferDomain) -> Measure:
+    """The worst leaf measure of an abstract value (the reported bound)."""
+    acc = domain.zero_measure()
+    stack: List[AbstractValue] = [value]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, ANum):
+            acc = domain.combine_measures(acc, domain.measure(v.leaf))
+        elif isinstance(v, APair):
+            stack.append(v.left)
+            stack.append(v.right)
+        elif isinstance(v, ASum):
+            if v.left is not None:
+                stack.append(v.left)
+            if v.right is not None:
+                stack.append(v.right)
+        elif isinstance(v, AUnit):
+            pass
+        else:
+            raise TypeError(f"bad abstract value {v!r}")
+    return acc
+
+
+# --------------------------------------------------------------------------
+# The iterative IR interpreter
+# --------------------------------------------------------------------------
+
+
+class TransferInterpreter:
+    """One sweep of a transfer domain over a definition's flat IR.
+
+    ``case`` regions and ``call`` frames are scheduled on the same
+    explicit work stack the straight-line ops run on, so nothing in the
+    sweep recurses on program structure.
+    """
+
+    def __init__(
+        self, domain: TransferDomain, program: Optional[A.Program]
+    ) -> None:
+        self.domain = domain
+        self.program = program
+
+    def run(
+        self, ir: Any, env: Mapping[str, AbstractValue]
+    ) -> AbstractValue:
+        """Abstractly interpret ``ir`` with parameters bound from ``env``."""
+        vals: List[Optional[AbstractValue]] = [None] * ir.n_slots
+        for p in ir.params:
+            vals[p.slot] = env[p.name]
+        # Work items (LIFO):
+        #   ("block", ops, pc, vals)            — step ops from pc
+        #   ("case_join", op, vals, sides)      — join region results
+        #   ("copy", src_vals, src, dst_vals, dst) — call-result plumbing
+        work: List[Tuple[Any, ...]] = [("block", ir.ops, 0, vals)]
+        while work:
+            item = work.pop()
+            tag = item[0]
+            if tag == "block":
+                self._step_block(item[1], item[2], item[3], work)
+            elif tag == "case_join":
+                _, op, bvals, sides = item
+                result: Optional[AbstractValue] = None
+                for side_taken, region in zip(sides, op.aux):
+                    if not side_taken:
+                        continue
+                    result = join_values(
+                        result, bvals[region.result], self.domain
+                    )
+                if result is None:
+                    raise BeanTypeError("case with no reachable branch")
+                bvals[op.dest] = result
+            elif tag == "copy":
+                _, src_vals, src, dst_vals, dst = item
+                dst_vals[dst] = src_vals[src]
+            else:  # pragma: no cover - machine invariant
+                raise AssertionError(f"unknown transfer action {tag!r}")
+        result_value = vals[ir.result]
+        assert result_value is not None
+        return result_value
+
+    def analyze_definition(
+        self, definition: A.Definition, env: Mapping[str, AbstractValue]
+    ) -> AbstractValue:
+        """Sweep one definition's semantic IR under ``env``."""
+        return self.run(semantic_definition_ir(definition), env)
+
+    # -- the op loop -------------------------------------------------------
+
+    def _step_block(
+        self,
+        ops: List[Any],
+        pc: int,
+        vals: List[Optional[AbstractValue]],
+        work: List[Tuple[Any, ...]],
+    ) -> None:
+        domain = self.domain
+        n = len(ops)
+        while pc < n:
+            op = ops[pc]
+            pc += 1
+            code = op.code
+            if L.ADD <= code <= L.DMUL:
+                left, right = vals[op.a], vals[op.b]
+                if not isinstance(left, ANum) or not isinstance(right, ANum):
+                    raise BeanTypeError("arithmetic on non-numeric abstraction")
+                if code == L.ADD:
+                    vals[op.dest] = ANum(domain.add(left.leaf, right.leaf))
+                elif code == L.SUB:
+                    vals[op.dest] = ANum(domain.sub(left.leaf, right.leaf))
+                elif code == L.DIV:
+                    vals[op.dest] = ASum(
+                        ANum(domain.div(left.leaf, right.leaf)), AUnit()
+                    )
+                else:  # MUL / DMUL
+                    vals[op.dest] = ANum(domain.mul(left.leaf, right.leaf))
+            elif code == L.DVAR or code == L.BANG:
+                vals[op.dest] = vals[op.a]
+            elif code == L.PAIR:
+                a, b = vals[op.a], vals[op.b]
+                assert a is not None and b is not None
+                vals[op.dest] = APair(a, b)
+            elif code == L.FST or code == L.SND:
+                bound = vals[op.a]
+                if not isinstance(bound, APair):
+                    raise BeanTypeError("pair elimination of non-pair abstraction")
+                vals[op.dest] = bound.left if code == L.FST else bound.right
+            elif code == L.RND:
+                inner = vals[op.a]
+                if not isinstance(inner, ANum):
+                    raise BeanTypeError("rnd of non-numeric abstraction")
+                vals[op.dest] = ANum(domain.rnd(inner.leaf))
+            elif code == L.INL:
+                vals[op.dest] = ASum(vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = ASum(None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, ASum):
+                    raise BeanTypeError("case of non-sum abstraction")
+                sides = (scrut.left is not None, scrut.right is not None)
+                # LIFO: regions run first (left before right), then the
+                # join, then the rest of this block.
+                work.append(("block", ops, pc, vals))
+                work.append(("case_join", op, vals, sides))
+                for side, region in zip(
+                    reversed((scrut.left, scrut.right)), reversed(op.aux)
+                ):
+                    if side is None:
+                        continue
+                    vals[region.payload] = side
+                    work.append(("block", region.ops, 0, vals))
+                return
+            elif code == L.CALL:
+                name, arg_slots = op.aux
+                if self.program is None or name not in self.program:
+                    raise BeanTypeError(f"call to unknown definition {name!r}")
+                callee = self.program[name]
+                frame: Dict[str, AbstractValue] = {}
+                for p, s in zip(callee.params, arg_slots):
+                    arg = vals[s]
+                    assert arg is not None
+                    frame[p.name] = arg
+                callee_ir = semantic_definition_ir(callee)
+                callee_vals: List[Optional[AbstractValue]] = (
+                    [None] * callee_ir.n_slots
+                )
+                for ip in callee_ir.params:
+                    callee_vals[ip.slot] = frame[ip.name]
+                work.append(("block", ops, pc, vals))
+                work.append(
+                    ("copy", callee_vals, callee_ir.result, vals, op.dest)
+                )
+                work.append(("block", callee_ir.ops, 0, callee_vals))
+                return
+            elif code == L.UNIT:
+                vals[op.dest] = AUnit()
+            elif code == L.CONST:
+                vals[op.dest] = ANum(domain.const(float(op.aux)))
+            else:  # pragma: no cover - exhaustive over opcodes
+                raise BeanTypeError(f"cannot analyze opcode {code}")

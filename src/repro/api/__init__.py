@@ -49,17 +49,22 @@ from .registry import (
     unregister_engine,
 )
 from .result import (
+    BASE_SCHEMA_VERSION,
     SCHEMA_VERSION,
     AuditResult,
     batch_report_payload,
     render_payload,
     scalar_report_payload,
+    static_report_payload,
+    sweep_report_payload,
 )
 from .session import Session, parse_roundoff
-from .builtin import ScalarLensEngine
+from .builtin import SWEEP_PRECISIONS, ScalarLensEngine
 
 __all__ = [
+    "BASE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "SWEEP_PRECISIONS",
     "AuditRequest",
     "AuditResult",
     "Engine",
@@ -76,5 +81,7 @@ __all__ = [
     "register_engine",
     "render_payload",
     "scalar_report_payload",
+    "static_report_payload",
+    "sweep_report_payload",
     "unregister_engine",
 ]

@@ -1,29 +1,45 @@
-"""The four built-in engines, as registry adapters.
+"""The built-in engines, as registry adapters.
 
 Each adapter wraps one pre-existing implementation — the scalar witness
 runner through the IR or recursive lens, the vectorized NumPy batch
-engine, the multiprocess sharded runner — behind the uniform
-:class:`~repro.api.registry.Engine` protocol.  The heavy imports
-(NumPy, the process-pool machinery) stay inside ``audit`` so that
-importing :mod:`repro.api` costs no more than the CLI's start-up
-budget allows.
+engine, the multiprocess sharded runner, the static analyzers in
+:mod:`repro.analysis`, and the reduced-precision sweep over the batch
+engine — behind the uniform :class:`~repro.api.registry.Engine`
+protocol.  The heavy imports (NumPy, the process-pool machinery, the
+analyzers) stay inside ``audit`` so that importing :mod:`repro.api`
+costs no more than the CLI's start-up budget allows.
 
 :class:`ScalarLensEngine` is exported as a convenience base for
 plugins and tests: subclass it, point ``lens_engine`` at a lens
 implementation, and register the subclass under a new name to get a
 fully wired engine whose payloads carry that name.
+
+The ``caps.static`` engines (``interval``, ``forward``) never execute
+the program: an audit returns sound *bounds* in the versioned
+``static_bounds`` payload section (schema version 3) instead of a
+per-row witness, and their ``inputs`` are hypotheses — for ``interval``
+each input contributes the hull of its numeric leaves as that
+parameter's interval (a scalar is a point interval, a vector its
+min/max hull, a two-element ``[lo, hi]`` exactly that range), with the
+paper's ``[0.1, 1000]`` for parameters not mentioned; ``forward``
+ignores inputs entirely (its only hypothesis is positivity).
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core import ast_nodes as A
 from .registry import AuditRequest, register_engine
 from .result import (
     AuditResult,
     batch_report_payload,
     scalar_report_payload,
+    static_report_payload,
+    sweep_report_payload,
 )
 
-__all__ = ["ScalarLensEngine"]
+__all__ = ["SWEEP_PRECISIONS", "ScalarLensEngine"]
 
 
 class ScalarLensEngine:
@@ -143,3 +159,287 @@ class ShardedEngine:
             workers=request.workers,
         )
         return AuditResult(report, payload, report.all_sound, True)
+
+
+# --------------------------------------------------------------------------
+# Static analysis engines (schema-v3 ``static_bounds`` payloads)
+# --------------------------------------------------------------------------
+
+
+class StaticAnalysisReport:
+    """The in-process face of a static audit (CLI ``describe()``)."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.payload = payload
+
+    def describe(self) -> str:
+        bounds = self.payload["static_bounds"]
+        lines = [
+            f"static analysis      : {bounds['analysis']}",
+            f"definition           : {self.payload['definition']}",
+        ]
+        ranges = bounds.get("input_ranges")
+        if ranges is not None:
+            for name, (lo, hi) in ranges.items():
+                lines.append(f"  {name}: exact value in [{lo}, {hi}]")
+        forward = bounds["forward_bound"]
+        if forward is None:
+            lines.append("forward RP bound     : unbounded")
+        else:
+            lines.append(f"forward RP bound     : {forward:.3e}")
+        grade = bounds.get("forward_grade")
+        if grade is not None:
+            lines.append(f"forward grade        : {grade}")
+        backward = bounds.get("backward") or {}
+        for name, entry in backward.items():
+            lines.append(
+                f"  backward {name}: {entry['grade']} = {entry['bound']:.3e}"
+            )
+        return "\n".join(lines)
+
+
+def _backward_section(
+    program: A.Program, definition: A.Definition, u: float
+) -> Dict[str, Any]:
+    """The inferred backward grades — the other half of the same
+    graded semantics, reported next to every static forward bound."""
+    from ..core import check_program
+    from ..core.types import is_discrete
+
+    judgment = check_program(program)[definition.name]
+    section: Dict[str, Any] = {}
+    for p in definition.params:
+        if is_discrete(p.ty):
+            continue
+        grade = judgment.grade_of(p.name)
+        section[p.name] = {"grade": str(grade), "bound": grade.evaluate(u)}
+    return section
+
+
+def _hull_range(name: str, value: Any) -> Tuple[float, float]:
+    """An input value's interval hypothesis: the hull of its leaves."""
+    import math
+
+    leaves: List[float] = []
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            if isinstance(v, (list, tuple)):
+                stack.extend(v)
+                continue
+            raise ValueError(
+                f"interval hypothesis for {name!r} must be a number, an "
+                f"[lo, hi] pair, or a vector of numbers, got {v!r}"
+            )
+        x = float(v)
+        # Non-finite endpoints admit no hypothesis — and would render
+        # as non-RFC-8259 JSON ('Infinity') in the payload's ranges.
+        if not math.isfinite(x):
+            raise ValueError(
+                f"interval hypothesis for {name!r} must be finite, got {x!r}"
+            )
+        leaves.append(x)
+    if not leaves:
+        raise ValueError(f"interval hypothesis for {name!r} is empty")
+    return (min(leaves), max(leaves))
+
+
+def _reject_unknown_params(
+    definition: A.Definition, inputs: Mapping[str, Any]
+) -> None:
+    """A typo in a hypothesis name must fail loudly, never drop silently."""
+    unknown = set(inputs) - {p.name for p in definition.params}
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) in static hypotheses: {sorted(unknown)}"
+        )
+
+
+@register_engine(
+    "interval",
+    static=True,
+    description="Gappa-like interval analysis: sound static forward bounds",
+)
+class IntervalEngine:
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..analysis.intervals import DEFAULT_RANGE, interval_forward_bound
+
+        _reject_unknown_params(request.definition, request.inputs)
+        ranges = {
+            name: _hull_range(name, value)
+            for name, value in request.inputs.items()
+        }
+        resolved = {
+            p.name: ranges.get(p.name, DEFAULT_RANGE)
+            for p in request.definition.params
+        }
+        bound = interval_forward_bound(
+            request.definition,
+            request.program,
+            ranges=resolved,
+            u=request.u,
+        )
+        finite = bound == bound and bound != float("inf")
+        static_bounds: Dict[str, Any] = {
+            "analysis": "interval",
+            "input_ranges": {
+                name: [lo, hi] for name, (lo, hi) in resolved.items()
+            },
+            "forward_bound": bound if finite else None,
+            "backward": _backward_section(
+                request.program, request.definition, request.u
+            ),
+        }
+        payload = static_report_payload(
+            definition=request.definition,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+            sound=finite,
+            static_bounds=static_bounds,
+        )
+        return AuditResult(StaticAnalysisReport(payload), payload, finite, False)
+
+
+@register_engine(
+    "forward",
+    static=True,
+    description="NumFuzz-like forward analysis: exact ε bounds, positive data",
+)
+class ForwardEngine:
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..analysis.forward import forward_error_bound
+
+        # Inputs are otherwise ignored (the only hypothesis is
+        # positivity), but unknown names still fail like interval's.
+        _reject_unknown_params(request.definition, request.inputs)
+        grade = forward_error_bound(request.definition, request.program)
+        static_bounds: Dict[str, Any] = {
+            "analysis": "forward",
+            "forward_grade": None if grade is None else str(grade),
+            "forward_coefficient": (
+                None
+                if grade is None
+                else [grade.coeff.numerator, grade.coeff.denominator]
+            ),
+            "forward_bound": (
+                None if grade is None else grade.evaluate(request.u)
+            ),
+            "backward": _backward_section(
+                request.program, request.definition, request.u
+            ),
+        }
+        sound = grade is not None
+        payload = static_report_payload(
+            definition=request.definition,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+            sound=sound,
+            static_bounds=static_bounds,
+        )
+        return AuditResult(StaticAnalysisReport(payload), payload, sound, False)
+
+
+# --------------------------------------------------------------------------
+# The reduced-precision sweep engine (schema-v3 ``per_precision`` payloads)
+# --------------------------------------------------------------------------
+
+#: Significand widths the sweep engine audits, narrowest first
+#: (binary16 / binary32 / binary64).
+SWEEP_PRECISIONS: Tuple[int, ...] = (11, 24, 53)
+
+
+class PrecisionSweepReport:
+    """One audit fanned across precisions (CLI ``describe()`` face)."""
+
+    __slots__ = ("reports", "tightest_sound_bits")
+
+    def __init__(
+        self,
+        reports: "Mapping[int, Any]",
+        tightest_sound_bits: List[Optional[int]],
+    ) -> None:
+        self.reports = dict(reports)
+        self.tightest_sound_bits = tightest_sound_bits
+
+    def describe(self) -> str:
+        n_rows = len(self.tightest_sound_bits)
+        lines = [
+            f"precision sweep over {sorted(self.reports)} significand bits "
+            f"({n_rows} row(s))"
+        ]
+        for bits in sorted(self.reports):
+            report = self.reports[bits]
+            lines.append(
+                f"  {bits:>2} bits: {report.sound_count}/{n_rows} rows sound"
+            )
+        counts: Dict[Optional[int], int] = {}
+        for bits in self.tightest_sound_bits:
+            counts[bits] = counts.get(bits, 0) + 1
+        for bits in sorted(counts, key=lambda b: (b is None, b)):
+            label = "no swept precision" if bits is None else f"{bits} bits"
+            lines.append(f"  tightest sound at {label}: {counts[bits]} row(s)")
+        return "\n".join(lines)
+
+
+@register_engine(
+    "sweep",
+    batched=True,
+    needs_numpy=True,
+    description="one audit fanned across precisions; tightest sound bits per row",
+)
+class SweepEngine:
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..semantics.batch import run_witness_batch
+        from ..semantics.interp import lens_of_program
+
+        reports: Dict[int, Any] = {}
+        per_precision: Dict[str, Dict[str, Any]] = {}
+        for bits in SWEEP_PRECISIONS:
+            u_bits = 2.0**-bits
+            lens = lens_of_program(request.program, request.definition.name)
+            lens.precision_bits = bits
+            report = run_witness_batch(
+                request.definition,
+                request.inputs,
+                program=request.program,
+                u=u_bits,
+                lens=lens,
+            )
+            reports[bits] = report
+            # Each entry is the complete batch-engine payload for this
+            # precision — bit-identical to an independent
+            # engine="batch", precision_bits=bits audit.
+            per_precision[str(bits)] = batch_report_payload(
+                report, engine="batch", u=u_bits, precision_bits=bits
+            )
+        n_rows = reports[SWEEP_PRECISIONS[0]].n_rows
+        tightest: List[Optional[int]] = []
+        for i in range(n_rows):
+            sound_bits = [
+                bits for bits in SWEEP_PRECISIONS if bool(reports[bits].sound[i])
+            ]
+            tightest.append(min(sound_bits) if sound_bits else None)
+        payload = sweep_report_payload(
+            definition=request.definition,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
+            n_rows=n_rows,
+            tightest_sound_bits=tightest,
+            per_precision=per_precision,
+        )
+        all_sound = all(bits is not None for bits in tightest)
+        return AuditResult(
+            PrecisionSweepReport(reports, tightest), payload, all_sound, True
+        )

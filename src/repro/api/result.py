@@ -4,10 +4,9 @@ This module *owns* the audit payload: the exact key set, the exact
 string renderings (Decimal distances, value ``repr``\\ s, captured error
 messages), and the ``schema_version`` stamp.  Everything that ever
 serializes an audit — ``repro witness --json``, the ``repro serve``
-response body, the parity harness — goes through
-:func:`scalar_report_payload` / :func:`batch_report_payload` and
-:func:`render_payload`, which is why the CLI and the served path are
-byte-identical by construction.
+response body, the parity harness — goes through the payload builders
+and :func:`render_payload`, which is why the CLI and the served path
+are byte-identical by construction.
 
 Schema history:
 
@@ -15,13 +14,20 @@ Schema history:
   layer (no ``schema_version`` key).
 * **2** — identical keys plus the leading ``schema_version`` field;
   introduced with the :mod:`repro.api` Session redesign.
+* **3** — adds the optional ``static_bounds`` (static-analysis
+  engines) and ``per_precision`` (the reduced-precision sweep engine)
+  sections.  Payloads that carry neither section keep emitting
+  version **2** byte-for-byte — existing readers and the legacy shims
+  see no change — so the version 3 stamp appears exactly when a
+  payload contains something a version-2 reader would misread, and
+  old readers reject those loudly via their strict version check.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from ..core import ast_nodes as A
 
@@ -30,29 +36,40 @@ if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
     from ..semantics.witness import WitnessReport
 
 __all__ = [
+    "BASE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "AuditResult",
     "batch_report_payload",
     "render_payload",
     "scalar_report_payload",
+    "static_report_payload",
+    "sweep_report_payload",
 ]
 
-#: Version stamped into every payload this build emits.
-SCHEMA_VERSION = 2
+#: Newest schema version this build reads and writes.
+SCHEMA_VERSION = 3
+
+#: Version stamped on payloads without any version-3 section (the four
+#: executed witness engines; preserved so their bytes never changed).
+BASE_SCHEMA_VERSION = 2
+
+#: The sections whose presence requires (and justifies) the v3 stamp.
+_V3_SECTIONS = ("static_bounds", "per_precision")
 
 
 @dataclass(frozen=True)
 class AuditResult:
     """A finished audit: the raw report plus its canonical JSON payload.
 
-    ``report`` is the live in-process object (a ``WitnessReport`` or
-    ``BatchWitnessReport``) — or ``None`` when the result was rebuilt
-    from JSON with :meth:`from_json`, where only the payload crossed
-    the wire.  ``payload`` is the canonical dict; :meth:`to_json`
-    renders it to the exact string every surface emits.
+    ``report`` is the live in-process object (a ``WitnessReport``, a
+    ``BatchWitnessReport``, or a static/sweep report) — or ``None``
+    when the result was rebuilt from JSON with :meth:`from_json`, where
+    only the payload crossed the wire.  ``payload`` is the canonical
+    dict; :meth:`to_json` renders it to the exact string every surface
+    emits.
     """
 
-    report: "Optional[Union[WitnessReport, BatchWitnessReport]]"
+    report: Optional[Any]
     payload: Dict[str, Any]
     sound: bool
     batch: bool
@@ -69,6 +86,21 @@ class AuditResult:
     def definition(self) -> str:
         return str(self.payload["definition"])
 
+    @property
+    def static(self) -> bool:
+        """Was this a static analysis (no executed witness)?"""
+        return "static_bounds" in self.payload
+
+    @property
+    def static_bounds(self) -> Optional[Dict[str, Any]]:
+        """The ``static_bounds`` section of a v3 static payload, if any."""
+        return self.payload.get("static_bounds")
+
+    @property
+    def per_precision(self) -> Optional[Dict[str, Any]]:
+        """The ``per_precision`` section of a v3 sweep payload, if any."""
+        return self.payload.get("per_precision")
+
     def to_json(self) -> str:
         """The canonical rendering (no trailing newline), byte-stable."""
         return render_payload(self.payload)
@@ -77,18 +109,38 @@ class AuditResult:
     def from_json(cls, text: Union[str, bytes]) -> "AuditResult":
         """Rebuild a result from a payload this schema version emitted.
 
-        Raises ``ValueError`` on non-object JSON or a missing/foreign
-        ``schema_version`` — a client talking to a newer server should
-        fail loudly rather than misread fields.
+        Raises ``ValueError`` on non-object JSON, a missing/foreign
+        ``schema_version``, or a version/section mismatch — a client
+        talking to a newer (or corrupted) server should fail loudly
+        rather than misread fields.  Versions 2 and 3 are both read:
+        a version-2 payload must carry no version-3 section, and a
+        version-3 payload must carry at least one (this build emits
+        section-free payloads as version 2).
         """
         payload = json.loads(text)
         if not isinstance(payload, dict):
             raise ValueError("audit payload must be a JSON object")
         version = payload.get("schema_version")
-        if version != SCHEMA_VERSION:
+        present = [s for s in _V3_SECTIONS if s in payload]
+        if version == BASE_SCHEMA_VERSION:
+            if present:
+                raise ValueError(
+                    f"schema_version {BASE_SCHEMA_VERSION} payload carries "
+                    f"version-{SCHEMA_VERSION} section(s) {present} "
+                    "(refusing to misread a mislabelled payload)"
+                )
+        elif version == SCHEMA_VERSION:
+            if not present:
+                raise ValueError(
+                    f"schema_version {SCHEMA_VERSION} payload carries none "
+                    f"of {list(_V3_SECTIONS)} (this build emits such "
+                    f"payloads as version {BASE_SCHEMA_VERSION})"
+                )
+        else:
             raise ValueError(
                 f"unsupported audit schema_version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions {BASE_SCHEMA_VERSION} "
+                f"and {SCHEMA_VERSION})"
             )
         batch = "all_sound" in payload
         sound = bool(payload["all_sound"] if batch else payload["sound"])
@@ -115,7 +167,7 @@ def scalar_report_payload(
             "perturbed": repr(w.perturbed),
         }
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": BASE_SCHEMA_VERSION,
         "definition": definition.name,
         "engine": engine,
         "u": u,
@@ -138,7 +190,7 @@ def batch_report_payload(
 ) -> Dict[str, Any]:
     """The canonical JSON payload of a batch/sharded witness run."""
     payload: Dict[str, Any] = {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": BASE_SCHEMA_VERSION,
         "definition": report.definition.name,
         "engine": engine,
         "u": u,
@@ -172,6 +224,70 @@ def batch_report_payload(
         }
     )
     return payload
+
+
+def static_report_payload(
+    *,
+    definition: A.Definition,
+    engine: str,
+    u: float,
+    precision_bits: int,
+    sound: bool,
+    static_bounds: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The canonical JSON payload of one static-analysis audit.
+
+    ``static_bounds`` is the engine's analysis section (forward bound,
+    input hypotheses, backward grades); its presence is what stamps the
+    payload ``schema_version`` 3.  ``sound`` records whether the
+    analysis derived a *finite* bound — the static counterpart of the
+    witness engines' soundness verdict.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "definition": definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+        "sound": sound,
+        "static_bounds": static_bounds,
+    }
+
+
+def sweep_report_payload(
+    *,
+    definition: A.Definition,
+    engine: str,
+    u: float,
+    precision_bits: int,
+    n_rows: int,
+    tightest_sound_bits: List[Optional[int]],
+    per_precision: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    """The canonical JSON payload of a reduced-precision sweep audit.
+
+    ``per_precision`` maps each swept significand width (as a string
+    key, JSON-style) to the **complete** batch-engine payload of that
+    single-precision audit — byte-identical to what
+    ``engine="batch", precision_bits=<width>`` returns on its own, which
+    is the sweep engine's bit-for-bit contract.  ``tightest_sound_bits``
+    holds, per row, the fewest significand bits at which the soundness
+    theorem still held (``None`` when no swept precision was sound).
+    """
+    sound_rows = [bits is not None for bits in tightest_sound_bits]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "definition": definition.name,
+        "engine": engine,
+        "u": u,
+        "precision_bits": precision_bits,
+        "n_rows": n_rows,
+        "all_sound": all(sound_rows),
+        "sound_rows": sum(sound_rows),
+        "sound": sound_rows,
+        "tightest_sound_bits": tightest_sound_bits,
+        "per_precision": per_precision,
+    }
 
 
 def render_payload(payload: Dict[str, Any]) -> str:

@@ -13,18 +13,24 @@ the paper's setup):
   interval hypotheses (:mod:`repro.analysis.intervals`).
 
 Shape to reproduce: all three columns agree to all printed digits.
+
+The analyzer columns run through the registered ``forward`` /
+``interval`` static engines on a :class:`repro.api.Session` — so this
+table exercises the same code path ``repro serve`` and
+``repro witness --engine forward|interval`` serve, not a private
+``analysis.*`` entry point.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import List
 
 from ..analysis.condition import TABLE3_CONDITION_NUMBER
-from ..analysis.forward import forward_error_bound
-from ..analysis.intervals import DEFAULT_RANGE, interval_forward_bound
-from ..core import check_definition, count_flops
+from ..api import Session
+from ..core import Program, count_flops
 from ..programs.generators import dot_prod, horner, poly_val, vec_sum
 
 __all__ = ["Table3Row", "run_table3", "format_table3", "PAPER_TABLE3", "TABLE3_U"]
@@ -63,16 +69,23 @@ class Table3Row:
 
 def run_table3(u: float = TABLE3_U) -> List[Table3Row]:
     """Regenerate Table 3 (all four rows)."""
+    session = Session(u=u)
     rows: List[Table3Row] = []
     for family, n, generator in TABLE3_BENCHMARKS:
         definition = generator(n)
+        program = Program([definition])
         start = time.perf_counter()
-        judgment = check_definition(definition)
+        judgment = session.check(program)[definition.name]
         backward = judgment.max_linear_grade()
         bean_forward = TABLE3_CONDITION_NUMBER * backward.evaluate(u)
-        numfuzz_grade = forward_error_bound(definition)
-        numfuzz = numfuzz_grade.evaluate(u) if numfuzz_grade is not None else float("inf")
-        gappa = interval_forward_bound(definition, input_range=DEFAULT_RANGE, u=u)
+        numfuzz_bound = session.audit(
+            program, inputs={}, engine="forward"
+        ).static_bounds["forward_bound"]
+        numfuzz = math.inf if numfuzz_bound is None else numfuzz_bound
+        gappa_bound = session.audit(
+            program, inputs={}, engine="interval"
+        ).static_bounds["forward_bound"]
+        gappa = math.inf if gappa_bound is None else gappa_bound
         elapsed = time.perf_counter() - start
         rows.append(
             Table3Row(

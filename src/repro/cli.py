@@ -219,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit thread pool size (default: Python's executor default)",
     )
     serve.add_argument(
+        "--heavy-threads",
+        type=int,
+        default=None,
+        help=(
+            "bounded pool for batched/multiprocess engine audits, so "
+            "cheap scalar and static audits never queue behind long "
+            "sharded runs (default: 2)"
+        ),
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=2,
@@ -431,7 +441,14 @@ def _cmd_witness(args: argparse.Namespace) -> int:
         print(result.to_json())
         return 0 if result.sound else 2
     print(result.report.describe())
-    if result.batch:
+    if result.static:
+        print(f"finite static bound derived: {result.sound}")
+    elif result.per_precision is not None:
+        print(
+            "soundness theorem holds on all rows at some swept "
+            f"precision: {result.sound}"
+        )
+    elif result.batch:
         print(f"soundness theorem holds on all rows: {result.sound}")
     else:
         print(f"soundness theorem holds on this run: {result.sound}")
@@ -443,15 +460,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .service.server import AuditServer
 
-    server = AuditServer(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        max_cache_bytes=args.max_cache_bytes,
-        threads=args.threads,
-        default_workers=args.workers,
-        max_request_workers=args.max_request_workers,
-    )
+    # Pool sizes are operator input: render bad values as CLI errors,
+    # not ThreadPoolExecutor tracebacks.
+    try:
+        server = AuditServer(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            max_cache_bytes=args.max_cache_bytes,
+            threads=args.threads,
+            heavy_threads=args.heavy_threads,
+            default_workers=args.workers,
+            max_request_workers=args.max_request_workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     async def _run() -> None:
         await server.start()

@@ -20,9 +20,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .analysis.forward import forward_error_bound
-from .analysis.intervals import interval_forward_bound
-from .core import Grade, Judgment, Program, check_program, count_flops, parse_program
+from .api import Session
+from .core import Grade, Judgment, Program, count_flops
 from .core.grades import BINARY64_UNIT_ROUNDOFF
 from .core.types import is_discrete
 
@@ -121,12 +120,19 @@ def analyze(
     condition_number: Optional[float] = None,
     input_range=(0.1, 1000.0),
 ) -> AnalysisReport:
-    """Run the full static pipeline on Bean source text or a Program."""
+    """Run the full static pipeline on Bean source text or a Program.
+
+    The forward and interval columns come from the registered
+    ``forward`` / ``interval`` static engines via one
+    :class:`repro.api.Session` — the exact code path ``repro serve``
+    and ``repro witness --engine forward|interval`` exercise.
+    """
+    session = Session(u=u)
     if isinstance(source_or_program, Program):
         program = source_or_program
     else:
-        program = parse_program(source_or_program)
-    judgments = check_program(program)
+        program = session.parse(source_or_program)
+    judgments = session.check(program)
     report = AnalysisReport(u=u)
     for definition in program:
         judgment: Judgment = judgments[definition.name]
@@ -138,11 +144,14 @@ def analyze(
             grade = judgment.grade_of(p.name)
             backward[p.name] = grade
             values[p.name] = grade.evaluate(u)
-        fwd_grade = forward_error_bound(definition, program)
-        fwd = fwd_grade.evaluate(u) if fwd_grade is not None else None
-        interval = interval_forward_bound(
-            definition, program, input_range=input_range, u=u
-        )
+        ranges = {p.name: list(input_range) for p in definition.params}
+        fwd = session.audit(
+            program, definition.name, inputs={}, engine="forward"
+        ).static_bounds["forward_bound"]
+        interval_bound = session.audit(
+            program, definition.name, inputs=ranges, engine="interval"
+        ).static_bounds["forward_bound"]
+        interval = math.inf if interval_bound is None else interval_bound
         derived = None
         if condition_number is not None and backward:
             worst = max(values.values())

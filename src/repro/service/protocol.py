@@ -24,6 +24,8 @@ from ..api.result import (  # noqa: F401  (compat re-exports)
     batch_report_payload,
     render_payload,
     scalar_report_payload,
+    static_report_payload,
+    sweep_report_payload,
 )
 
 __all__ = [
@@ -34,6 +36,8 @@ __all__ = [
     "read_request",
     "render_payload",
     "scalar_report_payload",
+    "static_report_payload",
+    "sweep_report_payload",
 ]
 
 #: Hard limits against hostile or broken peers.

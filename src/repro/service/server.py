@@ -22,9 +22,12 @@ Protocol (HTTP/1.1, JSON bodies)::
 Audit responses carry 200 (all rows sound), 200 with ``"sound": false``
 bodies still being valid audits; 400 for malformed requests, 422 for
 Bean-level errors (parse/type/input), 404/405 elsewhere.  CPU-bound
-audit work runs on a thread pool (sharded audits fan out to worker
-processes from there), keeping the event loop free to accept and
-coalesce further requests.
+audit work runs on thread pools, keeping the event loop free to accept
+and coalesce further requests — and the pools are **engine-aware**:
+audits whose engine has the ``batched`` or ``multiprocess`` capability
+(long vectorized runs, shard fan-outs) dispatch to a separately bounded
+"heavy" pool (``--heavy-threads``), so cheap scalar and static audits
+never queue behind them.  ``GET /stats`` exposes both queue depths.
 """
 
 from __future__ import annotations
@@ -79,6 +82,7 @@ class AuditServer:
         cache_dir: Optional[str] = None,
         max_cache_bytes: Optional[int] = None,
         threads: Optional[int] = None,
+        heavy_threads: Optional[int] = None,
         default_workers: int = 2,
         max_request_workers: Optional[int] = None,
     ) -> None:
@@ -106,6 +110,8 @@ class AuditServer:
         self.stats: Dict[str, int] = {
             "requests": 0,
             "audits": 0,
+            "audits_light": 0,
+            "audits_heavy": 0,
             "audit_failures": 0,
             "prep_hits": 0,
             "prep_misses": 0,
@@ -114,6 +120,19 @@ class AuditServer:
         self._prep_tasks: "Dict[str, asyncio.Task[_Prepared]]" = {}
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=threads, thread_name_prefix="repro-audit"
+        )
+        # Engine-aware scheduling: audits whose engine is batched or
+        # multiprocess (long vectorized runs, shard fan-outs) go to a
+        # separately *bounded* pool, so cheap scalar and static audits
+        # never queue behind them.  Two heavy audits at a time is the
+        # default — each sharded one already fans out processes.
+        if heavy_threads is None:
+            heavy_threads = 2
+        if heavy_threads < 1:
+            raise ValueError("heavy_threads must be a positive integer")
+        self.heavy_threads = heavy_threads
+        self._heavy_pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=heavy_threads, thread_name_prefix="repro-audit-heavy"
         )
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -145,6 +164,7 @@ class AuditServer:
             await self._server.wait_closed()
             self._server = None
         self._pool.shutdown(wait=False, cancel_futures=True)
+        self._heavy_pool.shutdown(wait=False, cancel_futures=True)
 
     # -- connection handling ----------------------------------------------
 
@@ -217,9 +237,26 @@ class AuditServer:
             "audits": self.stats["audits"],
         }
 
+    @staticmethod
+    def _queue_stats(
+        pool: concurrent.futures.ThreadPoolExecutor,
+    ) -> Dict[str, Any]:
+        # _work_queue/_max_workers are private but stable across every
+        # supported CPython (getattr keeps typeshed out of it); depth
+        # is what operators watch for backlog.
+        work_queue = getattr(pool, "_work_queue", None)
+        return {
+            "workers": int(getattr(pool, "_max_workers", 0)),
+            "depth": int(work_queue.qsize()) if work_queue is not None else 0,
+        }
+
     def _stats_payload(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"server": dict(self.stats)}
         payload["prepared_programs"] = len(self._prep_tasks)
+        payload["queues"] = {
+            "light": self._queue_stats(self._pool),
+            "heavy": self._queue_stats(self._heavy_pool),
+        }
         if self.cache is not None:
             entries = self.cache._entries()  # one scan for both numbers
             payload["cache"] = {
@@ -248,8 +285,9 @@ class AuditServer:
         try:
             prepared = await self._prepare(source)
             loop = asyncio.get_running_loop()
+            pool, pool_counter = self._pool_for_engine(kwargs["engine"])
             result = await loop.run_in_executor(
-                self._pool,
+                pool,
                 lambda: self.session.audit(prepared.program, name, **kwargs),
             )
         except UnknownEngineError as exc:
@@ -278,8 +316,27 @@ class AuditServer:
                 f"internal error: {type(exc).__name__}: {exc}"
             )
         self.stats["audits"] += 1
+        self.stats[pool_counter] += 1
         body = (render_payload(result.payload) + "\n").encode("utf-8")
         return 200, body
+
+    def _pool_for_engine(
+        self, engine: str
+    ) -> Tuple[concurrent.futures.ThreadPoolExecutor, str]:
+        """Route heavy (batched/multiprocess) engines to the bounded pool.
+
+        An engine that vanished between validation and dispatch falls
+        through to the light pool; the Session raises the uniform
+        :class:`UnknownEngineError` there and the handler maps it to 400.
+        """
+        from ..api import engines
+
+        resolved = engines().get(engine)
+        if resolved is not None and (
+            resolved.caps.batched or resolved.caps.multiprocess
+        ):
+            return self._heavy_pool, "audits_heavy"
+        return self._pool, "audits_light"
 
     # -- program preparation (coalesced) ----------------------------------
 

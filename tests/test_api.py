@@ -77,6 +77,13 @@ class TestRegistry:
         assert engines["batch"].caps.needs_numpy
         assert engines["sharded"].caps.multiprocess
         assert engines["sharded"].caps.batched
+        assert engines["interval"].caps.static
+        assert engines["forward"].caps.static
+        assert not engines["interval"].caps.batched
+        assert engines["sweep"].caps.batched
+        assert not engines["sweep"].caps.static
+        for name in ("ir", "recursive", "batch", "sharded"):
+            assert not engines[name].caps.static
 
     def test_engines_returns_snapshot(self):
         snapshot = api.engines()
@@ -173,7 +180,14 @@ class TestSession:
         session = Session(workers=2)
         program = session.parse(SOURCE)
         for name, engine in session.engines().items():
-            inputs = BATCH_INPUTS if engine.caps.batched else SCALAR_INPUTS
+            if engine.caps.static:
+                # Static analyzers take hypotheses, and only positive
+                # ones admit a finite bound (mixed signs may cancel).
+                inputs = {"x": [0.5, 4.0], "y": [0.5, 4.0]}
+            elif engine.caps.batched:
+                inputs = BATCH_INPUTS
+            else:
+                inputs = SCALAR_INPUTS
             result = session.audit(program, inputs=inputs, engine=name)
             assert result.sound, name
             assert result.engine == name
@@ -263,9 +277,15 @@ class TestSession:
 
 class TestAuditResult:
     def test_schema_version_stamped(self):
+        # Witness payloads carry no v3 section, so they keep emitting
+        # the base version byte-for-byte; static/sweep payloads carry
+        # one and stamp the v3 version.
         result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
-        assert result.schema_version == api.SCHEMA_VERSION
+        assert result.schema_version == api.BASE_SCHEMA_VERSION
         assert list(result.payload)[0] == "schema_version"
+        static = Session().audit(SOURCE, inputs={}, engine="forward")
+        assert static.schema_version == api.SCHEMA_VERSION
+        assert list(static.payload)[0] == "schema_version"
 
     def test_to_json_from_json_roundtrip_scalar(self):
         result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
@@ -291,11 +311,37 @@ class TestAuditResult:
             "{}",
             json.dumps({"schema_version": 1, "sound": True}),
             json.dumps({"schema_version": 999, "sound": True}),
+            # A v2 stamp must not smuggle v3 sections past old readers…
+            json.dumps(
+                {"schema_version": 2, "sound": True, "static_bounds": {}}
+            ),
+            json.dumps(
+                {"schema_version": 2, "all_sound": True, "per_precision": {}}
+            ),
+            # …and a v3 stamp without any v3 section is mislabelled
+            # (this build emits section-free payloads as v2).
+            json.dumps({"schema_version": 3, "sound": True}),
         ],
     )
     def test_from_json_rejects_foreign_payloads(self, text):
         with pytest.raises(ValueError):
             AuditResult.from_json(text)
+
+    def test_v3_roundtrips_static_and_sweep(self):
+        session = Session()
+        static = session.audit(
+            SOURCE, inputs={"x": [0.5, 4.0], "y": [0.5, 4.0]},
+            engine="interval",
+        )
+        rebuilt = AuditResult.from_json(static.to_json())
+        assert rebuilt.payload == static.payload
+        assert rebuilt.static and not rebuilt.batch
+        assert rebuilt.static_bounds == static.static_bounds
+        sweep = session.audit(SOURCE, inputs=BATCH_INPUTS, engine="sweep")
+        rebuilt = AuditResult.from_json(sweep.to_json())
+        assert rebuilt.payload == sweep.payload
+        assert rebuilt.batch and not rebuilt.static
+        assert rebuilt.per_precision == sweep.per_precision
 
 
 # --------------------------------------------------------------------------

@@ -277,8 +277,8 @@ class TestServedParity:
         path.write_text(source)
         argv = ["witness", str(path), "--inputs", json.dumps(inputs), "--json"]
         caps = registered_engines()[engine].caps
-        if caps.batched:
-            argv.append("--batch")
+        if engine in ("batch", "sharded"):
+            argv.append("--batch")  # exercise the legacy flag spelling
         else:
             argv += ["--engine", engine]
         if caps.multiprocess:

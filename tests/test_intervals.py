@@ -96,6 +96,37 @@ class TestAnalyzer:
         assert DEFAULT_RANGE == (0.1, 1000.0)
 
 
+class TestRecursiveReferenceParity:
+    """The retired recursive AST walker, kept as the bit-parity
+    reference for the iterative IR sweep (the analysis-side mirror of
+    the witness engines' ``engine="recursive"`` pattern)."""
+
+    @pytest.mark.parametrize("seed", [1, 5, 9, 13, 21])
+    def test_ir_equals_recursive_bit_for_bit(self, seed):
+        from strategies import random_definition, random_program
+
+        spec = random_program(seed, n_helpers=2, allow_div=True)
+        ir = interval_forward_bound(spec.definition, spec.program)
+        rec = interval_forward_bound(
+            spec.definition, spec.program, method="recursive"
+        )
+        assert ir == rec  # identical floats, not approx
+        spec2 = random_definition(seed, allow_case=True, allow_div=True)
+        ir2 = interval_forward_bound(spec2.definition)
+        rec2 = interval_forward_bound(spec2.definition, method="recursive")
+        assert ir2 == rec2
+
+    def test_benchmark_kernels_bit_for_bit(self):
+        for definition in (vec_sum(64), dot_prod(32)):
+            assert interval_forward_bound(definition) == (
+                interval_forward_bound(definition, method="recursive")
+            )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            interval_forward_bound(vec_sum(4), method="ast")
+
+
 class TestEmpiricalSoundness:
     def test_subtraction_bound_holds_on_samples(self):
         """The κ-amplified bound dominates observed error for in-range data."""

@@ -405,8 +405,8 @@ class TestAuditServer:
         argv = [
             "witness", SAFEDIV, "--inputs", json.dumps(inputs), "--json",
         ]
-        if caps.batched:
-            argv.append("--batch")
+        if engine in ("batch", "sharded"):
+            argv.append("--batch")  # exercise the legacy flag spelling
         else:
             argv += ["--engine", engine]
         if caps.multiprocess:
@@ -510,6 +510,45 @@ class TestAuditServer:
         assert status == 200
         stats = json.loads(raw)
         assert "server" in stats and "cache" in stats
+        # Engine-aware scheduling exposes both pools' queue depths.
+        queues = stats["queues"]
+        for pool in ("light", "heavy"):
+            assert queues[pool]["workers"] >= 1
+            assert queues[pool]["depth"] >= 0
+
+    def test_bad_heavy_threads_rejected(self):
+        from repro.cli import main
+        from repro.service.server import AuditServer
+
+        with pytest.raises(ValueError):
+            AuditServer(heavy_threads=0)
+        # The CLI renders the same failure as an error line, not a
+        # ThreadPoolExecutor traceback.
+        assert main(["serve", "--port", "0", "--heavy-threads", "0"]) == 1
+
+    def test_engine_aware_pool_routing(self, audit_server):
+        source = open(SAFEDIV).read()
+        before = dict(audit_server.server.stats)
+        status, _ = served_audit(
+            audit_server,
+            {"source": source, "inputs": SCALAR_INPUTS, "engine": "ir"},
+        )
+        assert status == 200
+        status, _ = served_audit(
+            audit_server,
+            {"source": source, "inputs": SCALAR_INPUTS, "engine": "forward"},
+        )
+        assert status == 200
+        status, _ = served_audit(
+            audit_server,
+            {"source": source, "inputs": BATCH_INPUTS, "engine": "batch"},
+        )
+        assert status == 200
+        after = audit_server.server.stats
+        # Scalar and static audits stay on the light pool; the batched
+        # audit crossed to the bounded heavy pool.
+        assert after["audits_light"] - before["audits_light"] == 2
+        assert after["audits_heavy"] - before["audits_heavy"] == 1
 
     def test_malformed_body_is_400(self, audit_server):
         status, raw = service_client.request(
