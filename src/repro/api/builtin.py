@@ -118,6 +118,7 @@ class BatchEngine:
             program=request.program,
             u=request.u,
             lens=lens,
+            exact_backend=request.exact_backend,
         )
         payload = batch_report_payload(
             report,
@@ -150,6 +151,7 @@ class ShardedEngine:
             precision_bits=request.precision_bits,
             cache_dir=request.cache_dir,
             mp_context=request.mp_context,
+            exact_backend=request.exact_backend,
         )
         payload = batch_report_payload(
             report,
@@ -157,6 +159,54 @@ class ShardedEngine:
             u=request.u,
             precision_bits=request.precision_bits,
             workers=request.workers,
+        )
+        return AuditResult(report, payload, report.all_sound, True)
+
+
+@register_engine(
+    "decimal",
+    batched=True,
+    needs_numpy=True,
+    reference=True,
+    description="batch rows on the 50-digit Decimal exact arithmetic",
+)
+class DecimalEngine:
+    """The batch engine pinned to the Decimal exact-arithmetic backend.
+
+    The ``batch``/``sharded`` engines default their backward/ideal
+    sweeps to the double-double EFT kernels; this engine forces the
+    original 50-digit ``Decimal`` implementation so the parity harness
+    (and anyone debugging a suspected EFT divergence) can drive the
+    reference through the same Session/CLI/server surfaces.  Results
+    are bit-identical to ``batch`` — only slower.
+    """
+
+    name: str
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..semantics.batch import run_witness_batch
+        from ..semantics.interp import lens_of_program
+
+        if request.exact_backend == "eft":
+            raise ValueError(
+                "engine 'decimal' is the Decimal reference; it cannot run "
+                "with exact_backend='eft' (use engine='batch' for that)"
+            )
+        lens = lens_of_program(request.program, request.definition.name)
+        lens.precision_bits = request.precision_bits
+        report = run_witness_batch(
+            request.definition,
+            request.inputs,
+            program=request.program,
+            u=request.u,
+            lens=lens,
+            exact_backend="decimal",
+        )
+        payload = batch_report_payload(
+            report,
+            engine=self.name,
+            u=request.u,
+            precision_bits=request.precision_bits,
         )
         return AuditResult(report, payload, report.all_sound, True)
 
@@ -415,6 +465,7 @@ class SweepEngine:
                 program=request.program,
                 u=u_bits,
                 lens=lens,
+                exact_backend=request.exact_backend,
             )
             reports[bits] = report
             # Each entry is the complete batch-engine payload for this

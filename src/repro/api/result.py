@@ -188,13 +188,21 @@ def batch_report_payload(
     precision_bits: int,
     workers: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """The canonical JSON payload of a batch/sharded witness run."""
+    """The canonical JSON payload of a batch/sharded witness run.
+
+    ``exact_backend`` is informational metadata (which exact-arithmetic
+    implementation ran the backward/ideal sweeps — ``"eft"`` or
+    ``"decimal"``); the two backends are bit-identical, so every other
+    field's bytes are independent of it and the schema version stays
+    put.
+    """
     payload: Dict[str, Any] = {
         "schema_version": BASE_SCHEMA_VERSION,
         "definition": report.definition.name,
         "engine": engine,
         "u": u,
         "precision_bits": precision_bits,
+        "exact_backend": report.exact_backend,
     }
     if workers is not None:
         payload["workers"] = workers

@@ -44,6 +44,13 @@ def _validate_limits(
         raise ValueError("workers must be a positive integer")
 
 
+def _validate_exact_backend(exact_backend: Optional[str]) -> None:
+    if exact_backend is not None and exact_backend not in ("eft", "decimal"):
+        raise ValueError(
+            f"exact_backend must be 'eft' or 'decimal', got {exact_backend!r}"
+        )
+
+
 def parse_roundoff(text: Union[str, float, int]) -> float:
     """Accept '2^-53', '2**-53', or a literal float."""
     if isinstance(text, (int, float)):
@@ -133,6 +140,7 @@ class Session:
         workers: Optional[int] = None,
         precision_bits: Optional[int] = None,
         u: Optional[Union[str, float]] = None,
+        exact_backend: Optional[str] = None,
     ) -> AuditResult:
         """Audit ``name`` (default: the last definition) on ``inputs``.
 
@@ -140,12 +148,18 @@ class Session:
         (:exc:`~repro.api.errors.UnknownEngineError` lists the choices
         otherwise).  For ``caps.batched`` engines each input is a batch
         of environment rows; otherwise it is one environment.  The
-        keyword overrides apply to this call only.
+        keyword overrides apply to this call only.  ``exact_backend``
+        (``"eft"`` / ``"decimal"``) picks the exact-arithmetic backend
+        of the batched engines' backward/ideal sweeps; ``None`` defers
+        to ``REPRO_EXACT_BACKEND`` and then the EFT default.  Results
+        are bit-identical either way — the choice is about speed (and
+        keeping the Decimal reference exercised).
         """
         resolved = get_engine(engine)
         # Per-call overrides face the same bounds as the constructor:
         # reject at the API boundary, not deep in an engine.
         _validate_limits(precision_bits, workers)
+        _validate_exact_backend(exact_backend)
         if isinstance(program, str):
             program = self.parse(program)
         self._activate_cache()
@@ -164,5 +178,6 @@ class Session:
             workers=self.workers if workers is None else workers,
             mp_context=self.mp_context,
             cache_dir=self.cache_dir,
+            exact_backend=exact_backend,
         )
         return resolved.audit(request)

@@ -173,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     witness.add_argument(
+        "--exact-backend",
+        default=None,
+        help=(
+            "exact-arithmetic backend for batched engines: 'eft' "
+            "(double-double float kernels) or 'decimal' (the 50-digit "
+            "reference); verdicts and distances are bit-identical "
+            "either way (default: $REPRO_EXACT_BACKEND, else eft)"
+        ),
+    )
+    witness.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -277,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--precision-bits", type=int, default=53,
         help="simulated significand width of the run",
+    )
+    client.add_argument(
+        "--exact-backend",
+        default=None,
+        help=(
+            "exact-arithmetic backend for batched engines on the "
+            "server: 'eft' or 'decimal' (bit-identical results)"
+        ),
     )
     client.add_argument(
         "--u", default=None, help="unit roundoff for the bound check"
@@ -432,6 +450,7 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             args.name,
             inputs=inputs,
             engine=_engine_name(args.batch, args.workers, args.engine),
+            exact_backend=args.exact_backend,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -517,6 +536,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         "precision_bits": args.precision_bits,
         "u": args.u,
     }
+    if args.exact_backend is not None:
+        spec["exact_backend"] = args.exact_backend
     try:
         status, body = audit(
             args.host, args.port, spec, timeout=args.timeout

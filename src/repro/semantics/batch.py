@@ -12,14 +12,21 @@ flat IR:
    deterministic, and reduced-precision simulation uses the same
    frexp/round-half-even/ldexp construction, vectorized);
 2. **backward sweep** — one reverse pass whose per-op witness formulas
-   (Appendix C) are applied to object arrays of ``Decimal`` under the
-   same 50-digit context the scalar primitives use, so every perturbed
-   input agrees with the scalar path **bitwise**, while the op dispatch
-   and bookkeeping are paid once per op instead of once per op per row;
+   (Appendix C) run on an exact-arithmetic backend: by default
+   double-double float arrays (:mod:`repro.semantics.eft` — plain
+   float64 ufunc expressions, no Python-level dispatch), or object
+   arrays of ``Decimal`` under the same 50-digit context the scalar
+   primitives use (``exact_backend="decimal"``, the reference);
 3. **ideal re-evaluation** of the perturbed inputs (Property 2), again
-   as per-op array sweeps in 50-digit ``Decimal``;
-4. **distance checks** — vectorized relative-precision distances at the
-   60-digit distance precision against the inferred grade bounds.
+   as per-op array sweeps on the selected backend;
+4. **distance checks** — relative-precision distances against the
+   inferred grade bounds.  On the Decimal backend these are vectorized
+   60-digit computations; on the EFT backend they are float64 *screens
+   with provable margins* — every row the screen cannot settle with
+   ~1e18 to spare, and every number that reaches a report, is decided
+   by the per-row scalar reference, so both backends are bit-for-bit
+   equal to looping :func:`run_witness` (the parity harness enforces
+   this).
 
 The vectorized fragment is the whole language:
 
@@ -61,9 +68,10 @@ from __future__ import annotations
 
 import decimal
 import math
+import os
 import random
 from decimal import Decimal
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,6 +83,8 @@ from ..ir.cache import inlined_definition_ir, semantic_definition_ir
 from ..ir.inline import walk_ops
 from ..lam_s.eval import EvalError, stochastic_round
 from ..lam_s.values import UNIT_VALUE, Value, VInl, VInr, VNum, VPair, values_close
+from . import eft
+from .eft import DD
 from .interp import BeanLens, lens_of_definition
 from .lens import LensDomainError
 from .primitives import BACKWARD_PRECISION
@@ -108,6 +118,18 @@ class _Unvectorizable(Exception):
     Raising it aborts the vectorized attempt; the engine re-certifies
     the whole batch with the (bit-identical) scalar loop, so this is a
     performance event, never a correctness one.
+    """
+
+
+class _EftUnsupported(Exception):
+    """The EFT sweep hit a case only the Decimal reference can decide.
+
+    Exact zero divisors and negative radicands (where the Decimal sweep
+    raises and falls back batch-wide), discrete verifies that need
+    ``values_close`` slack, non-binary ideal constants, and scalar
+    rechecks that raised: raising this reruns the whole batch through
+    the Decimal vectorized path, so the engine lands on exactly the
+    reference behavior.  A performance event, never a correctness one.
     """
 
 
@@ -255,6 +277,11 @@ def _merge_masked(mask: np.ndarray, left, right):
         )
     if left is _BUNIT and right is _BUNIT:
         return _BUNIT
+    if isinstance(left, DD) or isinstance(right, DD):
+        # dd/float leaf mixes promote the float side exactly.
+        if isinstance(left, (DD, np.ndarray)) and isinstance(right, (DD, np.ndarray)):
+            return eft.where(mask, left, right)
+        raise _Unvectorizable("case branches produced incompatible batched shapes")
     if isinstance(left, np.ndarray) and isinstance(right, np.ndarray):
         return np.where(mask, left, right)
     raise _Unvectorizable("case branches produced incompatible batched shapes")
@@ -288,6 +315,7 @@ class BatchWitnessReport:
         param_max_distance: Dict[str, Decimal],
         param_bound: Dict[str, Decimal],
         fallback_rows: int,
+        exact_backend: str = "eft",
     ) -> None:
         self.definition = definition
         self.n_rows = n_rows
@@ -298,6 +326,10 @@ class BatchWitnessReport:
         self.param_max_distance = param_max_distance
         self.param_bound = param_bound
         self.fallback_rows = fallback_rows
+        #: Which exact-arithmetic backend the engine was configured with
+        #: ("eft" or "decimal").  Informational: results are bit-equal
+        #: either way.
+        self.exact_backend = exact_backend
 
     # -- aggregates --------------------------------------------------------
 
@@ -363,10 +395,19 @@ class BatchWitnessEngine:
         seed: int = 0,
         precision_bits: int = 53,
         lens: Optional[BeanLens] = None,
+        exact_backend: Optional[str] = None,
     ) -> None:
         self.definition = definition
         self.program = program
         self.u = u
+        if exact_backend is None:
+            exact_backend = os.environ.get("REPRO_EXACT_BACKEND") or "eft"
+        if exact_backend not in ("eft", "decimal"):
+            raise ValueError(
+                "exact_backend must be 'eft' or 'decimal', got "
+                f"{exact_backend!r}"
+            )
+        self.exact_backend = exact_backend
         if lens is not None:
             # A caller-provided lens defines the arithmetic; adopting its
             # configuration keeps the vectorized sweep and the scalar
@@ -389,6 +430,14 @@ class BatchWitnessEngine:
                 seed=seed,
                 precision_bits=precision_bits,
             )
+        #: The EFT screens are calibrated against the 50-digit reference
+        #: semantics (dd resolves ~32 digits; the margins below assume
+        #: Decimal noise at ~1e-50·cond); any other ideal precision runs
+        #: the Decimal path.
+        self._use_eft = (
+            self.exact_backend == "eft"
+            and self.precision == BACKWARD_PRECISION
+        )
         self.ir = semantic_definition_ir(definition)
         if self.ir.has_calls and program is not None:
             # Flatten defined-function calls so the array pipeline sees
@@ -477,11 +526,24 @@ class BatchWitnessEngine:
                 {p.name: _DEC_ZERO for p in self.definition.params},
                 dict(self._bounds),
                 fallback_rows=0,
+                exact_backend=self.exact_backend,
             )
         if not self.vectorized:
             return self._run_scalar(columns, n_rows, range(n_rows))
+        if self._use_eft:
+            try:
+                return self._run_vectorized(columns, n_rows, use_eft=True)
+            except _EftUnsupported:
+                # The dd sweep hit a case whose behavior the Decimal
+                # reference owns (zero divisors, negative radicands,
+                # discrete verifies needing values_close slack): rerun
+                # the whole batch on the Decimal path below.
+                pass
+            except (_Unvectorizable, decimal.InvalidOperation,
+                    decimal.DivisionByZero):
+                return self._run_scalar(columns, n_rows, range(n_rows))
         try:
-            return self._run_vectorized(columns, n_rows)
+            return self._run_vectorized(columns, n_rows, use_eft=False)
         except (_Unvectorizable, decimal.InvalidOperation, decimal.DivisionByZero):
             # A row slipped past the risk mask, or the batch hit
             # structure the array pipeline does not model: certify
@@ -527,13 +589,17 @@ class BatchWitnessEngine:
             max_dist,
             dict(self._bounds),
             fallback_rows=n_rows,
+            exact_backend=self.exact_backend,
         )
 
     # -- vectorized pipeline ----------------------------------------------
 
-    def _run_vectorized(self, columns, n_rows: int) -> BatchWitnessReport:
+    def _run_vectorized(self, columns, n_rows: int,
+                        use_eft: bool) -> BatchWitnessReport:
         ir = self.ir
-        # Phase 1: approximate forward sweep (float64 arrays).
+        # Phase 1: approximate forward sweep (float64 arrays).  This
+        # phase is exact-backend independent; the backend only decides
+        # who runs phases 2-4 on the clean rows.
         fvals: List = [None] * ir.n_slots
         for p in ir.params:
             cols = [np.ascontiguousarray(columns[p.name][:, j]) for j in
@@ -551,35 +617,20 @@ class BatchWitnessEngine:
         if clean.size == 0:
             return self._run_scalar(columns, n_rows, fallback)
 
-        # Phase 2: backward reverse sweep (Decimal object arrays).
-        # Targets stay float arrays while they are pure identity defaults
-        # and become Decimal arrays once a witness formula computes them —
-        # mirroring the scalar path, whose default targets are the float
-        # approximants and whose computed targets are Decimals.
-        ambient = decimal.getcontext()
-        # Selections and Decimal conversions are memoized by *source array
-        # identity*, not slot: slots that alias the same underlying array
-        # (projections, dvar reads, aliased binders) then share one
-        # selected/converted array object, so identity checks — e.g. the
-        # discrete-variable verify's "target is the unperturbed value"
-        # fast path — see through the aliasing.
-        dec_cache: Dict[int, object] = {}
+        # Row selections are memoized by *source array identity*, not
+        # slot: slots that alias the same underlying array (projections,
+        # dvar reads, aliased binders) then share one selected array
+        # object, so identity checks — e.g. the discrete-variable
+        # verify's "target is the unperturbed value" fast path — see
+        # through the aliasing.
         fsel_cache: Dict[int, object] = {}
         sel_memo: Dict[int, np.ndarray] = {}
-        dec_memo: Dict[int, np.ndarray] = {}
 
         def _sel_leaf(a):
             r = sel_memo.get(id(a))
             if r is None:
                 r = a[clean]
                 sel_memo[id(a)] = r
-            return r
-
-        def _dec_leaf(a):
-            r = dec_memo.get(id(a))
-            if r is None:
-                r = _to_dec(a)
-                dec_memo[id(a)] = r
             return r
 
         def fsel(slot: int):
@@ -589,6 +640,31 @@ class BatchWitnessEngine:
                 fsel_cache[slot] = cached
             return cached
 
+        if use_eft:
+            return self._finish_eft(columns, n_rows, clean, fallback, fsel)
+        return self._finish_decimal(columns, n_rows, clean, fallback, fsel)
+
+    def _finish_decimal(self, columns, n_rows: int, clean: np.ndarray,
+                        fallback: np.ndarray, fsel) -> BatchWitnessReport:
+        ir = self.ir
+        # Phase 2: backward reverse sweep (Decimal object arrays).
+        # Targets stay float arrays while they are pure identity defaults
+        # and become Decimal arrays once a witness formula computes them —
+        # mirroring the scalar path, whose default targets are the float
+        # approximants and whose computed targets are Decimals.
+        ambient = decimal.getcontext()
+        # Decimal conversions share the same id-keyed memoization as row
+        # selections (see _run_vectorized).
+        dec_cache: Dict[int, object] = {}
+        dec_memo: Dict[int, np.ndarray] = {}
+
+        def _dec_leaf(a):
+            r = dec_memo.get(id(a))
+            if r is None:
+                r = _to_dec(a)
+                dec_memo[id(a)] = r
+            return r
+
         def dec(slot: int):
             cached = dec_cache.get(slot)
             if cached is None:
@@ -596,10 +672,11 @@ class BatchWitnessEngine:
                 dec_cache[slot] = cached
             return cached
 
+        arith = _DecArith(ambient)
         with decimal.localcontext() as ctx:
             ctx.prec = BACKWARD_PRECISION
             targets: List = [None] * ir.n_slots
-            self._backward_dec(ir.ops, fsel, dec, targets, ambient)
+            self._backward(ir.ops, fsel, dec, targets, arith)
         # The per-parameter perturbed trees.  Leaves the backward sweep
         # never targeted keep their original float arrays — the scalar
         # path leaves those env entries untouched, and reports must match
@@ -616,10 +693,14 @@ class BatchWitnessEngine:
         # sweep never targeted) and convert to Decimal only where an
         # arithmetic op consumes them — exactly the scalar interpreter's
         # behavior, so pass-through results keep their float identity.
+        # Conversions reuse the phase-2 memo: a pass-through leaf the
+        # backward sweep already converted (or several ops consume) is
+        # converted at most once per distinct array — conversion is
+        # exact, so sharing cannot change bits.
         ivals: List = [None] * ir.n_slots
         for p in ir.params:
             ivals[p.slot] = perturbed[p.name]
-        self._ideal_dec(ir.ops, ivals, clean.size)
+        self._ideal_dec(ir.ops, ivals, clean.size, dec_memo)
         ideal_result = ivals[ir.result]
 
         # Phase 4: verdicts and distances.
@@ -643,7 +724,7 @@ class BatchWitnessEngine:
                     continue
                 d = self._param_distances(
                     fsel(p.slot), perturbed[p.name], dec(p.slot),
-                    ivals[p.slot], clean.size,
+                    ivals[p.slot], clean.size, _dec_leaf,
                 )
                 distances[p.name] = d
                 bound = self._bounds[p.name]
@@ -651,22 +732,9 @@ class BatchWitnessEngine:
                 max_dist[p.name] = max(d, default=_DEC_ZERO) if d.size else _DEC_ZERO
         sound[clean] = within_all
 
-        # Scalar fallback rows (witnessed via run_witness, bit-identical).
-        reports: Dict[int, WitnessReport] = {}
-        errors: Dict[int, BaseException] = {}
-        for i in fallback:
-            try:
-                rep = self._scalar_report(columns, int(i))
-            except _ROW_ERRORS as exc:
-                errors[int(i)] = exc
-                continue
-            reports[int(i)] = rep
-            sound[i] = rep.sound
-            exact[i] = rep.exact_match
-            for name, w in rep.params.items():
-                if w.distance > max_dist[name]:
-                    max_dist[name] = w.distance
-
+        reports, errors = self._scalar_fallback_rows(
+            columns, fallback, sound, exact, max_dist
+        )
         clean_pos = {int(row): j for j, row in enumerate(clean)}
 
         def materialize(i: int) -> WitnessReport:
@@ -700,7 +768,272 @@ class BatchWitnessEngine:
             max_dist,
             dict(self._bounds),
             fallback_rows=int(fallback.size),
+            exact_backend=self.exact_backend,
         )
+
+    def _scalar_fallback_rows(self, columns, fallback, sound, exact, max_dist):
+        """Witness the risky rows via run_witness (bit-identical)."""
+        reports: Dict[int, WitnessReport] = {}
+        errors: Dict[int, BaseException] = {}
+        for i in fallback:
+            try:
+                rep = self._scalar_report(columns, int(i))
+            except _ROW_ERRORS as exc:
+                errors[int(i)] = exc
+                continue
+            reports[int(i)] = rep
+            sound[i] = rep.sound
+            exact[i] = rep.exact_match
+            for name, w in rep.params.items():
+                if w.distance > max_dist[name]:
+                    max_dist[name] = w.distance
+        return reports, errors
+
+    # -- the EFT fast path -------------------------------------------------
+
+    def _finish_eft(self, columns, n_rows: int, clean: np.ndarray,
+                    fallback: np.ndarray, fsel) -> BatchWitnessReport:
+        """Phases 2-4 on dd (double-double) float arrays.
+
+        The dd sweep is a *screen with provable margins*, never a
+        reporter: every number that reaches a report — perturbed-input
+        reprs, exact distances, max distances, ambiguous verdicts — is
+        produced by the per-row scalar reference (:func:`run_witness`),
+        which is the established bit-identical semantics.  The dd values
+        only decide which rows can be settled without it.  Soundness of
+        each verdict rests on the margins documented in
+        :mod:`repro.semantics.eft` and at the screen sites below:
+        rounding noise in the 50-digit Decimal reference (~1e-50·cond)
+        and in dd (~1e-32·cond) both sit many orders below every
+        decision threshold, so whenever dd calls a verdict "sure", the
+        Decimal path provably agrees.
+        """
+        ir = self.ir
+        m = int(clean.size)
+        arith = _EftArith(m)
+        dd_cache: Dict[int, object] = {}
+        dd_memo: Dict[int, DD] = {}
+
+        def _dd_leaf(a):
+            r = dd_memo.get(id(a))
+            if r is None:
+                r = eft.from_float(a)
+                dd_memo[id(a)] = r
+            return r
+
+        def ddc(slot: int):
+            cached = dd_cache.get(slot)
+            if cached is None:
+                cached = _map_tree(fsel(slot), _dd_leaf)
+                dd_cache[slot] = cached
+            return cached
+
+        with np.errstate(all="ignore"):
+            # Phase 2': backward reverse sweep on dd arrays.  Rows where
+            # a kernel leaves its validated range land in arith.suspect
+            # and are settled by the scalar reference below.
+            targets: List = [None] * ir.n_slots
+            self._backward(ir.ops, fsel, ddc, targets, arith)
+            perturbed: Dict[str, object] = {}
+            for p in ir.params:
+                if p.discrete:
+                    perturbed[p.name] = fsel(p.slot)
+                else:
+                    perturbed[p.name] = _materialize_mixed(
+                        targets[p.slot], fsel(p.slot)
+                    )
+
+            # Phase 3': ideal re-evaluation on dd arrays.
+            ivals: List = [None] * ir.n_slots
+            for p in ir.params:
+                ivals[p.slot] = perturbed[p.name]
+            self._ideal_eft(ir.ops, ivals, m, arith)
+            ideal_result = ivals[ir.result]
+
+            # Phase 4': screens.  Definite verdicts come out of the dd
+            # margins; everything ambiguous joins `recheck` and is
+            # decided by the scalar reference, bit for bit.
+            recheck = arith.suspect.copy()
+            approx_sel = fsel(ir.result)
+            close = np.ones(m, dtype=bool)
+            _close_screen_eft(ideal_result, approx_sel, close, recheck,
+                              np.ones(m, dtype=bool))
+
+            within_all = np.ones(m, dtype=bool)
+            d_maxes: Dict[str, np.ndarray] = {}
+            noise_rows: Dict[str, np.ndarray] = {}
+            for p in ir.params:
+                if p.discrete:
+                    continue
+                d_max, noise = self._dist_screen_eft(
+                    fsel(p.slot), perturbed[p.name], m, recheck
+                )
+                bound_f = float(self._bounds[p.name])
+                if math.isfinite(bound_f):
+                    # Perturbations are relative ~1e-16..1e-13; the dd
+                    # screen's distance error is ~1e-16·d + 1e-30, so a
+                    # row can only disagree with the exact comparison
+                    # inside this margin — recheck those.  d_max == 0.0
+                    # rows are exact zeros (or noise-flagged), never
+                    # ambiguous.
+                    margin = 1e-12 * (bound_f + d_max) + 1e-26
+                    recheck |= (np.abs(d_max - bound_f) <= margin) & (d_max > 0.0)
+                    within_all &= d_max <= bound_f
+                    if bound_f <= 1e-27:
+                        # Noise-floor leaves (true distance up to
+                        # ~1.1e-28) can flip the verdict only against a
+                        # bound this small.
+                        recheck |= noise
+                # An infinite bound is satisfied by every distance, INF
+                # included — no screen needed (matches d <= Infinity).
+                d_maxes[p.name] = d_max
+                noise_rows[p.name] = noise
+
+        # The scalar reference decides every flagged row — and *is* what
+        # the Decimal batch reports for it (both materialize ambiguous
+        # rows through run_witness).  A row error here means the Decimal
+        # batch itself would have aborted mid-sweep; rerun it to inherit
+        # its exact behavior.
+        rechecked: Dict[int, WitnessReport] = {}
+
+        def _recheck_rows(rows) -> None:
+            for j in rows:
+                j = int(j)
+                if j in rechecked:
+                    continue
+                try:
+                    rechecked[j] = self._scalar_report(columns, int(clean[j]))
+                except _ROW_ERRORS as exc:
+                    raise _EftUnsupported(
+                        "scalar recheck raised; the Decimal batch owns "
+                        "this input"
+                    ) from exc
+
+        _recheck_rows(np.flatnonzero(recheck))
+
+        # Per-parameter max distances must be *exact* Decimals.  Rows
+        # whose screened distance falls within the dd error band of the
+        # screened maximum are candidates for the true max; recheck them
+        # and report the max over exact values only.  (Rows outside the
+        # band are provably below the true max by the same margin
+        # argument as the bound screen.)
+        max_dist: Dict[str, Decimal] = {}
+        for p in ir.params:
+            if p.discrete:
+                max_dist[p.name] = _DEC_ZERO
+                continue
+            d_max = d_maxes[p.name]
+            best = 0.0
+            for rep in rechecked.values():
+                dist = rep.params[p.name].distance
+                f = float(dist) if dist.is_finite() else math.inf
+                if f > best:
+                    best = f
+            screened = np.where(recheck, 0.0, d_max)
+            if screened.size:
+                best = max(best, float(screened.max()))
+            if best <= 1e-27:
+                # The param's max sits at (or below) the noise floor:
+                # rows whose tiny leaves the screen deferred can hold
+                # it, and only the scalar reference knows their exact
+                # (evaluation-noise-dominated) Decimal distances.
+                _recheck_rows(np.flatnonzero(noise_rows[p.name]))
+            band = 1e-12 * best + 1e-26
+            cand = ~recheck & (d_max >= best - band) & (d_max > 0.0)
+            _recheck_rows(np.flatnonzero(cand))
+            dist_best = _DEC_ZERO
+            for rep in rechecked.values():
+                dist = rep.params[p.name].distance
+                if dist > dist_best:
+                    dist_best = dist
+            max_dist[p.name] = dist_best
+
+        exact = np.zeros(n_rows, dtype=bool)
+        sound = np.zeros(n_rows, dtype=bool)
+        exact_clean = close
+        sound_clean = close & within_all
+        for j, rep in rechecked.items():
+            exact_clean[j] = rep.exact_match
+            sound_clean[j] = rep.sound
+        exact[clean] = exact_clean
+        sound[clean] = sound_clean
+
+        reports, errors = self._scalar_fallback_rows(
+            columns, fallback, sound, exact, max_dist
+        )
+        clean_pos = {int(row): j for j, row in enumerate(clean)}
+
+        def materialize(i: int) -> WitnessReport:
+            rep = reports.get(i)
+            if rep is None:
+                rep = rechecked.get(clean_pos[i])
+            if rep is None:
+                # dd values never reach a report: lazy rows materialize
+                # through the scalar reference, like the sharded path.
+                rep = self._scalar_report(columns, i)
+            return rep
+
+        return BatchWitnessReport(
+            self.definition,
+            n_rows,
+            sound,
+            exact,
+            errors,
+            materialize,
+            max_dist,
+            dict(self._bounds),
+            fallback_rows=int(fallback.size),
+            exact_backend=self.exact_backend,
+        )
+
+    def _dist_screen_eft(self, orig_tree, new_tree, m: int,
+                         recheck: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Float64 RP-distance approximations for one parameter's leaves.
+
+        Returns ``(d_max, noise)``: the per-row max over leaf distances
+        as float64 (error ~1e-16·d + 1e-30: the dd ratio is exact to
+        ~32 digits and ``log1p`` adds one float rounding), plus a mask
+        of rows holding a noise-floor leaf.  Rows the screen cannot
+        decide at all are flagged into ``recheck``: sign flips or
+        vanished leaves (where the exact metric jumps to INF) and
+        ratios outside float range.  A targeted leaf whose dd distance
+        reads below 1e-28 is different — down there the *reference*
+        value is dominated by the 50-digit evaluator's own rounding
+        noise (~1e-50·depth, e.g. a witness formula that happens to be
+        exact in binary), which dd cannot predict; only the scalar
+        rerun can reproduce those Decimal bits.  But such a leaf's true
+        distance is provably ≤ ~1.1e-28, so it can only influence the
+        reported output when the param's bound or screened max is
+        itself at the noise floor.  Those rows are returned in
+        ``noise`` and the caller defers the (expensive) recheck until
+        one of the ≤1e-27 comparisons actually bites — on deep
+        programs, some leaf's witness formula is exact in binary on
+        most rows, and eagerly rechecking them forfeits the batch win.
+        Leaves the backward sweep never targeted (``nw is o``)
+        contribute an exact 0 in both backends, matching the scalar
+        path's ``ln(x/x)``.
+        """
+        orig_leaves = _tree_leaves(orig_tree, [])
+        new_leaves = _tree_leaves(new_tree, [])
+        d_max = np.zeros(m)
+        noise = np.zeros(m, dtype=bool)
+        for o, nw in zip(orig_leaves, new_leaves):
+            if nw is o:
+                continue  # untargeted leaf: d = |ln(x/x)| = 0 exactly
+            nd = eft.as_dd(nw)
+            bad = (o == 0.0) | eft.is_zero(nd) | (
+                (o > 0.0) != eft.sign_positive(nd)
+            )
+            ratio = eft.dd_div(eft.from_float(o), nd)
+            gap = eft.dd_add(ratio, eft.from_float(np.full(m, -1.0)))
+            d = np.abs(np.log1p(gap.hi))
+            undecided = bad | ~np.isfinite(d) | (np.abs(ratio.hi) > 1e300)
+            tiny = ~undecided & (d < 1e-28)
+            recheck |= undecided
+            noise |= tiny
+            d = np.where(undecided | tiny, 0.0, d)
+            d_max = np.maximum(d_max, d)
+        return d_max, noise
 
     # -- phase kernels -----------------------------------------------------
 
@@ -830,48 +1163,53 @@ class BatchWitnessEngine:
                 out[i] = stochastic_round(exact, rng)
         return out
 
-    def _backward_dec(self, ops, fsel, dec, targets: List, ambient) -> None:
+    def _backward(self, ops, fsel, cvt, targets: List, arith) -> None:
         """The Appendix C witness formulas, one array expression per op.
 
-        Runs under the 50-digit backward context; operand values, the
-        op order inside each formula, and the working precision match
-        :mod:`repro.semantics.primitives` exactly, so results are
-        bitwise equal to the scalar sweep.  Sign/zero domain analysis is
-        unnecessary here: rows whose forward values vanish or overflow
-        were diverted to the scalar path, and on the remaining rows the
-        backward targets provably keep the forward signs.  ``case``
-        regions recurse through the *taken* branch only — screened rows
-        all share one branch tag, which the sweep verifies.
+        ``arith`` supplies the exact-arithmetic kernels — Decimal object
+        arrays under the 50-digit backward context (:class:`_DecArith`,
+        the reference) or dd float pairs (:class:`_EftArith`, the
+        screen) — and ``cvt`` converts a slot's forward floats into that
+        representation.  Operand values and the op order inside each
+        formula match :mod:`repro.semantics.primitives` exactly.
+        Sign/zero domain analysis is unnecessary here: rows whose
+        forward values vanish or overflow were diverted to the scalar
+        path, and on the remaining rows the backward targets provably
+        keep the forward signs.  ``case`` regions recurse through the
+        *taken* branch only — screened rows all share one branch tag,
+        which the sweep verifies.
         """
         producer = {}
         for op in walk_ops(ops):
             producer[op.dest] = op.code
-        self._backward_sweep(ops, fsel, dec, targets, ambient, producer)
+        self._backward_sweep(ops, fsel, cvt, targets, arith, producer)
 
-    def _backward_sweep(self, ops, fsel, dec, targets: List, ambient,
+    def _backward_sweep(self, ops, fsel, cvt, targets: List, arith,
                         producer: Dict[int, int]) -> None:
         for op in reversed(ops):
             code = op.code
             dest = op.dest
             if L.ADD <= code <= L.DMUL:
                 if code == L.DIV:
-                    self._div_backward(op, fsel, dec, targets)
+                    t = _get_b(targets, fsel, dest)
+                    if not isinstance(t, _BSum):
+                        raise _Unvectorizable("div target is not a batched sum")
+                    if not _mask_all(t.mask) or t.left is None:
+                        # Scalar: "div backward: finite quotient vs. inr
+                        # target".
+                        raise _Unvectorizable("div target carries inr rows")
+                    targets[op.a], targets[op.b] = arith.div_backward(
+                        cvt(op.a), cvt(op.b), arith.ensure(t.left)
+                    )
                     continue
-                x1, x2 = dec(op.a), dec(op.b)
-                x3 = _ensure_dec(_get_b(targets, fsel, dest))
+                x1, x2 = cvt(op.a), cvt(op.b)
+                x3 = arith.ensure(_get_b(targets, fsel, dest))
                 if code == L.ADD:
-                    s = x1 + x2
-                    targets[op.a] = x3 * x1 / s
-                    targets[op.b] = x3 * x2 / s
+                    targets[op.a], targets[op.b] = arith.add_backward(x1, x2, x3)
                 elif code == L.SUB:
-                    d = x1 - x2
-                    targets[op.a] = x3 * x1 / d
-                    targets[op.b] = x3 * x2 / d
+                    targets[op.a], targets[op.b] = arith.sub_backward(x1, x2, x3)
                 elif code == L.MUL:
-                    p = x1 * x2
-                    scale = _sqrt(x3 / p)
-                    targets[op.a] = x1 * scale
-                    targets[op.b] = x2 * scale
+                    targets[op.a], targets[op.b] = arith.mul_backward(x1, x2, x3)
                 else:  # DMUL: all error onto the linear right operand
                     # The discrete left operand's target is x1 itself; when
                     # it is a plain discrete-variable read, the identity
@@ -879,11 +1217,11 @@ class BatchWitnessEngine:
                     # verify below has nothing to do.
                     if producer.get(op.a) != L.DVAR:
                         targets[op.a] = x1
-                    targets[op.b] = x3 / x1
+                    targets[op.b] = arith.dmul_backward(x1, x3)
             elif code == L.DVAR:
                 t = targets[dest]
                 if t is not None:
-                    self._verify_discrete(op.aux, fsel(dest), t, ambient)
+                    arith.verify_discrete(op.aux, fsel(dest), t)
             elif code == L.BANG or code == L.RND:
                 targets[op.a] = _get_b(targets, fsel, dest)
             elif code == L.PAIR:
@@ -926,7 +1264,7 @@ class BatchWitnessEngine:
                 else:
                     raise _Unvectorizable("mixed case branch tags on screened rows")
                 targets[region.result] = _get_b(targets, fsel, dest)
-                self._backward_sweep(region.ops, fsel, dec, targets, ambient,
+                self._backward_sweep(region.ops, fsel, cvt, targets, arith,
                                      producer)
                 payload_t = _get_b(targets, fsel, region.payload)
                 targets[op.a] = (
@@ -936,61 +1274,30 @@ class BatchWitnessEngine:
                 )
             # UNIT / CONST: nothing flows backward.
 
-    def _div_backward(self, op, fsel, dec, targets: List) -> None:
-        """Appendix C Div: signed square-root witnesses, as array ops.
-
-        The target lives in ``num + unit``; screened rows all divided
-        successfully, so a well-formed target is an all-``inl`` batched
-        sum whose payload is the quotient target.  Operand signs carry
-        to the witnesses exactly as in ``div_backward``.
-        """
-        t = _get_b(targets, fsel, op.dest)
-        if not isinstance(t, _BSum):
-            raise _Unvectorizable("div target is not a batched sum")
-        if not _mask_all(t.mask) or t.left is None:
-            # Scalar: "div backward: finite quotient vs. inr target".
-            raise _Unvectorizable("div target carries inr rows")
-        x3 = _ensure_dec(t.left)
-        x1, x2 = dec(op.a), dec(op.b)
-        magnitude1 = _sqrt(np.abs(x1 * x2 * x3))
-        magnitude2 = _sqrt(np.abs(x1 * x2 / x3))
-        pos1 = np.asarray(x1 > _DEC_ZERO, dtype=bool)
-        pos2 = np.asarray(x2 > _DEC_ZERO, dtype=bool)
-        targets[op.a] = np.where(pos1, magnitude1, -magnitude1)
-        targets[op.b] = np.where(pos2, magnitude2, -magnitude2)
-
-    @staticmethod
-    def _verify_discrete(name: str, current, target, ambient) -> None:
-        """Discrete variables absorb no error (per-element check).
-
-        Mirrors the scalar interpreter's ``values_close`` test, run under
-        the ambient context the scalar path would have used.
-        """
-        if target is current:
-            return
-        leaves_cur = _tree_leaves(current, [])
-        leaves_tgt = _tree_leaves(_materialize_b(target, current), [])
-        with decimal.localcontext(ambient):
-            for cur, tgt in zip(leaves_cur, leaves_tgt):
-                if cur is tgt:
-                    continue
-                for c, t in zip(cur, tgt):
-                    if c is not t and not values_close(VNum(c), VNum(t)):
-                        raise LensDomainError(
-                            f"discrete variable {name!r} cannot absorb "
-                            f"error: {VNum(c)!r} vs target {VNum(t)!r}"
-                        )
-
-    def _ideal_dec(self, ops, vals: List, n: int) -> None:
+    def _ideal_dec(self, ops, vals: List, n: int,
+                   dec_memo: Dict[int, np.ndarray]) -> None:
         prec = self.precision
+
+        def lift(v):
+            if isinstance(v, np.ndarray) and v.dtype != object:
+                r = dec_memo.get(id(v))
+                if r is None:
+                    r = _to_dec(v)
+                    dec_memo[id(v)] = r
+                return r
+            return v
+
         for op in ops:
             code = op.code
             if L.ADD <= code <= L.DMUL:
                 with decimal.localcontext() as ctx:
                     ctx.prec = prec
                     # Operand conversion is exact (cf. to_decimal), so
-                    # doing it lazily here matches the scalar ⇓_id bits.
-                    a, b = _dec_array(vals[op.a]), _dec_array(vals[op.b])
+                    # doing it lazily here matches the scalar ⇓_id bits
+                    # — and memoizing by array identity converts each
+                    # pass-through leaf at most once, however many ops
+                    # consume it.
+                    a, b = lift(vals[op.a]), lift(vals[op.b])
                     if code == L.ADD:
                         vals[op.dest] = a + b
                     elif code == L.SUB:
@@ -1032,13 +1339,77 @@ class BatchWitnessEngine:
                 else:
                     raise _Unvectorizable("mixed case branch tags on screened rows")
                 vals[region.payload] = payload
-                self._ideal_dec(region.ops, vals, n)
+                self._ideal_dec(region.ops, vals, n, dec_memo)
+                vals[op.dest] = vals[region.result]
+            else:  # pragma: no cover - CALL is rewritten away or unvectorized
+                raise _Unvectorizable(f"opcode {code} is not vectorizable")
+
+    def _ideal_eft(self, ops, vals: List, n: int, arith: "_EftArith") -> None:
+        """Phase 3 on dd arrays: mirrors :meth:`_ideal_dec` op for op.
+
+        dd addition/multiplication carry ~106 bits; against the
+        50-digit reference the results agree to ~32 digits, which the
+        phase-4 screens' margins absorb.  Cases only Decimal evaluates
+        faithfully — a zero divisor on a non-suspect row, a literal dd
+        cannot represent exactly — raise :class:`_EftUnsupported`.
+        """
+        for op in ops:
+            code = op.code
+            if L.ADD <= code <= L.DMUL:
+                a, b = eft.as_dd(vals[op.a]), eft.as_dd(vals[op.b])
+                if code == L.ADD:
+                    vals[op.dest] = arith.add(a, b)
+                elif code == L.SUB:
+                    vals[op.dest] = arith.sub(a, b)
+                elif code == L.DIV:
+                    if bool((eft.is_zero(b) & ~arith.suspect).any()):
+                        # ⇓_id maps a zero divisor to inr (); the Decimal
+                        # sweep raises _Unvectorizable here — defer.
+                        raise _EftUnsupported("ideal division by dd zero")
+                    vals[op.dest] = _BSum(
+                        np.ones(n, dtype=bool), arith.div(a, b), _BUNIT
+                    )
+                else:  # MUL / DMUL
+                    vals[op.dest] = arith.mul(a, b)
+            elif code in (L.DVAR, L.BANG, L.RND):
+                vals[op.dest] = vals[op.a]  # rnd is the identity in ⇓_id
+            elif code == L.PAIR:
+                vals[op.dest] = _BPair(vals[op.a], vals[op.b])
+            elif code == L.FST:
+                vals[op.dest] = vals[op.a].left
+            elif code == L.SND:
+                vals[op.dest] = vals[op.a].right
+            elif code == L.CONST:
+                c = float(op.aux)
+                if Decimal(op.aux) != Decimal(c):
+                    # The ideal semantics evaluates the literal as an
+                    # exact Decimal; dd can only hold binary64 values.
+                    raise _EftUnsupported("non-binary ideal constant")
+                vals[op.dest] = eft.from_float(np.full(n, c))
+            elif code == L.UNIT:
+                vals[op.dest] = _BUNIT
+            elif code == L.INL:
+                vals[op.dest] = _BSum(np.ones(n, dtype=bool), vals[op.a], None)
+            elif code == L.INR:
+                vals[op.dest] = _BSum(np.zeros(n, dtype=bool), None, vals[op.a])
+            elif code == L.CASE:
+                scrut = vals[op.a]
+                if not isinstance(scrut, _BSum):
+                    raise _Unvectorizable("case scrutinee is not a batched sum")
+                if _mask_all(scrut.mask) and scrut.left is not None:
+                    region, payload = op.aux[0], scrut.left
+                elif not bool(scrut.mask.any()) and scrut.right is not None:
+                    region, payload = op.aux[1], scrut.right
+                else:
+                    raise _Unvectorizable("mixed case branch tags on screened rows")
+                vals[region.payload] = payload
+                self._ideal_eft(region.ops, vals, n, arith)
                 vals[op.dest] = vals[region.result]
             else:  # pragma: no cover - CALL is rewritten away or unvectorized
                 raise _Unvectorizable(f"opcode {code} is not vectorizable")
 
     def _param_distances(self, fsel_tree, mixed_tree, dec_orig_tree,
-                         dec_new_tree, n: int):
+                         dec_new_tree, n: int, dec_leaf):
         """Vectorized ``type_distance`` for plain (slack-0) value trees.
 
         For a zero-slack tensor tree the distance is the max over leaf RP
@@ -1074,8 +1445,10 @@ class BatchWitnessEngine:
                 # precision): convert exactly, like the scalar
                 # to_decimal, before the Decimal screening arithmetic.
                 # Stored back so the exact candidate pass below sees
-                # Decimals too.
-                dn = dec_new[j] = _to_dec(dn)
+                # Decimals too; conversion goes through the shared
+                # id-keyed memo, so a leaf the other phases already
+                # converted is not converted again.
+                dn = dec_new[j] = dec_leaf(dn)
             # Perturbations are relative ~1e-16..1e-13 — far below what a
             # float ratio can resolve.  A 12-digit Decimal difference
             # captures them exactly enough for screening (~1e-11 relative
@@ -1108,6 +1481,241 @@ class BatchWitnessEngine:
         return out
 
     # -- misc --------------------------------------------------------------
+
+
+class _DecArith:
+    """Backward/ideal kernels on Decimal object arrays (the reference).
+
+    Formula bodies are verbatim from the pre-refactor sweep: expression
+    order and working precision match
+    :mod:`repro.semantics.primitives`, so results are bitwise equal to
+    the scalar path.
+    """
+
+    def __init__(self, ambient: decimal.Context) -> None:
+        self.ambient = ambient
+
+    @staticmethod
+    def ensure(tree):
+        return _ensure_dec(tree)
+
+    def add_backward(self, x1, x2, x3):
+        s = x1 + x2
+        return x3 * x1 / s, x3 * x2 / s
+
+    def sub_backward(self, x1, x2, x3):
+        d = x1 - x2
+        return x3 * x1 / d, x3 * x2 / d
+
+    def mul_backward(self, x1, x2, x3):
+        p = x1 * x2
+        scale = _sqrt(x3 / p)
+        return x1 * scale, x2 * scale
+
+    def dmul_backward(self, x1, x3):
+        return x3 / x1
+
+    def div_backward(self, x1, x2, x3):
+        """Appendix C Div: signed square-root witnesses, as array ops.
+
+        The target lives in ``num + unit``; screened rows all divided
+        successfully, so a well-formed target is an all-``inl`` batched
+        sum whose payload is the quotient target (the sweep unwraps it
+        before calling here).  Operand signs carry to the witnesses
+        exactly as in ``div_backward``.
+        """
+        magnitude1 = _sqrt(np.abs(x1 * x2 * x3))
+        magnitude2 = _sqrt(np.abs(x1 * x2 / x3))
+        pos1 = np.asarray(x1 > _DEC_ZERO, dtype=bool)
+        pos2 = np.asarray(x2 > _DEC_ZERO, dtype=bool)
+        return (
+            np.where(pos1, magnitude1, -magnitude1),
+            np.where(pos2, magnitude2, -magnitude2),
+        )
+
+    def verify_discrete(self, name: str, current, target) -> None:
+        """Discrete variables absorb no error (per-element check).
+
+        Mirrors the scalar interpreter's ``values_close`` test, run under
+        the ambient context the scalar path would have used.
+        """
+        if target is current:
+            return
+        leaves_cur = _tree_leaves(current, [])
+        leaves_tgt = _tree_leaves(_materialize_b(target, current), [])
+        with decimal.localcontext(self.ambient):
+            for cur, tgt in zip(leaves_cur, leaves_tgt):
+                if cur is tgt:
+                    continue
+                for c, t in zip(cur, tgt):
+                    if c is not t and not values_close(VNum(c), VNum(t)):
+                        raise LensDomainError(
+                            f"discrete variable {name!r} cannot absorb "
+                            f"error: {VNum(c)!r} vs target {VNum(t)!r}"
+                        )
+
+
+class _EftArith:
+    """Backward/ideal kernels on dd (hi/lo float64 pair) arrays.
+
+    Maintains a per-row ``suspect`` mask: rows where a kernel result
+    left the range on which the dd soundness arguments hold (overflow,
+    underflow, non-finite, or a product/quotient that underflowed to an
+    exact zero Decimal would have kept nonzero).  Suspect rows may carry
+    garbage dd values from then on — the caller settles them through
+    the per-row scalar reference and never reads their dd results.
+
+    Conditions the *whole* Decimal batch would have refused — an exact
+    zero divisor (DivisionByZero) or a negative radicand
+    (InvalidOperation) on a non-suspect row — raise
+    :class:`_EftUnsupported` instead, so the engine reruns the batch on
+    the Decimal path and inherits its exact behavior (including its
+    batch-wide scalar fallback and its error messages).
+    """
+
+    def __init__(self, m: int) -> None:
+        self.suspect = np.zeros(m, dtype=bool)
+
+    @staticmethod
+    def ensure(tree):
+        return _map_tree(tree, eft.as_dd)
+
+    def _guard(self, x: DD) -> DD:
+        self.suspect |= eft.range_suspect(x)
+        return x
+
+    def add(self, x: DD, y: DD) -> DD:
+        return self._guard(eft.dd_add(x, y))
+
+    def sub(self, x: DD, y: DD) -> DD:
+        return self._guard(eft.dd_sub(x, y))
+
+    def mul(self, x: DD, y: DD) -> DD:
+        r = eft.dd_mul(x, y)
+        # A vanished product of nonzero factors is an underflow artifact
+        # — Decimal would keep it nonzero.
+        self.suspect |= eft.is_zero(r) & ~eft.is_zero(x) & ~eft.is_zero(y)
+        return self._guard(r)
+
+    def div(self, x: DD, y: DD) -> DD:
+        if bool((eft.is_zero(y) & ~self.suspect).any()):
+            raise _EftUnsupported("exact zero divisor in dd sweep")
+        r = eft.dd_div(x, y)
+        self.suspect |= eft.is_zero(r) & ~eft.is_zero(x)
+        return self._guard(r)
+
+    def sqrt(self, x: DD) -> DD:
+        if bool(((x.hi < 0.0) & ~self.suspect).any()):
+            raise _EftUnsupported("negative radicand in dd sweep")
+        return self._guard(eft.dd_sqrt(x))
+
+    def add_backward(self, x1, x2, x3):
+        s = self.add(x1, x2)  # exact: TwoSum of binary64 operands
+        return self.div(self.mul(x3, x1), s), self.div(self.mul(x3, x2), s)
+
+    def sub_backward(self, x1, x2, x3):
+        d = self.sub(x1, x2)  # exact, like the sum
+        return self.div(self.mul(x3, x1), d), self.div(self.mul(x3, x2), d)
+
+    def mul_backward(self, x1, x2, x3):
+        p = self.mul(x1, x2)
+        scale = self.sqrt(self.div(x3, p))
+        return self.mul(x1, scale), self.mul(x2, scale)
+
+    def dmul_backward(self, x1, x3):
+        return self.div(x3, x1)
+
+    def div_backward(self, x1, x2, x3):
+        """Appendix C Div on dd arrays (sqrt radicands are |...|: safe)."""
+        magnitude1 = self.sqrt(eft.dd_abs(self.mul(self.mul(x1, x2), x3)))
+        magnitude2 = self.sqrt(eft.dd_abs(self.div(self.mul(x1, x2), x3)))
+        pos1 = eft.sign_positive(x1)
+        pos2 = eft.sign_positive(x2)
+        return (
+            eft.where(pos1, magnitude1, eft.dd_neg(magnitude1)),
+            eft.where(pos2, magnitude2, eft.dd_neg(magnitude2)),
+        )
+
+    def verify_discrete(self, name: str, current, target) -> None:
+        """Exact-equality-only discrete verify.
+
+        The reference applies ``values_close`` slack and embeds value
+        reprs in its error message; dd reproduces neither, so anything
+        short of bitwise equality defers to the Decimal path.
+        """
+        if target is current:
+            return
+        leaves_cur = _tree_leaves(current, [])
+        leaves_tgt = _tree_leaves(_materialize_b(target, current), [])
+        for cur, tgt in zip(leaves_cur, leaves_tgt):
+            if cur is tgt:
+                continue
+            if isinstance(tgt, DD):
+                ok = (tgt.hi == cur) & (tgt.lo == 0.0)
+            else:
+                ok = np.asarray(tgt) == cur
+            if not bool(np.all(ok)):
+                raise _EftUnsupported(
+                    "discrete verify needs the Decimal path"
+                )
+
+
+#: Screen thresholds for the EFT closeness verdict.  ``values_close``
+#: is a 1e-30-relative test on exactly-converted operands; 50-digit
+#: Decimal noise sits at ~1e-50·cond and dd noise at ~1e-32·cond, so a
+#: dd relative gap below CLOSE_SURE is ~1e18 away from flipping the
+#: reference verdict, one above FAR_SURE is equally surely a genuine
+#: Property-2 failure, and only the band between is rechecked.
+_CLOSE_SURE = 1e-26
+_FAR_SURE = 1e-8
+
+
+def _close_screen_eft(ideal, approx, close: np.ndarray, recheck: np.ndarray,
+                      active: np.ndarray) -> None:
+    """Vectorized screen of row-wise ``values_close`` for the dd path.
+
+    ``close`` accumulates definite verdicts (``&=``); rows whose dd gap
+    falls between the sure thresholds are flagged in ``recheck`` and
+    left formally close — the scalar reference overrides them.
+    Structure mirrors :func:`_close_rows`.
+    """
+    if isinstance(approx, _BPair) and isinstance(ideal, _BPair):
+        _close_screen_eft(ideal.left, approx.left, close, recheck, active)
+        _close_screen_eft(ideal.right, approx.right, close, recheck, active)
+        return
+    if isinstance(approx, _BSum) and isinstance(ideal, _BSum):
+        am, im = approx.mask, ideal.mask
+        close &= ~active | ~(am ^ im)
+        both_inl = active & am & im
+        both_inr = active & ~am & ~im
+        if bool(both_inl.any()):
+            if ideal.left is None or approx.left is None:
+                close &= ~both_inl
+            else:
+                _close_screen_eft(ideal.left, approx.left, close, recheck,
+                                  both_inl)
+        if bool(both_inr.any()):
+            if ideal.right is None or approx.right is None:
+                close &= ~both_inr
+            else:
+                _close_screen_eft(ideal.right, approx.right, close, recheck,
+                                  both_inr)
+        return
+    if approx is _BUNIT and ideal is _BUNIT:
+        return
+    if isinstance(approx, np.ndarray) and isinstance(ideal, (np.ndarray, DD)):
+        di = eft.as_dd(ideal)
+        gap = eft.dd_sub(di, eft.from_float(approx))
+        denom = np.maximum(np.abs(di.hi), np.abs(approx))
+        r = np.abs(gap.hi) / denom
+        r = np.where(denom == 0.0, 0.0, r)  # both exactly zero: close
+        sure_close = r <= _CLOSE_SURE
+        band = active & ~sure_close & ~(r >= _FAR_SURE)
+        band |= active & ~np.isfinite(r)
+        recheck |= band
+        close &= ~active | sure_close | band
+        return
+    close &= ~active  # structural mismatch: not close on any live row
 
 
 def _close_rows(ideal, approx, out: np.ndarray, active: np.ndarray) -> None:

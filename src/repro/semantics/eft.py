@@ -1,0 +1,351 @@
+"""Error-free transformations: double-double NumPy kernels.
+
+The batch witness engine's dominant cost used to be phases 2-3 of
+:mod:`repro.semantics.batch` — the backward reverse sweep and the ideal
+re-evaluation — executed as per-op ``np.frompyfunc`` dispatch over
+object arrays of 50-digit :class:`decimal.Decimal`.  Every element of
+every op paid Python-level ``Decimal`` arithmetic.
+
+This module replaces that arithmetic with *error-free transformations*
+(EFTs) in the style of Higham, *Accuracy and Stability of Numerical
+Algorithms* §4.3, and Ogita–Rump–Oishi's accurate-summation kernels:
+
+* :func:`two_sum` (Knuth) — ``s, e`` with ``s = fl(a + b)`` and
+  ``a + b = s + e`` **exactly**, for any two finite doubles;
+* :func:`two_prod` (Dekker/Veltkamp) — ``p, e`` with ``p = fl(a * b)``
+  and ``a * b = p + e`` **exactly**, provided no over/underflow occurs
+  in the splitting (callers guard the range; see
+  :func:`range_suspect`);
+* double-double (**dd**) arithmetic — a value is an unevaluated sum
+  ``hi + lo`` of two ``float64`` arrays with ``|lo| <= ulp(hi)/2``,
+  giving ~106 significant bits (~32 decimal digits).  The dd
+  add/sub/mul/div/sqrt kernels below carry relative error a few units
+  in ``2^-104`` (Li et al., *QD*; Joldes–Muller–Popescu error bounds).
+
+Soundness contract with the batch engine
+----------------------------------------
+
+The witness pipeline never *reports* a dd value: every number that
+reaches a payload (per-parameter max distances, per-row reports,
+ambiguous verdicts) is recomputed by the scalar ``Decimal`` reference
+on exactly the rows that need it.  The dd sweeps are a **screen**: they
+decide, with ~1e18-wide safety margins, which rows provably match the
+Decimal verdicts and which must be rechecked.  For that to be sound the
+kernels must satisfy two properties, each argued per kernel below:
+
+1. **exactness where claimed** — ``two_sum``/``two_prod`` are exact
+   (error-free) on in-range data, so zero/sign tests on their results
+   are decisions about the *real* value, matching ``Decimal`` bit for
+   bit;
+2. **bounded rounding elsewhere** — every dd kernel's relative error is
+   ``O(2^-104)``, at least eighteen orders of magnitude below the
+   1e-30 closeness tolerance and the distance-screen bands the batch
+   engine uses, so a verdict decided outside those bands cannot be an
+   artifact of dd rounding.
+
+Rows where a kernel leaves the range on which these arguments hold —
+non-finite intermediates, magnitudes beyond ``OVERFLOW_LIMIT`` or
+beneath ``UNDERFLOW_LIMIT`` where Dekker splitting or subnormal
+rounding voids the EFT guarantees (``Decimal``'s exponent range is
+vastly wider) — must be diverted to the per-row ``Decimal`` reference.
+:func:`range_suspect` is that detector; the engine ORs it into its
+per-row suspect mask after every kernel application.
+
+All kernels are elementwise over ``float64`` ndarrays and assume the
+caller suppresses IEEE warnings (``np.errstate``); out-of-range rows
+produce inf/nan garbage that the suspect mask quarantines.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "DD",
+    "OVERFLOW_LIMIT",
+    "UNDERFLOW_LIMIT",
+    "SPLITTER",
+    "as_dd",
+    "dd_abs",
+    "dd_add",
+    "dd_div",
+    "dd_mul",
+    "dd_neg",
+    "dd_sqrt",
+    "dd_sub",
+    "from_float",
+    "is_zero",
+    "range_suspect",
+    "sign_positive",
+    "two_prod",
+    "two_sum",
+    "where",
+]
+
+Array = np.ndarray
+
+#: Dekker's splitting constant ``2**27 + 1``: multiplies a double into
+#: two 26-bit halves whose product terms are exact.
+SPLITTER = 134217729.0
+
+#: Magnitudes above this make Dekker splitting (``x * SPLITTER``) or
+#: three-factor witness products liable to overflow ``float64`` even
+#: though ``Decimal`` sails through; such rows are suspect.
+OVERFLOW_LIMIT = 1e280
+
+#: Nonzero magnitudes below this approach the subnormal range, where
+#: ``two_sum``/``two_prod`` exactness claims fail (the error term
+#: itself can be inexact); such rows are suspect.
+UNDERFLOW_LIMIT = 1e-280
+
+
+class DD:
+    """A batched double-double: elementwise unevaluated sums ``hi + lo``.
+
+    Kernel outputs are normalized (``hi = fl(hi + lo)``), so ``hi``
+    alone is the correctly-rounded double of the represented value —
+    zero/sign/comparison screens read ``hi`` (and ``lo`` for exact-zero
+    tests, where both components must vanish).
+    """
+
+    __slots__ = ("hi", "lo")
+
+    def __init__(self, hi: Array, lo: Array) -> None:
+        self.hi = hi
+        self.lo = lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DD({self.hi!r}, {self.lo!r})"
+
+
+def from_float(a: Array) -> DD:
+    """Exact embedding of a float64 array: ``a == a + 0`` identically."""
+    return DD(np.asarray(a, dtype=np.float64), np.zeros_like(a, dtype=np.float64))
+
+
+def as_dd(x: Union[DD, Array]) -> DD:
+    """Coerce a float leaf array to dd (exact); pass dd through."""
+    if isinstance(x, DD):
+        return x
+    return from_float(x)
+
+
+# --------------------------------------------------------------------------
+# The error-free transformations
+# --------------------------------------------------------------------------
+
+
+def two_sum(a: Array, b: Array) -> Tuple[Array, Array]:
+    """Knuth's TwoSum: ``s = fl(a+b)``, ``e`` with ``a + b = s + e`` exactly.
+
+    Soundness: for any two finite doubles whose rounded sum does not
+    overflow, the rounding error of IEEE-754 addition is itself a
+    double, and Knuth's 6-flop branch-free recovery computes it exactly
+    (Higham §4.3, Thm 4.6; no magnitude ordering required).  Overflow
+    of ``s`` makes ``e`` nan — caught by :func:`range_suspect`.
+    """
+    s = a + b
+    v = s - a
+    e = (a - (s - v)) + (b - v)
+    return s, e
+
+
+def _fast_two_sum(a: Array, b: Array) -> Tuple[Array, Array]:
+    """Dekker's FastTwoSum: exact when ``|a| >= |b|`` elementwise.
+
+    Soundness: with the magnitude precondition the 3-flop recovery
+    ``e = b - (s - a)`` is the exact rounding error (Dekker 1971).  The
+    dd kernels below only call it on ``(hi, err)`` pairs whose first
+    component dominates by construction (the result of a prior rounding
+    step), so the precondition holds wherever the pair is normalized.
+    """
+    s = a + b
+    e = b - (s - a)
+    return s, e
+
+
+def _split(a: Array) -> Tuple[Array, Array]:
+    """Veltkamp split: ``a = x + y`` exactly, each half on 26 bits.
+
+    Soundness: exact for ``|a| < 2**996`` (Dekker); beyond that the
+    ``a * SPLITTER`` product overflows.  :data:`OVERFLOW_LIMIT` keeps
+    callers far inside the valid range.
+    """
+    t = SPLITTER * a
+    x = t - (t - a)
+    y = a - x
+    return x, y
+
+
+def two_prod(a: Array, b: Array) -> Tuple[Array, Array]:
+    """Dekker's TwoProd: ``p = fl(a*b)``, ``e`` with ``a * b = p + e`` exactly.
+
+    Soundness: with both factors split exactly, the four partial
+    products are exact in double and their telescoped differences
+    recover the rounding error of ``a * b`` exactly (Dekker 1971;
+    Higham §4.3) — provided neither the product nor the partials
+    over/underflow.  NumPy ships no vectorized fma, so the 17-flop
+    Dekker form is used; out-of-range rows are quarantined by
+    :func:`range_suspect`, never silently accepted.
+    """
+    p = a * b
+    a_hi, a_lo = _split(a)
+    b_hi, b_lo = _split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+# --------------------------------------------------------------------------
+# Double-double arithmetic
+# --------------------------------------------------------------------------
+
+
+def dd_add(x: DD, y: DD) -> DD:
+    """dd addition (accurate variant, ~2e-32 relative error).
+
+    Soundness: the leading components combine by exact
+    :func:`two_sum`; the error terms join the trailing sum and two
+    normalization passes restore ``|lo| <= ulp(hi)/2``.  When both
+    operands are pure floats (``lo == 0`` — every first-level witness
+    formula), the result is **exact**: it is precisely Knuth's TwoSum,
+    so zero/sign screens on such sums are decisions about the real
+    value.  In general the relative error is bounded by ``3·2^-106``
+    (Joldes–Muller–Popescu, Thm 1 for the accurate add).
+    """
+    s, e = two_sum(x.hi, y.hi)
+    t, f = two_sum(x.lo, y.lo)
+    e = e + t
+    s, e = _fast_two_sum(s, e)
+    e = e + f
+    hi, lo = _fast_two_sum(s, e)
+    return DD(hi, lo)
+
+
+def dd_neg(x: DD) -> DD:
+    """Exact negation (sign flips are error-free in IEEE-754)."""
+    return DD(-x.hi, -x.lo)
+
+
+def dd_abs(x: DD) -> DD:
+    """Exact magnitude: negate where the leading component is negative."""
+    neg = x.hi < 0.0
+    return DD(np.where(neg, -x.hi, x.hi), np.where(neg, -x.lo, x.lo))
+
+
+def dd_sub(x: DD, y: DD) -> DD:
+    """dd subtraction = addition of the exact negation (same bounds)."""
+    return dd_add(x, dd_neg(y))
+
+
+def dd_mul(x: DD, y: DD) -> DD:
+    """dd multiplication, ~2e-32 relative error.
+
+    Soundness: the leading product is an exact :func:`two_prod`; the
+    cross terms ``hi·lo`` contribute below ``2^-53`` of the result and
+    are added in working precision; one normalization restores the
+    invariant.  Relative error ``<= 7·2^-106`` (JMP, Thm 2).  Exactness
+    of the *leading* component means a zero ``fl(x.hi * y.hi)`` with
+    nonzero factors can only be underflow — flagged suspect, because
+    ``Decimal`` would keep a nonzero product there.
+    """
+    p, e = two_prod(x.hi, y.hi)
+    e = e + (x.hi * y.lo + x.lo * y.hi)
+    hi, lo = _fast_two_sum(p, e)
+    return DD(hi, lo)
+
+
+def dd_div(x: DD, y: DD) -> DD:
+    """dd division by long division, ~3e-32 relative error.
+
+    Soundness: two correction steps against the exact residual
+    ``x - q·y`` (each residual computed in dd with the exact
+    :func:`dd_mul` leading term) give a quotient accurate to
+    ``<= 10·2^-106`` relative (cf. the QD library's accurate division
+    and JMP Thm 4).  Division by an exact dd zero is the caller's case
+    to handle — the batch engine either proves the divisor nonzero or
+    defers the batch to the ``Decimal`` reference — so no zero
+    substitution happens here; zero divisors yield inf/nan garbage the
+    suspect mask quarantines.
+    """
+    q1 = x.hi / y.hi
+    r = dd_sub(x, dd_mul(from_float(q1), y))
+    q2 = r.hi / y.hi
+    r = dd_sub(r, dd_mul(from_float(q2), y))
+    q3 = r.hi / y.hi
+    s, e = _fast_two_sum(q1, q2)
+    hi, lo = _fast_two_sum(s, e + q3)
+    return DD(hi, lo)
+
+
+def dd_sqrt(x: DD) -> DD:
+    """dd square root (Karp–Markstein refinement), ~3e-32 relative error.
+
+    Soundness: one Newton step on the reciprocal square root, with the
+    residual ``x - s²`` formed through the exact :func:`two_prod`
+    leading term, doubles the seed's 53-bit accuracy past 106 bits
+    (Karp & Markstein 1997).  Exact zeros map to exact zeros.  Negative
+    leading components would produce nan — the engine treats any
+    negative radicand as a ``Decimal``-path case *before* calling this
+    (matching ``Decimal.sqrt``'s InvalidOperation), so nan here only
+    arises on rows already quarantined.
+    """
+    zero = x.hi == 0.0
+    # Avoid 1/sqrt(0) = inf poisoning the zero rows: substitute 1.0
+    # under the mask, then restore the exact zeros at the end.
+    safe_hi = np.where(zero, 1.0, x.hi)
+    root = np.sqrt(safe_hi)
+    inv = 1.0 / root
+    s = root  # 53-bit seed of sqrt(x)
+    p, e = two_prod(s, s)
+    # residual = x - s*s, in dd (exact leading term)
+    residual = dd_sub(DD(np.where(zero, 1.0, x.hi), np.where(zero, 0.0, x.lo)), DD(p, e))
+    corr = residual.hi * (inv * 0.5)
+    hi, lo = _fast_two_sum(s, corr)
+    return DD(np.where(zero, 0.0, hi), np.where(zero, 0.0, lo))
+
+
+# --------------------------------------------------------------------------
+# Screens and guards
+# --------------------------------------------------------------------------
+
+
+def is_zero(x: DD) -> Array:
+    """Exact elementwise zero test: both components must vanish.
+
+    A normalized dd is zero iff ``hi`` is zero (the invariant forces
+    ``lo`` to zero with it); testing both keeps the screen exact even
+    on un-normalized intermediates.
+    """
+    return np.logical_and(x.hi == 0.0, x.lo == 0.0)
+
+
+def sign_positive(x: DD) -> Array:
+    """Elementwise ``value > 0`` (exact on normalized dd: hi decides,
+    lo breaks the tie when hi is zero)."""
+    return np.where(x.hi != 0.0, x.hi > 0.0, x.lo > 0.0)
+
+
+def range_suspect(x: DD) -> Array:
+    """Rows where the dd soundness arguments stop holding.
+
+    Flags non-finite components (overflowed kernels, nan garbage),
+    magnitudes beyond :data:`OVERFLOW_LIMIT` (subsequent splits or
+    three-factor witness products may overflow), and nonzero magnitudes
+    beneath :data:`UNDERFLOW_LIMIT` (subnormal territory where the EFT
+    error terms are no longer exact).  ``Decimal``'s exponent range
+    covers all of these, so flagged rows are handed to the per-row
+    ``Decimal`` reference by the engine.
+    """
+    a = np.abs(x.hi)
+    bad = ~np.isfinite(x.hi) | ~np.isfinite(x.lo)
+    bad |= a > OVERFLOW_LIMIT
+    bad |= (a > 0.0) & (a < UNDERFLOW_LIMIT)
+    return bad
+
+
+def where(mask: Array, left: Union[DD, Array], right: Union[DD, Array]) -> DD:
+    """Elementwise row-select between dd values (exact, per component)."""
+    dl, dr = as_dd(left), as_dd(right)
+    return DD(np.where(mask, dl.hi, dr.hi), np.where(mask, dl.lo, dr.lo))

@@ -136,6 +136,12 @@ def run_witness_sharded(
 
         activate(cache_dir)
     engine = BatchWitnessEngine(definition, program, u=u, **engine_options)
+    # Pin the parent's resolved exact-arithmetic backend into the
+    # options the workers receive: a worker must never re-resolve
+    # ``REPRO_EXACT_BACKEND`` (or the default) for itself, so every
+    # shard provably runs the same backend as the merged report claims.
+    engine_options = dict(engine_options)
+    engine_options["exact_backend"] = engine.exact_backend
     columns = engine._columns(inputs)
     n_rows = next(iter(columns.values())).shape[0]
     if workers is None:
@@ -206,4 +212,5 @@ def run_witness_sharded(
         max_dist,
         dict(engine._bounds),
         fallback_rows=fallback_rows,
+        exact_backend=engine.exact_backend,
     )

@@ -454,8 +454,14 @@ def _validate_audit_spec(
             parse_roundoff(u)
         except (ValueError, OverflowError):
             raise HttpError(400, f"cannot parse 'u': {u!r}")
+    exact_backend = spec.get("exact_backend")
+    if exact_backend is not None and exact_backend not in ("eft", "decimal"):
+        raise HttpError(
+            400, "'exact_backend' must be 'eft', 'decimal', or null"
+        )
     unknown = set(spec) - {
-        "source", "inputs", "name", "engine", "workers", "precision_bits", "u"
+        "source", "inputs", "name", "engine", "workers", "precision_bits",
+        "u", "exact_backend",
     }
     if unknown:
         raise HttpError(400, f"unknown request field(s): {sorted(unknown)}")
@@ -465,6 +471,7 @@ def _validate_audit_spec(
         "workers": workers,
         "precision_bits": precision_bits,
         "u": u,
+        "exact_backend": exact_backend,
     }
     return source, name, kwargs
 

@@ -378,6 +378,38 @@ class TestRowErrors:
             _assert_bitwise_equal(report, reference, i)
 
 
+class TestDecimalConversionMemo:
+    def test_no_array_converted_twice(self, monkeypatch):
+        # Regression for the latent slow-path waste: the ideal sweep
+        # used to re-convert pass-through float arrays the backward
+        # sweep (or a sibling op) had already pushed through _to_dec.
+        # The phases now share one id-keyed memo, so within a run every
+        # distinct float array is converted at most once.
+        from repro.semantics import batch as batch_module
+
+        real = batch_module._to_dec
+        counts: dict = {}
+
+        def counting(a):
+            counts[id(a)] = counts.get(id(a), 0) + 1
+            return real(a)
+
+        monkeypatch.setattr(batch_module, "_to_dec", counting)
+        spec = random_definition(11, n_linear=4, n_steps=7, allow_case=False)
+        engine = BatchWitnessEngine(spec.definition, exact_backend="decimal")
+        assert engine.vectorized
+        columns = random_batch_inputs(spec, seed=77, n_rows=40)
+        report = engine.run(columns)
+        assert report.n_rows == 40
+        # Distances/maxima force the phase-4 conversions too.
+        assert set(report.param_max_distance) == {p.name for p in spec.definition.params}
+        assert counts, "expected the decimal backend to convert arrays"
+        assert max(counts.values()) == 1, (
+            "an array crossed _to_dec more than once: the cross-phase "
+            "memo regressed"
+        )
+
+
 class TestAggregates:
     def test_report_aggregates(self):
         definition = vec_sum(10)

@@ -1,0 +1,159 @@
+"""Unit tests for the error-free-transformation kernels.
+
+:mod:`repro.semantics.eft` is the exact-arithmetic layer under the
+batch engine's default backward/ideal sweeps, so its contract is
+checked here directly against the 60-digit ``Decimal`` semantics:
+
+* TwoSum and TwoProd are **error-free**: ``hi + lo`` represents the
+  real-number sum/product of two floats exactly.
+* The composed double-double ops (add/sub/mul/div/sqrt) keep relative
+  error well under ``2^-100`` — orders beyond the ``1e-26``/``1e-28``
+  margins the batch screens rely on.
+* The helper predicates (``is_zero``, ``sign_positive``,
+  ``range_suspect``, ``where``) behave exactly as the screens assume.
+"""
+
+from __future__ import annotations
+
+import decimal
+from decimal import Decimal
+
+import numpy as np
+import pytest
+
+from repro.semantics import eft
+
+
+def _rand(seed: int, n: int = 256, scale: int = 40) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    mant = rng.uniform(-1.0, 1.0, n)
+    expo = rng.integers(-scale, scale, n).astype(float)
+    out = mant * np.exp2(expo)
+    out[0] = 0.0  # always include an exact zero
+    return out
+
+
+def _dd_dec(x: eft.DD, i: int) -> Decimal:
+    return Decimal(float(x.hi[i])) + Decimal(float(x.lo[i]))
+
+
+def _rel_err(got: Decimal, want: Decimal) -> Decimal:
+    if want == 0:
+        return abs(got)
+    return abs((got - want) / want)
+
+
+#: dd ops carry at most ~10·2^-106 relative error; 2^-100 is a safely
+#: testable ceiling far inside the batch screens' 1e-26 margins.
+_TOL = Decimal(2) ** -100
+
+
+class TestErrorFree:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_two_sum_exact(self, seed):
+        a, b = _rand(seed), _rand(seed + 100)
+        s, e = eft.two_sum(a, b)
+        with decimal.localcontext() as ctx:
+            ctx.prec = 80
+            for i in range(a.size):
+                want = Decimal(float(a[i])) + Decimal(float(b[i]))
+                got = Decimal(float(s[i])) + Decimal(float(e[i]))
+                assert got == want, i
+
+    @pytest.mark.parametrize("seed", [4, 5, 6])
+    def test_two_prod_exact(self, seed):
+        a, b = _rand(seed, scale=30), _rand(seed + 100, scale=30)
+        p, e = eft.two_prod(a, b)
+        with decimal.localcontext() as ctx:
+            ctx.prec = 80
+            for i in range(a.size):
+                want = Decimal(float(a[i])) * Decimal(float(b[i]))
+                got = Decimal(float(p[i])) + Decimal(float(e[i]))
+                assert got == want, i
+
+    def test_from_float_is_exact(self):
+        a = _rand(7)
+        x = eft.from_float(a)
+        assert np.array_equal(x.hi, a)
+        assert not x.lo.any()
+
+
+class TestDoubleDouble:
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_add_sub_mul_accuracy(self, seed):
+        a, b = _rand(seed, scale=30), _rand(seed + 50, scale=30)
+        x, y = eft.from_float(a), eft.from_float(b)
+        cases = {
+            "add": (eft.dd_add(x, y), lambda p, q: p + q),
+            "sub": (eft.dd_sub(x, y), lambda p, q: p - q),
+            "mul": (eft.dd_mul(x, y), lambda p, q: p * q),
+        }
+        with decimal.localcontext() as ctx:
+            ctx.prec = 80
+            for name, (got, op) in cases.items():
+                for i in range(a.size):
+                    want = op(Decimal(float(a[i])), Decimal(float(b[i])))
+                    assert _rel_err(_dd_dec(got, i), want) <= _TOL, (name, i)
+
+    def test_div_accuracy(self):
+        a, b = _rand(12, scale=30), _rand(13, scale=30)
+        b[b == 0.0] = 1.0  # the engine screens exact-zero divisors
+        q = eft.dd_div(eft.from_float(a), eft.from_float(b))
+        with decimal.localcontext() as ctx:
+            ctx.prec = 80
+            for i in range(a.size):
+                want = Decimal(float(a[i])) / Decimal(float(b[i]))
+                assert _rel_err(_dd_dec(q, i), want) <= _TOL, i
+
+    def test_sqrt_accuracy_and_zero(self):
+        a = np.abs(_rand(14, scale=30))
+        r = eft.dd_sqrt(eft.from_float(a))
+        assert r.hi[a == 0.0].tolist() == [0.0] * int((a == 0.0).sum())
+        with decimal.localcontext() as ctx:
+            ctx.prec = 80
+            for i in range(a.size):
+                if a[i] == 0.0:
+                    continue
+                want = Decimal(float(a[i])).sqrt()
+                assert _rel_err(_dd_dec(r, i), want) <= _TOL, i
+
+    def test_neg_abs(self):
+        a = _rand(15)
+        x = eft.from_float(a)
+        n = eft.dd_neg(x)
+        assert np.array_equal(n.hi, -a)
+        m = eft.dd_abs(eft.dd_neg(eft.dd_abs(x)))
+        assert np.array_equal(m.hi, np.abs(a))
+
+    def test_double_double_beats_float(self):
+        # The motivating case: a sum that cancels at float precision is
+        # still held exactly by the dd pair.
+        big = np.array([1.0])
+        tiny = np.array([2.0**-70])
+        s = eft.dd_add(eft.from_float(big), eft.from_float(tiny))
+        back = eft.dd_add(s, eft.from_float(-big))
+        assert _dd_dec(back, 0) == Decimal(2) ** -70
+
+
+class TestPredicates:
+    def test_is_zero_and_sign(self):
+        x = eft.DD(np.array([0.0, 1.0, -2.0, 0.0]),
+                   np.array([0.0, 0.0, 0.0, 1e-300]))
+        assert eft.is_zero(x).tolist() == [True, False, False, False]
+        # hi decides when nonzero; lo breaks the tie at hi == 0.
+        assert eft.sign_positive(x).tolist() == [False, True, False, True]
+
+    def test_range_suspect(self):
+        x = eft.from_float(
+            np.array([1.0, np.inf, np.nan, 1e301, 1e-301, 0.0])
+        )
+        assert eft.range_suspect(x).tolist() == [
+            False, True, True, True, True, False
+        ]
+
+    def test_where_merges_componentwise(self):
+        left = eft.DD(np.array([1.0, 2.0]), np.array([0.1, 0.2]))
+        right = eft.DD(np.array([3.0, 4.0]), np.array([0.3, 0.4]))
+        out = eft.where(np.array([True, False]), left, right)
+        assert out.hi.tolist() == [1.0, 4.0]
+        assert out.lo.tolist() == [0.1, 0.4]

@@ -237,6 +237,97 @@ class TestShardedParity:
             assert_witness_reports_equal(sharded[i], batch[i], ctx=i)
 
 
+class TestExactBackendParity:
+    """The EFT double-double kernels against the Decimal reference.
+
+    The batch engine's backward/ideal sweeps run on error-free
+    transformations by default; the contract is that every observable —
+    verdicts, exact-match flags, Decimal distance strings, per-param
+    maxima, perturbed-value reprs, captured error types/messages, and
+    the ``fallback_rows`` accounting — is *bit-for-bit* what the
+    original 50-digit Decimal implementation produces.
+    """
+
+    @staticmethod
+    def _compare(eft, dec, n_rows):
+        assert eft.exact_backend == "eft"
+        assert dec.exact_backend == "decimal"
+        assert list(eft.sound) == list(dec.sound)
+        assert list(eft.exact) == list(dec.exact)
+        assert eft.fallback_rows == dec.fallback_rows
+        assert set(eft.errors) == set(dec.errors)
+        for i in eft.errors:
+            assert type(eft.errors[i]) is type(dec.errors[i]), i
+            assert str(eft.errors[i]) == str(dec.errors[i]), i
+        assert {k: str(v) for k, v in eft.param_max_distance.items()} == {
+            k: str(v) for k, v in dec.param_max_distance.items()
+        }
+        for i in range(n_rows):
+            if i in eft.errors:
+                continue
+            assert_witness_reports_equal(eft[i], dec[i], ctx=i)
+
+    @given(case=engine_cases(), data=st.data())
+    @settings(max_examples=_BUDGET, deadline=None)
+    def test_eft_equals_decimal_bitwise(self, case, data):
+        spec, engine_options = case
+        n_rows = data.draw(st.integers(2, 5), label="n_rows")
+        input_seed = data.draw(st.integers(0, 2**20), label="input_seed")
+        inject = data.draw(
+            st.sampled_from([None, "zero", "inf", "nan"]), label="inject"
+        )
+        columns = random_batch_inputs(spec, input_seed, n_rows)
+        if inject is not None:
+            poison = {"zero": 0.0, "inf": float("inf"), "nan": float("nan")}[inject]
+            for name in columns:
+                columns[name] = columns[name].copy()
+                columns[name][1] = poison
+        reports = {}
+        for backend in ("eft", "decimal"):
+            engine = BatchWitnessEngine(
+                spec.definition,
+                spec.program,
+                exact_backend=backend,
+                **engine_options,
+            )
+            reports[backend] = engine.run(columns)
+        self._compare(reports["eft"], reports["decimal"], n_rows)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_sharded_eft_equals_decimal(self, workers):
+        from repro.semantics.shard import run_witness_sharded
+
+        spec = random_program(7, n_helpers=1, allow_div=True)
+        columns = random_batch_inputs(spec, 13, 8)
+        for name in columns:
+            columns[name] = columns[name].copy()
+            columns[name][3] = float("inf")
+        reports = {}
+        for backend in ("eft", "decimal"):
+            reports[backend] = run_witness_sharded(
+                spec.definition,
+                columns,
+                program=spec.program,
+                workers=workers,
+                exact_backend=backend,
+            )
+        self._compare(reports["eft"], reports["decimal"], 8)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        spec = random_definition(2)
+        monkeypatch.setenv("REPRO_EXACT_BACKEND", "decimal")
+        assert BatchWitnessEngine(spec.definition).exact_backend == "decimal"
+        monkeypatch.setenv("REPRO_EXACT_BACKEND", "eft")
+        assert BatchWitnessEngine(spec.definition).exact_backend == "eft"
+        # An explicit argument beats the environment.
+        monkeypatch.setenv("REPRO_EXACT_BACKEND", "decimal")
+        engine = BatchWitnessEngine(spec.definition, exact_backend="eft")
+        assert engine.exact_backend == "eft"
+        monkeypatch.setenv("REPRO_EXACT_BACKEND", "bogus")
+        with pytest.raises(ValueError, match="exact_backend"):
+            BatchWitnessEngine(spec.definition)
+
+
 class TestServedParity:
     """The served engine against the one-shot CLI, byte for byte.
 
