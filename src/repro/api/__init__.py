@@ -59,7 +59,7 @@ from .result import (
     sweep_report_payload,
 )
 from .session import Session, parse_roundoff
-from .builtin import SWEEP_PRECISIONS, ScalarLensEngine
+from .builtin import SWEEP_PRECISIONS, RemoteEngine, ScalarLensEngine
 
 __all__ = [
     "BASE_SCHEMA_VERSION",
@@ -69,6 +69,7 @@ __all__ = [
     "AuditResult",
     "Engine",
     "EngineCaps",
+    "RemoteEngine",
     "ScalarLensEngine",
     "Session",
     "UnknownEngineError",

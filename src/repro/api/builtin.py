@@ -39,7 +39,7 @@ from .result import (
     sweep_report_payload,
 )
 
-__all__ = ["SWEEP_PRECISIONS", "ScalarLensEngine"]
+__all__ = ["SWEEP_PRECISIONS", "RemoteEngine", "ScalarLensEngine"]
 
 
 class ScalarLensEngine:
@@ -494,3 +494,148 @@ class SweepEngine:
         return AuditResult(
             PrecisionSweepReport(reports, tightest), payload, all_sound, True
         )
+
+
+# --------------------------------------------------------------------------
+# The remote engine (fleet dispatch over `repro serve` nodes)
+# --------------------------------------------------------------------------
+
+
+@register_engine(
+    "remote",
+    batched=True,
+    remote=True,
+    description="fleet dispatch: consistent-hash fan-out over serve nodes",
+)
+class RemoteEngine:
+    """Fleet dispatch behind the uniform engine protocol.
+
+    Instead of executing locally, ``audit`` ships the program (via the
+    round-tripping pretty-printer) and inputs to a pool of
+    ``repro serve`` nodes through a
+    :class:`~repro.service.fleet.FleetDispatcher`: consistent-hash
+    routing on the alpha-invariant program fingerprint, row-splitting
+    of large batches, health-aware retry/ejection.  The merged payload
+    is byte-identical to the single-node (and one-shot CLI) audit of
+    the same request with the *inner* engine — ``batch`` by default,
+    ``sharded`` to also fan out across processes per node; the
+    ``engine`` field of the payload names the inner engine, preserving
+    the byte-parity contract.
+
+    The node pool is engine-instance state (an :class:`AuditRequest`
+    carries audit semantics, not transport): wire it with
+    ``configure(nodes=...)``, the CLI's ``--nodes``, or ``$REPRO_NODES``.
+    An unconfigured remote audit raises ``ValueError`` — the CLI renders
+    it as an ``error:`` line and the server as HTTP 422.  Sub-requests
+    always name a non-remote inner engine, so a front-door server whose
+    environment sets ``$REPRO_NODES`` cannot recurse.
+    """
+
+    name: str
+
+    def __init__(self) -> None:
+        self._nodes: Optional[Any] = None
+        self._inner_engine: str = "batch"
+        self._options: Dict[str, Any] = {}
+        self._dispatcher: Optional[Any] = None
+        self._dispatcher_source: Optional[Any] = None
+
+    def configure(
+        self,
+        nodes: Optional[Any] = None,
+        *,
+        inner_engine: Optional[str] = None,
+        reset: bool = False,
+        **options: Any,
+    ) -> "RemoteEngine":
+        """Set the node pool, inner engine, and dispatcher options.
+
+        ``options`` pass through to
+        :class:`~repro.service.fleet.FleetDispatcher` (``timeout``,
+        ``retries``, ``eject_after``, ...).  ``reset=True`` drops all
+        prior configuration first (tests).  Returns ``self``.
+        """
+        if reset:
+            self._nodes = None
+            self._inner_engine = "batch"
+            self._options = {}
+        if nodes is not None:
+            self._nodes = nodes
+        if inner_engine is not None:
+            self._inner_engine = inner_engine
+        self._options.update(options)
+        self._dispatcher = None
+        self._dispatcher_source = None
+        return self
+
+    @property
+    def dispatcher(self) -> Any:
+        """The live dispatcher (resolving the node pool on first use)."""
+        return self._resolve_dispatcher()
+
+    def _resolve_dispatcher(self) -> Any:
+        import os
+
+        from ..service.fleet import FleetDispatcher
+
+        source = (
+            self._nodes
+            if self._nodes is not None
+            else os.environ.get("REPRO_NODES")
+        )
+        if not source:
+            raise ValueError(
+                "engine 'remote' needs a node pool: pass --nodes "
+                "host:port,host:port, call "
+                "get_engine('remote').configure(nodes=...), or set "
+                "$REPRO_NODES"
+            )
+        if self._dispatcher is None or self._dispatcher_source != source:
+            self._dispatcher = FleetDispatcher(source, **self._options)
+            self._dispatcher_source = source
+        return self._dispatcher
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..core import pretty_program
+        from ..service.fingerprint import (
+            UnfingerprintableError,
+            fingerprint_program,
+        )
+        from ..service.fleet import RemoteFleetReport
+
+        dispatcher = self._resolve_dispatcher()
+        spec: Dict[str, Any] = {
+            "source": pretty_program(request.program),
+            "name": request.definition.name,
+            "inputs": _wire_inputs(request.inputs),
+            "engine": self._inner_engine,
+            "precision_bits": request.precision_bits,
+            "u": request.u,
+        }
+        if self._inner_engine == "sharded":
+            spec["workers"] = request.workers
+        if request.exact_backend is not None:
+            spec["exact_backend"] = request.exact_backend
+        try:
+            fingerprint: Optional[str] = fingerprint_program(
+                request.program, kind="fleet-route"
+            )
+        except UnfingerprintableError:
+            fingerprint = None  # route by source text instead
+        body = dispatcher.audit_spec(spec, fingerprint=fingerprint)
+        parsed = AuditResult.from_json(body)
+        report = RemoteFleetReport(parsed.payload, dispatcher.describe_nodes())
+        return AuditResult(report, parsed.payload, parsed.sound, parsed.batch)
+
+
+def _wire_inputs(inputs: Mapping[str, Any]) -> Dict[str, Any]:
+    """JSON-serializable inputs (NumPy arrays/scalars go via tolist/item)."""
+    wire: Dict[str, Any] = {}
+    for name, value in inputs.items():
+        if hasattr(value, "tolist"):
+            wire[name] = value.tolist()
+        elif hasattr(value, "item") and not isinstance(value, (int, float)):
+            wire[name] = value.item()
+        else:
+            wire[name] = value
+    return wire

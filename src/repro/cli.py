@@ -199,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
             "$REPRO_CACHE_DIR, else no persistence)"
         ),
     )
+    witness.add_argument(
+        "--nodes",
+        default=os.environ.get("REPRO_NODES") or None,
+        help=(
+            "with --engine remote: comma-separated host:port pool of "
+            "`repro serve` nodes to dispatch the audit to "
+            "(default: $REPRO_NODES)"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -253,6 +262,16 @@ def build_parser() -> argparse.ArgumentParser:
             "this (default: max(cpu count, 8))"
         ),
     )
+    serve.add_argument(
+        "--max-prepared",
+        type=int,
+        default=None,
+        help=(
+            "prepared programs kept in memory before FIFO eviction "
+            "(default: 128; fleet benchmarks shrink it to model "
+            "per-node cache capacity)"
+        ),
+    )
 
     client = sub.add_parser(
         "client",
@@ -301,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "--timeout", type=float, default=300.0, help="request timeout (s)"
+    )
+    client.add_argument(
+        "--nodes",
+        default=os.environ.get("REPRO_NODES") or None,
+        help=(
+            "with --engine remote: comma-separated host:port pool of "
+            "`repro serve` nodes; the audit is fleet-dispatched from "
+            "this client instead of sent to --host/--port "
+            "(default: $REPRO_NODES)"
+        ),
     )
 
     bench = sub.add_parser(
@@ -424,6 +453,27 @@ def _engine_name(batch: bool, workers: int, scalar_engine: str) -> str:
     return scalar_engine
 
 
+def _configure_remote(
+    nodes: Optional[str], workers: int, timeout: Optional[float] = None
+) -> None:
+    """Wire the remote engine's fleet for this invocation.
+
+    The node pool is engine-instance state (an audit request carries
+    semantics, not transport); ``--workers > 1`` selects the sharded
+    inner engine so each node also fans rows across processes.  With
+    ``nodes`` None the engine falls back to ``$REPRO_NODES`` and raises
+    the usual ``error:`` line when that is unset too.
+    """
+    from .api import get_engine
+
+    options = {} if timeout is None else {"timeout": timeout}
+    get_engine("remote").configure(
+        nodes=nodes,
+        inner_engine="sharded" if workers > 1 else "batch",
+        **options,
+    )
+
+
 def _cmd_witness(args: argparse.Namespace) -> int:
     from .api import Session
 
@@ -438,6 +488,9 @@ def _cmd_witness(args: argparse.Namespace) -> int:
     # Flags and input data are user-supplied: render bad-option/shape/
     # JSON/missing-parameter problems as CLI errors, not tracebacks.
     try:
+        engine = _engine_name(args.batch, args.workers, args.engine)
+        if engine == "remote":
+            _configure_remote(args.nodes, args.workers)
         session = Session(
             precision_bits=args.precision_bits,
             u=args.u,
@@ -449,7 +502,7 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             program,
             args.name,
             inputs=inputs,
-            engine=_engine_name(args.batch, args.workers, args.engine),
+            engine=engine,
             exact_backend=args.exact_backend,
         )
     except (ValueError, KeyError) as exc:
@@ -491,6 +544,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             heavy_threads=args.heavy_threads,
             default_workers=args.workers,
             max_request_workers=args.max_request_workers,
+            max_prepared=args.max_prepared,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -517,9 +571,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_client_remote(args: argparse.Namespace) -> int:
+    """``client --engine remote``: fleet-dispatch from this process.
+
+    The response printed is byte-identical to the single-node body (and
+    to ``witness --json`` with the inner engine), including after node
+    deaths mid-run — that is the dispatcher's merge contract.
+    """
+    from .api import Session
+
+    with open(args.file, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    if args.name and args.name not in program:
+        print(
+            f"error: no definition named {args.name!r} in {args.file}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        inputs = json.loads(args.inputs)
+    except json.JSONDecodeError as exc:
+        print(f"error: --inputs is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        _configure_remote(args.nodes, args.workers, timeout=args.timeout)
+        session = Session(
+            precision_bits=args.precision_bits,
+            u=args.u,
+            workers=args.workers,
+        )
+        result = session.audit(
+            program,
+            args.name,
+            inputs=inputs,
+            engine="remote",
+            exact_backend=args.exact_backend,
+        )
+    except (ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    sys.stdout.write(result.to_json() + "\n")
+    return 0 if result.sound else 2
+
+
 def _cmd_client(args: argparse.Namespace) -> int:
     from .service.client import ClientError, audit
 
+    if _engine_name(args.batch, args.workers, args.engine) == "remote":
+        return _cmd_client_remote(args)
     with open(args.file, encoding="utf-8") as handle:
         source = handle.read()
     try:

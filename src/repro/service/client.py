@@ -5,23 +5,102 @@ reason to be).  One request per connection, mirroring the server's
 ``Connection: close`` discipline.  The high-level helpers return the
 response body *exactly* as received, because the body of a successful
 audit is the same byte string ``repro witness --json`` prints — callers
-(the CLI, the differential harness, the soak driver) compare it
-verbatim.
+(the CLI, the differential harness, the soak driver, the fleet
+dispatcher) compare it verbatim.
+
+Failure taxonomy
+----------------
+
+The fleet dispatcher (:mod:`repro.service.fleet`) retries and ejects
+nodes based on *which way* a request failed, so the client distinguishes
+three subclasses of :class:`ClientError`:
+
+* :class:`ClientConnectionError` — the connection could not be
+  established, or died mid-exchange (refused, reset, broken pipe after
+  a partial ``send``).  The node itself is suspect: retry elsewhere,
+  eject on repetition.
+* :class:`ClientTruncationError` — the node answered, but the body is
+  provably incomplete (shorter than ``Content-Length``, or a 2xx with
+  no ``Content-Length`` at all — our server always sends one, so its
+  absence means the connection dropped mid-body and EOF is
+  indistinguishable from completion).  The response is garbage but the
+  node may be fine: retry the same node.
+* :class:`ClientDeadlineError` — the **wall-clock** deadline fired.
+  ``timeout`` bounds the whole exchange, not each socket operation: a
+  server dripping one byte per ``timeout - ε`` seconds cannot keep the
+  client alive indefinitely, because the per-operation socket timeout
+  shrinks to the time remaining before every ``send``/``recv``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["ClientError", "audit", "healthz", "request"]
+__all__ = [
+    "ClientConnectionError",
+    "ClientDeadlineError",
+    "ClientError",
+    "ClientTruncationError",
+    "audit",
+    "healthz",
+    "request",
+    "stats",
+]
 
 _MAX_RESPONSE_BYTES = 1024 * 1024 * 1024
+_RECV_CHUNK = 65536
 
 
 class ClientError(Exception):
     """Connection-level or protocol-level failure talking to the server."""
+
+
+class ClientConnectionError(ClientError):
+    """Could not reach the server, or the connection died mid-exchange.
+
+    The node is suspect (dead process, partitioned host): the fleet
+    dispatcher counts these toward permanent ejection.
+    """
+
+
+class ClientTruncationError(ClientError):
+    """The response body is provably incomplete.
+
+    Either shorter than its ``Content-Length``, or a 2xx response with
+    no ``Content-Length`` header — which our server never emits, so the
+    body may have been cut anywhere.  Retryable against the same node.
+    """
+
+
+class ClientDeadlineError(ClientError):
+    """The wall-clock deadline for the whole exchange fired."""
+
+
+class _Deadline:
+    """Wall-clock budget shared by every socket operation of one request."""
+
+    __slots__ = ("timeout", "_expires", "_host", "_port")
+
+    def __init__(self, timeout: float, host: str, port: int) -> None:
+        self.timeout = timeout
+        self._expires = time.monotonic() + timeout
+        self._host = host
+        self._port = port
+
+    def remaining(self, op: str) -> float:
+        left = self._expires - time.monotonic()
+        if left <= 0:
+            raise self.expired(op)
+        return left
+
+    def expired(self, op: str) -> ClientDeadlineError:
+        return ClientDeadlineError(
+            f"deadline of {self.timeout:g}s exceeded while {op} "
+            f"({self._host}:{self._port})"
+        )
 
 
 def request(
@@ -33,7 +112,14 @@ def request(
     *,
     timeout: float = 300.0,
 ) -> Tuple[int, bytes]:
-    """One HTTP exchange; returns ``(status, response_body)``."""
+    """One HTTP exchange; returns ``(status, response_body)``.
+
+    ``timeout`` is a **wall-clock deadline** for the whole exchange
+    (connect + send + receive), not a per-socket-operation timeout:
+    before every operation the socket timeout shrinks to the time left,
+    so slow-dripping peers hit :class:`ClientDeadlineError` at
+    ``timeout`` seconds regardless of how often single bytes arrive.
+    """
     payload = body or b""
     head = (
         f"{method} {path} HTTP/1.1\r\n"
@@ -43,25 +129,77 @@ def request(
         "Connection: close\r\n"
         "\r\n"
     )
+    deadline = _Deadline(timeout, host, port)
     try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.sendall(head.encode("latin-1") + payload)
-            chunks = []
-            total = 0
-            while True:
-                chunk = sock.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-                total += len(chunk)
-                if total > _MAX_RESPONSE_BYTES:
-                    raise ClientError("response too large")
+        sock = socket.create_connection(
+            (host, port), timeout=deadline.remaining("connecting")
+        )
+    except (TimeoutError, socket.timeout) as exc:
+        raise deadline.expired("connecting") from exc
     except OSError as exc:
-        raise ClientError(f"cannot reach {host}:{port}: {exc}") from exc
-    raw = b"".join(chunks)
+        raise ClientConnectionError(f"cannot reach {host}:{port}: {exc}") from exc
+    with sock:
+        _send_all(sock, head.encode("latin-1") + payload, deadline)
+        raw = _recv_all(sock, deadline)
+    return _parse_response(raw)
+
+
+def _send_all(sock: socket.socket, data: bytes, deadline: _Deadline) -> None:
+    """``sendall`` under the wall-clock deadline, with failure taxonomy.
+
+    A ``BrokenPipeError``/``ConnectionResetError`` after a *partial*
+    send (server killed mid-request) must surface as the retryable
+    :class:`ClientConnectionError`, never as a generic ``OSError``
+    message — the dispatcher's eject-vs-retry decision depends on it.
+    """
+    view = memoryview(data)
+    while view:
+        sock.settimeout(deadline.remaining("sending the request"))
+        try:
+            sent = sock.send(view)
+        except (TimeoutError, socket.timeout) as exc:
+            raise deadline.expired("sending the request") from exc
+        except OSError as exc:
+            # Covers BrokenPipeError / ConnectionResetError and any
+            # other transport-level death mid-send.
+            raise ClientConnectionError(
+                f"connection died mid-request after "
+                f"{len(data) - len(view)} of {len(data)} bytes: {exc}"
+            ) from exc
+        view = view[sent:]
+
+
+def _recv_all(sock: socket.socket, deadline: _Deadline) -> bytes:
+    chunks = []
+    total = 0
+    while True:
+        sock.settimeout(deadline.remaining("reading the response"))
+        try:
+            chunk = sock.recv(_RECV_CHUNK)
+        except (TimeoutError, socket.timeout) as exc:
+            raise deadline.expired("reading the response") from exc
+        except OSError as exc:
+            raise ClientConnectionError(
+                f"connection died mid-response: {exc}"
+            ) from exc
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+        total += len(chunk)
+        if total > _MAX_RESPONSE_BYTES:
+            raise ClientError("response too large")
+
+
+def _parse_response(raw: bytes) -> Tuple[int, bytes]:
     head_blob, sep, rest = raw.partition(b"\r\n\r\n")
     if not sep:
-        raise ClientError("malformed response: no header terminator")
+        # The connection closed before the headers completed: the node
+        # answered something, but not a whole response — retryable like
+        # any other truncation.
+        raise ClientTruncationError(
+            "truncated response: connection closed before the header "
+            "terminator"
+        )
     head_lines = head_blob.decode("latin-1").split("\r\n")
     status_parts = head_lines[0].split(" ", 2)
     if len(status_parts) < 2 or not status_parts[1].isdigit():
@@ -75,11 +213,22 @@ def request(
                 length = int(value.strip())
             except ValueError:
                 raise ClientError(f"bad Content-Length: {value!r}")
-    if length is not None and len(rest) < length:
-        raise ClientError(
+    if length is None:
+        if 200 <= status < 300:
+            # Our server always sends Content-Length; its absence on a
+            # success means the header block (and so possibly the body)
+            # was cut — EOF cannot certify completeness, so reading to
+            # EOF and accepting the bytes would silently truncate.
+            raise ClientTruncationError(
+                "2xx response without Content-Length: cannot distinguish "
+                "a complete body from a dropped connection"
+            )
+        return status, rest
+    if len(rest) < length:
+        raise ClientTruncationError(
             f"truncated response body: got {len(rest)} of {length} bytes"
         )
-    return status, rest if length is None else rest[:length]
+    return status, rest[:length]
 
 
 def audit(
@@ -99,10 +248,21 @@ def audit(
 
 def healthz(host: str, port: int, *, timeout: float = 30.0) -> Dict[str, Any]:
     """GET /healthz, parsed."""
-    status, raw = request(host, port, "GET", "/healthz", timeout=timeout)
+    return _get_json(host, port, "/healthz", "health check", timeout)
+
+
+def stats(host: str, port: int, *, timeout: float = 30.0) -> Dict[str, Any]:
+    """GET /stats, parsed (queue depths, cache and audit counters)."""
+    return _get_json(host, port, "/stats", "stats probe", timeout)
+
+
+def _get_json(
+    host: str, port: int, path: str, what: str, timeout: float
+) -> Dict[str, Any]:
+    status, raw = request(host, port, "GET", path, timeout=timeout)
     if status != 200:
-        raise ClientError(f"health check failed with HTTP {status}")
+        raise ClientError(f"{what} failed with HTTP {status}")
     result = json.loads(raw.decode("utf-8"))
     if not isinstance(result, dict):
-        raise ClientError("health check returned a non-object")
+        raise ClientError(f"{what} returned a non-object")
     return result

@@ -85,12 +85,18 @@ class AuditServer:
         heavy_threads: Optional[int] = None,
         default_workers: int = 2,
         max_request_workers: Optional[int] = None,
+        max_prepared: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.cache_dir = cache_dir
         self.max_cache_bytes = max_cache_bytes
         self.default_workers = default_workers
+        if max_prepared is None:
+            max_prepared = MAX_PREPARED_PROGRAMS
+        if max_prepared < 1:
+            raise ValueError("max_prepared must be a positive integer")
+        self.max_prepared = max_prepared
         # A client chooses its shard width, but not without bound: each
         # spawned worker is a fresh interpreter + NumPy import, so an
         # unbounded 'workers' field would let one request exhaust the
@@ -355,7 +361,7 @@ class AuditServer:
         loop = asyncio.get_running_loop()
         task = loop.create_task(self._prepare_uncoalesced(source, key))
         self._prep_tasks[key] = task
-        if len(self._prep_tasks) > MAX_PREPARED_PROGRAMS:
+        if len(self._prep_tasks) > self.max_prepared:
             self._evict_prepared()
         try:
             return await task
@@ -380,7 +386,7 @@ class AuditServer:
         In-flight preparations are never dropped; the on-disk artifact
         cache keeps eviction cheap (re-entry costs one re-parse).
         """
-        excess = len(self._prep_tasks) - MAX_PREPARED_PROGRAMS
+        excess = len(self._prep_tasks) - self.max_prepared
         if excess <= 0:
             return
         for key in list(self._prep_tasks):

@@ -82,8 +82,12 @@ class TestRegistry:
         assert not engines["interval"].caps.batched
         assert engines["sweep"].caps.batched
         assert not engines["sweep"].caps.static
+        assert engines["remote"].caps.remote
+        assert engines["remote"].caps.batched
+        assert not engines["remote"].caps.needs_numpy
         for name in ("ir", "recursive", "batch", "sharded"):
             assert not engines[name].caps.static
+            assert not engines[name].caps.remote
 
     def test_engines_returns_snapshot(self):
         snapshot = api.engines()
@@ -176,10 +180,19 @@ class TestSession:
         result = Session().audit(SOURCE, inputs=SCALAR_INPUTS)
         assert result.sound
 
-    def test_every_registered_engine_audits(self):
+    def test_every_registered_engine_audits(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NODES", raising=False)
         session = Session(workers=2)
         program = session.parse(SOURCE)
         for name, engine in session.engines().items():
+            if engine.caps.remote:
+                # Remote engines dispatch to external serve nodes; with
+                # no pool configured the audit must fail loudly (the
+                # CLI/server render ValueError as error:/422).
+                api.get_engine(name).configure(reset=True)
+                with pytest.raises(ValueError, match="node pool"):
+                    session.audit(program, inputs=BATCH_INPUTS, engine=name)
+                continue
             if engine.caps.static:
                 # Static analyzers take hypotheses, and only positive
                 # ones admit a finite bound (mixed signs may cancel).
@@ -591,7 +604,11 @@ class TestLegacyShims:
                 [
                     name
                     for name, eng in api.engines().items()
-                    if not (eng.caps.multiprocess or eng.caps.reference)
+                    if not (
+                        eng.caps.multiprocess
+                        or eng.caps.reference
+                        or eng.caps.remote
+                    )
                 ]
             ),
             label="engine",

@@ -46,16 +46,23 @@ from repro.semantics.witness import run_witness
 #: Engine sets derived from the registry's capability flags — never a
 #: hand-maintained name list.  "Fast" engines go into hypothesis inner
 #: loops; reference interpreters and process pools are too slow for
-#: that and get fixed-seed coverage instead.
+#: that and get fixed-seed coverage instead.  Remote engines dispatch
+#: to external serve nodes and are exercised by tests/test_fleet.py,
+#: not the in-process parity loops.
 FAST_ENGINES = [
     name
     for name, engine in registered_engines().items()
-    if not (engine.caps.multiprocess or engine.caps.reference)
+    if not (
+        engine.caps.multiprocess
+        or engine.caps.reference
+        or engine.caps.remote
+    )
 ]
 SLOW_ENGINES = [
     name
     for name, engine in registered_engines().items()
-    if engine.caps.multiprocess or engine.caps.reference
+    if (engine.caps.multiprocess or engine.caps.reference)
+    and not engine.caps.remote
 ]
 
 #: Examples budgets scale with the loaded hypothesis profile (40 for

@@ -40,11 +40,14 @@ from repro.semantics.witness import env_from_pythons
 _BUDGET = settings().max_examples
 _SMALL_BUDGET = max(_BUDGET // 4, 10)
 
-#: The executed (non-static, non-sweep) engines, from the registry.
+#: The executed (non-static, non-sweep, non-remote) engines, from the
+#: registry.
 EXECUTED_ENGINES = [
     name
     for name, engine in engines().items()
-    if not engine.caps.static and name != "sweep"
+    if not engine.caps.static
+    and not engine.caps.remote
+    and name != "sweep"
 ]
 
 
