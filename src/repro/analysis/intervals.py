@@ -29,7 +29,7 @@ slow reference (``method="recursive"``), mirroring the witness side's
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core import ast_nodes as A
 from ..core.errors import BeanTypeError
@@ -41,6 +41,7 @@ from .transfer import (
     AUnit,
     AbstractValue,
     TransferInterpreter,
+    abstract_of_leaves,
     abstract_of_type,
     join_values,
     worst_measure,
@@ -51,10 +52,65 @@ __all__ = [
     "Interval",
     "IntervalDomain",
     "interval_forward_bound",
+    "parse_interval",
+    "render_interval",
 ]
 
 #: The input range the paper uses for Gappa.
 DEFAULT_RANGE = (0.1, 1000.0)
+
+
+def parse_interval(text: str) -> Tuple[float, float, bool, bool]:
+    """Parse an interval hypothesis string: ``(lo, hi)`` brackets each
+    independently open (``(``/``)``) or closed (``[``/``]``).
+
+    Returns ``(lo, hi, lo_open, hi_open)``.  Endpoints must be finite
+    numbers; an interval with an open end needs ``lo < hi`` (it would
+    otherwise be empty), a fully closed one allows the point interval
+    ``lo == hi``.  Raises ``ValueError`` on anything else — every
+    surface already renders that as a CLI ``error:`` line / HTTP 422.
+    """
+    s = text.strip()
+    if len(s) < 2 or s[0] not in "([" or s[-1] not in ")]":
+        raise ValueError(
+            f"bad interval {text!r}: expected brackets like "
+            "\"[lo, hi]\" / \"(lo, hi]\""
+        )
+    lo_open = s[0] == "("
+    hi_open = s[-1] == ")"
+    parts = s[1:-1].split(",")
+    if len(parts) != 2:
+        raise ValueError(
+            f"bad interval {text!r}: expected two comma-separated endpoints"
+        )
+    try:
+        lo = float(parts[0])
+        hi = float(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"bad interval {text!r}: endpoints must be numbers"
+        ) from None
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ValueError(
+            f"bad interval {text!r}: endpoints must be finite"
+        )
+    if lo_open or hi_open:
+        if not lo < hi:
+            raise ValueError(
+                f"bad interval {text!r}: an open end needs lo < hi"
+            )
+    elif lo > hi:
+        raise ValueError(f"bad interval {text!r}: lo > hi")
+    return lo, hi, lo_open, hi_open
+
+
+def render_interval(
+    lo: float, hi: float, lo_open: bool, hi_open: bool
+) -> str:
+    """The canonical rendering of a parsed interval hypothesis."""
+    left = "(" if lo_open else "["
+    right = ")" if hi_open else "]"
+    return f"{left}{lo!r}, {hi!r}{right}"
 
 
 class Interval:
@@ -327,17 +383,24 @@ def interval_forward_bound(
     *,
     input_range: Tuple[float, float] = DEFAULT_RANGE,
     ranges: Optional[Mapping[str, Tuple[float, float]]] = None,
+    leaf_ranges: Optional[
+        Mapping[str, Sequence[Tuple[float, float]]]
+    ] = None,
     u: float = 2.0**-53,
     method: str = "ir",
 ) -> float:
     """A relative forward error bound from interval hypotheses.
 
     ``input_range`` applies to every numeric input leaf (the paper's
-    "all variables in [0.1, 1000]"); ``ranges`` overrides per parameter.
-    Returns the bound on ``RP(f̃(x), f(x))`` (``math.inf`` if the
-    intervals cannot exclude cancellation through zero).  ``method``
-    selects the iterative flat-IR sweep (``"ir"``, the default) or the
-    recursive reference walker (``"recursive"``).
+    "all variables in [0.1, 1000]"); ``ranges`` overrides per parameter;
+    ``leaf_ranges`` overrides *per numeric leaf* of a parameter (one
+    ``(lo, hi)`` per leaf in the type's left-to-right order — a
+    length mismatch raises ``ValueError``), taking precedence over
+    ``ranges`` for the parameters it names.  Returns the bound on
+    ``RP(f̃(x), f(x))`` (``math.inf`` if the intervals cannot exclude
+    cancellation through zero).  ``method`` selects the iterative
+    flat-IR sweep (``"ir"``, the default) or the recursive reference
+    walker (``"recursive"``).
     """
     if method not in ("ir", "recursive"):
         raise ValueError(f"unknown interval analysis method {method!r}")
@@ -345,6 +408,16 @@ def interval_forward_bound(
     domain = IntervalDomain(eps)
     env: Dict[str, AbstractValue] = {}
     for p in definition.params:
+        per_leaf = leaf_ranges.get(p.name) if leaf_ranges else None
+        if per_leaf is not None:
+            leaves = [_ILeaf(Interval(lo, hi), 0.0) for lo, hi in per_leaf]
+            try:
+                env[p.name] = abstract_of_leaves(p.ty, leaves)
+            except ValueError as exc:
+                raise ValueError(
+                    f"per-leaf interval hypotheses for {p.name!r}: {exc}"
+                ) from None
+            continue
         rng = ranges.get(p.name, input_range) if ranges else input_range
         env[p.name] = abstract_of_type(p.ty, _ILeaf(Interval(*rng), 0.0))
     if method == "recursive":

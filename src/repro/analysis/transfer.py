@@ -41,8 +41,10 @@ __all__ = [
     "AbstractValue",
     "TransferDomain",
     "TransferInterpreter",
+    "abstract_of_leaves",
     "abstract_of_type",
     "join_values",
+    "num_leaf_count",
     "worst_measure",
 ]
 
@@ -153,6 +155,77 @@ def abstract_of_type(ty: Any, leaf: Leaf) -> AbstractValue:
             out.append(ASum(left, right))
         elif isinstance(t, Num):
             out.append(ANum(leaf))
+        elif isinstance(t, Unit):
+            out.append(AUnit())
+        elif isinstance(t, Discrete):
+            work.append(("build", t.inner))
+        elif isinstance(t, Tensor):
+            work.append(("pair", None))
+            work.append(("build", t.right))
+            work.append(("build", t.left))
+        elif isinstance(t, Sum):
+            work.append(("sum", None))
+            work.append(("build", t.right))
+            work.append(("build", t.left))
+        else:
+            raise BeanTypeError(f"no abstraction for type {t}")
+    assert len(out) == 1
+    return out[0]
+
+
+def num_leaf_count(ty: Any) -> int:
+    """How many numeric leaves one type's abstraction carries."""
+    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+
+    count = 0
+    work: List[Any] = [ty]
+    while work:
+        t = work.pop()
+        if isinstance(t, Num):
+            count += 1
+        elif isinstance(t, (Unit,)):
+            pass
+        elif isinstance(t, Discrete):
+            work.append(t.inner)
+        elif isinstance(t, (Tensor, Sum)):
+            work.append(t.right)
+            work.append(t.left)
+        else:
+            raise BeanTypeError(f"no abstraction for type {t}")
+    return count
+
+
+def abstract_of_leaves(ty: Any, leaves: List[Leaf]) -> AbstractValue:
+    """The abstraction of one type with an explicit payload per leaf.
+
+    ``leaves`` are consumed in the type's left-to-right numeric-leaf
+    order (the order :func:`num_leaf_count` counts).  A length mismatch
+    raises ``ValueError`` naming both counts — callers turn that into
+    their hypothesis-validation error.
+    """
+    from ..core.types import Discrete, Num, Sum, Tensor, Unit
+
+    expected = num_leaf_count(ty)
+    if len(leaves) != expected:
+        raise ValueError(
+            f"type has {expected} numeric leaf(s), got {len(leaves)}"
+        )
+    used = 0
+    work: List[Tuple[str, Any]] = [("build", ty)]
+    out: List[AbstractValue] = []
+    while work:
+        tag, t = work.pop()
+        if tag == "pair":
+            right = out.pop()
+            left = out.pop()
+            out.append(APair(left, right))
+        elif tag == "sum":
+            right = out.pop()
+            left = out.pop()
+            out.append(ASum(left, right))
+        elif isinstance(t, Num):
+            out.append(ANum(leaves[used]))
+            used += 1
         elif isinstance(t, Unit):
             out.append(AUnit())
         elif isinstance(t, Discrete):

@@ -51,28 +51,38 @@ from .registry import (
 from .result import (
     BASE_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    STATIC_SCHEMA_VERSION,
     AuditResult,
+    assemble_stream_payload,
     batch_report_payload,
     render_payload,
+    render_stream_line,
     scalar_report_payload,
     static_report_payload,
+    stream_header_of_payload,
+    stream_trailer_of_payload,
     sweep_report_payload,
+    witness_row,
 )
 from .session import Session, parse_roundoff
+from .stream import RowStream
 from .builtin import SWEEP_PRECISIONS, RemoteEngine, ScalarLensEngine
 
 __all__ = [
     "BASE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "STATIC_SCHEMA_VERSION",
     "SWEEP_PRECISIONS",
     "AuditRequest",
     "AuditResult",
     "Engine",
     "EngineCaps",
     "RemoteEngine",
+    "RowStream",
     "ScalarLensEngine",
     "Session",
     "UnknownEngineError",
+    "assemble_stream_payload",
     "batch_report_payload",
     "engine_names",
     "engines",
@@ -81,8 +91,12 @@ __all__ = [
     "parse_roundoff",
     "register_engine",
     "render_payload",
+    "render_stream_line",
     "scalar_report_payload",
     "static_report_payload",
+    "stream_header_of_payload",
+    "stream_trailer_of_payload",
     "sweep_report_payload",
     "unregister_engine",
+    "witness_row",
 ]

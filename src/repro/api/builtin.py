@@ -21,8 +21,12 @@ per-row witness, and their ``inputs`` are hypotheses — for ``interval``
 each input contributes the hull of its numeric leaves as that
 parameter's interval (a scalar is a point interval, a vector its
 min/max hull, a two-element ``[lo, hi]`` exactly that range), with the
-paper's ``[0.1, 1000]`` for parameters not mentioned; ``forward``
-ignores inputs entirely (its only hypothesis is positivity).
+paper's ``[0.1, 1000]`` for parameters not mentioned; an interval
+*string* like ``"(0, 1000]"`` states an open/half-open hypothesis
+(analyzed on its closed hull, which is sound), and a list of interval
+strings gives one interval per numeric leaf of the parameter.
+``forward`` ignores inputs entirely (its only hypothesis is
+positivity).
 """
 
 from __future__ import annotations
@@ -101,6 +105,7 @@ class RecursiveEngine(ScalarLensEngine):
     "batch",
     batched=True,
     needs_numpy=True,
+    rows=True,
     description="vectorized NumPy witness over environment rows",
 )
 class BatchEngine:
@@ -119,6 +124,7 @@ class BatchEngine:
             u=request.u,
             lens=lens,
             exact_backend=request.exact_backend,
+            collect_rows=request.collect_rows,
         )
         payload = batch_report_payload(
             report,
@@ -134,6 +140,7 @@ class BatchEngine:
     batched=True,
     multiprocess=True,
     needs_numpy=True,
+    rows=True,
     description="batch rows fanned out over worker processes",
 )
 class ShardedEngine:
@@ -152,6 +159,7 @@ class ShardedEngine:
             cache_dir=request.cache_dir,
             mp_context=request.mp_context,
             exact_backend=request.exact_backend,
+            collect_rows=request.collect_rows,
         )
         payload = batch_report_payload(
             report,
@@ -168,6 +176,7 @@ class ShardedEngine:
     batched=True,
     needs_numpy=True,
     reference=True,
+    rows=True,
     description="batch rows on the 50-digit Decimal exact arithmetic",
 )
 class DecimalEngine:
@@ -201,6 +210,7 @@ class DecimalEngine:
             u=request.u,
             lens=lens,
             exact_backend="decimal",
+            collect_rows=request.collect_rows,
         )
         payload = batch_report_payload(
             report,
@@ -232,8 +242,15 @@ class StaticAnalysisReport:
         ]
         ranges = bounds.get("input_ranges")
         if ranges is not None:
+            hypotheses = bounds.get("input_hypotheses") or {}
             for name, (lo, hi) in ranges.items():
-                lines.append(f"  {name}: exact value in [{lo}, {hi}]")
+                given = hypotheses.get(name)
+                if isinstance(given, list):
+                    given = ", ".join(given)
+                suffix = f"  (hypothesis {given})" if given else ""
+                lines.append(
+                    f"  {name}: exact value in [{lo}, {hi}]{suffix}"
+                )
         forward = bounds["forward_bound"]
         if forward is None:
             lines.append("forward RP bound     : unbounded")
@@ -308,6 +325,58 @@ def _reject_unknown_params(
         )
 
 
+def _interval_hypothesis(
+    name: str, value: Any
+) -> Tuple[Tuple[float, float], Optional[List[Tuple[float, float]]], Any]:
+    """Resolve one interval hypothesis input.
+
+    Returns ``(hull, per_leaf, rendered)``: the closed hull the payload's
+    ``input_ranges`` reports, the per-leaf range list when the hypothesis
+    was per-leaf (``None`` otherwise), and the canonical rendering for
+    the ``input_hypotheses`` section when the new string syntax was used
+    (``None`` for the numeric forms, whose payload bytes predate it).
+
+    String syntax: one interval string (``"[0.1, 1000]"``,
+    ``"(0, 1000]"`` — open/half-open brackets allowed) applies to every
+    numeric leaf of the parameter; a list of interval strings gives one
+    interval per leaf, in the type's left-to-right leaf order.  Open
+    endpoints are hypotheses on the *exact* value; the analysis runs on
+    the closed hull, which contains every open variant, so the derived
+    bound stays sound.
+    """
+    from ..analysis.intervals import parse_interval, render_interval
+
+    if isinstance(value, str):
+        try:
+            lo, hi, lo_open, hi_open = parse_interval(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"interval hypothesis for {name!r}: {exc}"
+            ) from None
+        return (lo, hi), None, render_interval(lo, hi, lo_open, hi_open)
+    if (
+        isinstance(value, (list, tuple))
+        and value
+        and all(isinstance(v, str) for v in value)
+    ):
+        parsed = []
+        for v in value:
+            try:
+                parsed.append(parse_interval(v))
+            except ValueError as exc:
+                raise ValueError(
+                    f"interval hypothesis for {name!r}: {exc}"
+                ) from None
+        hull = (
+            min(lo for lo, _, _, _ in parsed),
+            max(hi for _, hi, _, _ in parsed),
+        )
+        per_leaf = [(lo, hi) for lo, hi, _, _ in parsed]
+        rendered = [render_interval(*p) for p in parsed]
+        return hull, per_leaf, rendered
+    return _hull_range(name, value), None, None
+
+
 @register_engine(
     "interval",
     static=True,
@@ -320,10 +389,16 @@ class IntervalEngine:
         from ..analysis.intervals import DEFAULT_RANGE, interval_forward_bound
 
         _reject_unknown_params(request.definition, request.inputs)
-        ranges = {
-            name: _hull_range(name, value)
-            for name, value in request.inputs.items()
-        }
+        ranges: Dict[str, Tuple[float, float]] = {}
+        leaf_ranges: Dict[str, List[Tuple[float, float]]] = {}
+        hypotheses: Dict[str, Any] = {}
+        for name, value in request.inputs.items():
+            hull, per_leaf, rendered = _interval_hypothesis(name, value)
+            ranges[name] = hull
+            if per_leaf is not None:
+                leaf_ranges[name] = per_leaf
+            if rendered is not None:
+                hypotheses[name] = rendered
         resolved = {
             p.name: ranges.get(p.name, DEFAULT_RANGE)
             for p in request.definition.params
@@ -332,6 +407,7 @@ class IntervalEngine:
             request.definition,
             request.program,
             ranges=resolved,
+            leaf_ranges=leaf_ranges or None,
             u=request.u,
         )
         finite = bound == bound and bound != float("inf")
@@ -340,11 +416,15 @@ class IntervalEngine:
             "input_ranges": {
                 name: [lo, hi] for name, (lo, hi) in resolved.items()
             },
-            "forward_bound": bound if finite else None,
-            "backward": _backward_section(
-                request.program, request.definition, request.u
-            ),
         }
+        if hypotheses:
+            # Present only when the bracket syntax was used, so every
+            # pre-existing payload keeps its exact bytes.
+            static_bounds["input_hypotheses"] = hypotheses
+        static_bounds["forward_bound"] = bound if finite else None
+        static_bounds["backward"] = _backward_section(
+            request.program, request.definition, request.u
+        )
         payload = static_report_payload(
             definition=request.definition,
             engine=self.name,
@@ -453,9 +533,10 @@ class SweepEngine:
         from ..semantics.batch import run_witness_batch
         from ..semantics.interp import lens_of_program
 
+        sweep_bits = request.sweep_bits or SWEEP_PRECISIONS
         reports: Dict[int, Any] = {}
         per_precision: Dict[str, Dict[str, Any]] = {}
-        for bits in SWEEP_PRECISIONS:
+        for bits in sweep_bits:
             u_bits = 2.0**-bits
             lens = lens_of_program(request.program, request.definition.name)
             lens.precision_bits = bits
@@ -474,11 +555,11 @@ class SweepEngine:
             per_precision[str(bits)] = batch_report_payload(
                 report, engine="batch", u=u_bits, precision_bits=bits
             )
-        n_rows = reports[SWEEP_PRECISIONS[0]].n_rows
+        n_rows = reports[sweep_bits[0]].n_rows
         tightest: List[Optional[int]] = []
         for i in range(n_rows):
             sound_bits = [
-                bits for bits in SWEEP_PRECISIONS if bool(reports[bits].sound[i])
+                bits for bits in sweep_bits if bool(reports[bits].sound[i])
             ]
             tightest.append(min(sound_bits) if sound_bits else None)
         payload = sweep_report_payload(
@@ -505,6 +586,7 @@ class SweepEngine:
     "remote",
     batched=True,
     remote=True,
+    rows=True,
     description="fleet dispatch: consistent-hash fan-out over serve nodes",
 )
 class RemoteEngine:
@@ -595,15 +677,9 @@ class RemoteEngine:
             self._dispatcher_source = source
         return self._dispatcher
 
-    def audit(self, request: AuditRequest) -> AuditResult:
+    def _spec_of_request(self, request: AuditRequest) -> Dict[str, Any]:
         from ..core import pretty_program
-        from ..service.fingerprint import (
-            UnfingerprintableError,
-            fingerprint_program,
-        )
-        from ..service.fleet import RemoteFleetReport
 
-        dispatcher = self._resolve_dispatcher()
         spec: Dict[str, Any] = {
             "source": pretty_program(request.program),
             "name": request.definition.name,
@@ -616,16 +692,45 @@ class RemoteEngine:
             spec["workers"] = request.workers
         if request.exact_backend is not None:
             spec["exact_backend"] = request.exact_backend
+        if request.collect_rows:
+            spec["rows"] = True
+        if request.sweep_bits is not None:
+            spec["sweep_bits"] = list(request.sweep_bits)
+        return spec
+
+    def _route_fingerprint(self, request: AuditRequest) -> Optional[str]:
+        from ..service.fingerprint import (
+            UnfingerprintableError,
+            fingerprint_program,
+        )
+
         try:
-            fingerprint: Optional[str] = fingerprint_program(
-                request.program, kind="fleet-route"
-            )
+            return fingerprint_program(request.program, kind="fleet-route")
         except UnfingerprintableError:
-            fingerprint = None  # route by source text instead
-        body = dispatcher.audit_spec(spec, fingerprint=fingerprint)
+            return None  # route by source text instead
+
+    def audit(self, request: AuditRequest) -> AuditResult:
+        from ..service.fleet import RemoteFleetReport
+
+        dispatcher = self._resolve_dispatcher()
+        body = dispatcher.audit_spec(
+            self._spec_of_request(request),
+            fingerprint=self._route_fingerprint(request),
+        )
         parsed = AuditResult.from_json(body)
         report = RemoteFleetReport(parsed.payload, dispatcher.describe_nodes())
         return AuditResult(report, parsed.payload, parsed.sound, parsed.batch)
+
+    def audit_stream(self, request: AuditRequest) -> Any:
+        """The streaming counterpart of ``audit``: an iterator of
+        header/row/trailer events, rows in strict global row order,
+        merged across split sub-streams by the dispatcher."""
+        dispatcher = self._resolve_dispatcher()
+        spec = self._spec_of_request(request)
+        spec["rows"] = True
+        return dispatcher.audit_stream_spec(
+            spec, fingerprint=self._route_fingerprint(request)
+        )
 
 
 def _wire_inputs(inputs: Mapping[str, Any]) -> Dict[str, Any]:

@@ -21,13 +21,30 @@ Schema history:
   see no change — so the version 3 stamp appears exactly when a
   payload contains something a version-2 reader would misread, and
   old readers reject those loudly via their strict version check.
+* **4** — adds the optional ``rows`` section: per-row witnesses
+  (verdict, per-parameter backward distance, captured error) for the
+  batch engines, materialized on request and streamable as NDJSON by
+  the serving layer.  The same discipline as v2→v3 applies: the
+  version 4 stamp appears exactly when ``rows`` is present, payloads
+  without it keep their v2/v3 bytes, and :meth:`AuditResult.from_json`
+  rejects every mislabel.
+
+The streaming wire format is three kinds of NDJSON line, all built and
+reassembled here so the byte-parity contract has one owner: a *header*
+(the payload fields up to and including ``n_rows``), one compact *row*
+object per line (each carrying its explicit ``row`` index), and a
+*trailer* (the aggregate fields ``all_sound``/``sound_rows``/
+``fallback_rows``/``params``).  :func:`assemble_stream_payload` folds a
+fully drained stream back into the exact buffered v4 payload —
+``sound``, ``exact`` and ``errors`` are derived from the rows — which
+is what makes "streamed then reassembled" byte-identical to buffered.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Union
 
 from ..core import ast_nodes as A
 
@@ -38,23 +55,53 @@ if TYPE_CHECKING:  # heavy (NumPy) imports stay lazy for light CLI paths
 __all__ = [
     "BASE_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "STATIC_SCHEMA_VERSION",
     "AuditResult",
+    "assemble_stream_payload",
     "batch_report_payload",
     "render_payload",
+    "render_stream_line",
     "scalar_report_payload",
     "static_report_payload",
+    "stream_header_of_payload",
+    "stream_trailer_of_payload",
     "sweep_report_payload",
+    "witness_row",
 ]
 
-#: Newest schema version this build reads and writes.
-SCHEMA_VERSION = 3
+#: Newest schema version this build reads and writes (the ``rows``
+#: section of the batch engines).
+SCHEMA_VERSION = 4
 
-#: Version stamped on payloads without any version-3 section (the four
+#: Version stamped on payloads carrying a version-3 section
+#: (``static_bounds`` / ``per_precision``) but no ``rows``.
+STATIC_SCHEMA_VERSION = 3
+
+#: Version stamped on payloads without any versioned section (the four
 #: executed witness engines; preserved so their bytes never changed).
 BASE_SCHEMA_VERSION = 2
 
 #: The sections whose presence requires (and justifies) the v3 stamp.
 _V3_SECTIONS = ("static_bounds", "per_precision")
+
+#: The section whose presence requires (and justifies) the v4 stamp.
+_V4_SECTION = "rows"
+
+#: Header-line fields of the row stream, in canonical payload order
+#: (``workers`` is present only when the payload carries it).
+_STREAM_HEAD_KEYS = (
+    "schema_version",
+    "definition",
+    "engine",
+    "u",
+    "precision_bits",
+    "exact_backend",
+    "workers",
+    "n_rows",
+)
+
+#: Trailer-line fields of the row stream, in canonical payload order.
+_STREAM_TRAILER_KEYS = ("all_sound", "sound_rows", "fallback_rows", "params")
 
 
 @dataclass(frozen=True)
@@ -101,6 +148,27 @@ class AuditResult:
         """The ``per_precision`` section of a v3 sweep payload, if any."""
         return self.payload.get("per_precision")
 
+    @property
+    def rows(self) -> Optional[List[Dict[str, Any]]]:
+        """The ``rows`` section of a v4 payload, if any: one dict per
+        audited environment (``row`` index, ``sound``/``exact`` verdicts,
+        per-parameter ``distances``, and the captured ``error`` when the
+        row raised)."""
+        return self.payload.get(_V4_SECTION)
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate the per-row witnesses of a v4 payload in row order.
+
+        Raises ``ValueError`` when the payload carries no ``rows``
+        section (ask for one with ``rows=True`` / ``stream=True``).
+        """
+        rows = self.rows
+        if rows is None:
+            raise ValueError(
+                "payload carries no rows section; audit with rows=True"
+            )
+        return iter(rows)
+
     def to_json(self) -> str:
         """The canonical rendering (no trailing newline), byte-stable."""
         return render_payload(self.payload)
@@ -112,35 +180,54 @@ class AuditResult:
         Raises ``ValueError`` on non-object JSON, a missing/foreign
         ``schema_version``, or a version/section mismatch — a client
         talking to a newer (or corrupted) server should fail loudly
-        rather than misread fields.  Versions 2 and 3 are both read:
-        a version-2 payload must carry no version-3 section, and a
-        version-3 payload must carry at least one (this build emits
-        section-free payloads as version 2).
+        rather than misread fields.  Versions 2, 3 and 4 are all read:
+        a version-2 payload must carry no versioned section, a
+        version-3 payload must carry a version-3 section and no
+        ``rows``, and a version-4 payload must carry ``rows`` (this
+        build stamps each payload with the lowest version that reads
+        it correctly).
         """
         payload = json.loads(text)
         if not isinstance(payload, dict):
             raise ValueError("audit payload must be a JSON object")
         version = payload.get("schema_version")
         present = [s for s in _V3_SECTIONS if s in payload]
+        has_rows = _V4_SECTION in payload
         if version == BASE_SCHEMA_VERSION:
-            if present:
+            if present or has_rows:
+                sections = present + ([_V4_SECTION] if has_rows else [])
                 raise ValueError(
                     f"schema_version {BASE_SCHEMA_VERSION} payload carries "
-                    f"version-{SCHEMA_VERSION} section(s) {present} "
+                    f"newer-version section(s) {sections} "
                     "(refusing to misread a mislabelled payload)"
                 )
-        elif version == SCHEMA_VERSION:
+        elif version == STATIC_SCHEMA_VERSION:
+            if has_rows:
+                raise ValueError(
+                    f"schema_version {STATIC_SCHEMA_VERSION} payload "
+                    f"carries the version-{SCHEMA_VERSION} section "
+                    f"{_V4_SECTION!r} (refusing to misread a mislabelled "
+                    "payload)"
+                )
             if not present:
                 raise ValueError(
-                    f"schema_version {SCHEMA_VERSION} payload carries none "
-                    f"of {list(_V3_SECTIONS)} (this build emits such "
-                    f"payloads as version {BASE_SCHEMA_VERSION})"
+                    f"schema_version {STATIC_SCHEMA_VERSION} payload "
+                    f"carries none of {list(_V3_SECTIONS)} (this build "
+                    f"emits such payloads as version {BASE_SCHEMA_VERSION})"
+                )
+        elif version == SCHEMA_VERSION:
+            if not has_rows:
+                raise ValueError(
+                    f"schema_version {SCHEMA_VERSION} payload carries no "
+                    f"{_V4_SECTION!r} section (this build emits row-free "
+                    "payloads as version "
+                    f"{STATIC_SCHEMA_VERSION if present else BASE_SCHEMA_VERSION})"
                 )
         else:
             raise ValueError(
                 f"unsupported audit schema_version {version!r} "
                 f"(this build reads versions {BASE_SCHEMA_VERSION} "
-                f"and {SCHEMA_VERSION})"
+                f"through {SCHEMA_VERSION})"
             )
         batch = "all_sound" in payload
         sound = bool(payload["all_sound"] if batch else payload["sound"])
@@ -195,9 +282,16 @@ def batch_report_payload(
     ``"decimal"``); the two backends are bit-identical, so every other
     field's bytes are independent of it and the schema version stays
     put.
+
+    When the report materialized per-row witnesses (``collect_rows``),
+    they are appended as the trailing ``rows`` section and the payload
+    is stamped schema version 4; every preceding field keeps its v2
+    bytes.
     """
     payload: Dict[str, Any] = {
-        "schema_version": BASE_SCHEMA_VERSION,
+        "schema_version": (
+            BASE_SCHEMA_VERSION if report.rows is None else SCHEMA_VERSION
+        ),
         "definition": report.definition.name,
         "engine": engine,
         "u": u,
@@ -231,7 +325,48 @@ def batch_report_payload(
             },
         }
     )
+    if report.rows is not None:
+        payload["rows"] = [
+            witness_row(
+                i,
+                sound=s,
+                exact=e,
+                distances={name: str(d) for name, d in dists.items()},
+                error=(
+                    None
+                    if exc is None
+                    else {"type": type(exc).__name__, "message": str(exc)}
+                ),
+            )
+            for (i, s, e, dists, exc) in report.rows
+        ]
     return payload
+
+
+def witness_row(
+    index: int,
+    *,
+    sound: bool,
+    exact: bool,
+    distances: Dict[str, str],
+    error: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
+    """One entry of the v4 ``rows`` section, in canonical key order.
+
+    ``distances`` maps each parameter to the string rendering of its
+    exact per-row backward distance (same rendering as the aggregate
+    ``params.*.max_distance``); ``error`` mirrors one entry of the
+    payload ``errors`` table for rows whose witness run raised.
+    """
+    row: Dict[str, Any] = {
+        "row": index,
+        "sound": sound,
+        "exact": exact,
+        "distances": distances,
+    }
+    if error is not None:
+        row["error"] = error
+    return row
 
 
 def static_report_payload(
@@ -252,7 +387,7 @@ def static_report_payload(
     witness engines' soundness verdict.
     """
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": STATIC_SCHEMA_VERSION,
         "definition": definition.name,
         "engine": engine,
         "u": u,
@@ -284,7 +419,7 @@ def sweep_report_payload(
     """
     sound_rows = [bits is not None for bits in tightest_sound_bits]
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": STATIC_SCHEMA_VERSION,
         "definition": definition.name,
         "engine": engine,
         "u": u,
@@ -301,3 +436,66 @@ def sweep_report_payload(
 def render_payload(payload: Dict[str, Any]) -> str:
     """The one rendering every surface emits, byte for byte."""
     return json.dumps(payload, indent=2)
+
+
+def stream_header_of_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The stream header line of a v4 batch payload.
+
+    Carries every payload field up to and including ``n_rows`` — the
+    fields known before any row finishes.  A chunked producer overrides
+    ``n_rows`` with the full request's row count.
+    """
+    return {k: payload[k] for k in _STREAM_HEAD_KEYS if k in payload}
+
+
+def stream_trailer_of_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The stream trailer line of a v4 batch payload.
+
+    Carries the aggregate fields only; the per-row arrays ``sound``,
+    ``exact`` and ``errors`` are derived from the streamed rows at
+    reassembly time.
+    """
+    return {k: payload[k] for k in _STREAM_TRAILER_KEYS}
+
+
+def render_stream_line(obj: Dict[str, Any]) -> str:
+    """One NDJSON line of the row stream (compact, newline-terminated)."""
+    return json.dumps(obj, separators=(",", ":")) + "\n"
+
+
+def assemble_stream_payload(
+    header: Dict[str, Any],
+    rows: List[Dict[str, Any]],
+    trailer: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Fold a fully drained row stream back into the buffered payload.
+
+    Accepts rows in any arrival order (a fleet merge may interleave
+    sub-streams); sorts them by their explicit ``row`` index and
+    rebuilds the canonical v4 payload, byte-identical under
+    :func:`render_payload` to the buffered result of the same audit.
+    Raises ``ValueError`` when the drained rows do not cover exactly
+    ``0..n_rows-1`` — a truncated or duplicated stream must not
+    reassemble silently.
+    """
+    n_rows = header.get("n_rows")
+    ordered = sorted(rows, key=lambda r: r["row"])
+    if [r["row"] for r in ordered] != list(range(n_rows or 0)):
+        raise ValueError(
+            f"row stream does not cover 0..{(n_rows or 0) - 1}: got "
+            f"{len(ordered)} row(s)"
+        )
+    payload: Dict[str, Any] = {
+        k: header[k] for k in _STREAM_HEAD_KEYS if k in header
+    }
+    payload["all_sound"] = trailer["all_sound"]
+    payload["sound_rows"] = trailer["sound_rows"]
+    payload["fallback_rows"] = trailer["fallback_rows"]
+    payload["sound"] = [bool(r["sound"]) for r in ordered]
+    payload["exact"] = [bool(r["exact"]) for r in ordered]
+    payload["errors"] = {
+        str(r["row"]): r["error"] for r in ordered if "error" in r
+    }
+    payload["params"] = trailer["params"]
+    payload["rows"] = ordered
+    return payload

@@ -24,13 +24,15 @@ CLI prints and the audit server serves, byte for byte.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Union
+import dataclasses
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core import ast_nodes as A
 from ..core.checker import Judgment, check_program
 from ..core.parser import parse_program
 from .registry import AuditRequest, Engine, engines, get_engine
 from .result import AuditResult
+from .stream import RowStream
 
 __all__ = ["Session", "parse_roundoff"]
 
@@ -42,6 +44,58 @@ def _validate_limits(
         raise ValueError("precision_bits must be a positive integer")
     if workers is not None and workers < 1:
         raise ValueError("workers must be a positive integer")
+
+
+def _validate_sweep_bits(
+    sweep_bits: Optional[Sequence[int]],
+) -> Optional[Tuple[int, ...]]:
+    """Normalize a sweep precision list: positive integers, strictly
+    increasing (narrowest first, the order the sweep payload reports)."""
+    if sweep_bits is None:
+        return None
+    widths = list(sweep_bits)
+    if not widths:
+        raise ValueError(
+            "sweep precision list must name at least one significand width"
+        )
+    for bits in widths:
+        if isinstance(bits, bool) or not isinstance(bits, int):
+            raise ValueError(
+                f"sweep precision widths must be integers, got {bits!r}"
+            )
+        if bits < 1:
+            raise ValueError(
+                "sweep precision widths must be positive integers"
+            )
+    if any(a >= b for a, b in zip(widths, widths[1:])):
+        raise ValueError(
+            "sweep precision widths must be strictly increasing "
+            f"(got {widths})"
+        )
+    return tuple(widths)
+
+
+def _batch_row_count(inputs: Mapping[str, Any]) -> int:
+    """The common row count of batch-shaped inputs; loud on mismatch."""
+    n_rows: Optional[int] = None
+    for name, value in inputs.items():
+        try:
+            length = len(value)
+        except TypeError:
+            raise ValueError(
+                "streaming needs batch-shaped inputs (one row list per "
+                f"parameter); {name!r} has no row count"
+            ) from None
+        if n_rows is None:
+            n_rows = length
+        elif length != n_rows:
+            raise ValueError(
+                f"input rows disagree: {name!r} has {length} row(s), "
+                f"other inputs have {n_rows}"
+            )
+    if n_rows is None:
+        raise ValueError("streaming needs at least one input column")
+    return n_rows
 
 
 def _validate_exact_backend(exact_backend: Optional[str]) -> None:
@@ -141,7 +195,11 @@ class Session:
         precision_bits: Optional[int] = None,
         u: Optional[Union[str, float]] = None,
         exact_backend: Optional[str] = None,
-    ) -> AuditResult:
+        rows: bool = False,
+        sweep_bits: Optional[Sequence[int]] = None,
+        stream: bool = False,
+        stream_chunk_rows: Optional[int] = None,
+    ) -> Union[AuditResult, RowStream]:
         """Audit ``name`` (default: the last definition) on ``inputs``.
 
         ``engine`` names any registered engine
@@ -154,12 +212,34 @@ class Session:
         to ``REPRO_EXACT_BACKEND`` and then the EFT default.  Results
         are bit-identical either way — the choice is about speed (and
         keeping the Decimal reference exercised).
+
+        ``rows=True`` materializes the schema-v4 per-row witness
+        section (engines with ``caps.rows`` only).  ``stream=True``
+        returns a :class:`~repro.api.stream.RowStream` instead of a
+        buffered result: iterate it for per-row witnesses as chunks of
+        ``stream_chunk_rows`` environments finish (the ``remote``
+        engine streams over the wire instead), then ``result()`` /
+        ``text`` reassemble the exact buffered payload.  ``sweep_bits``
+        overrides the ``sweep`` engine's significand-width list
+        (strictly increasing positive integers); like ``workers``, it
+        rides on every request and engines that don't sweep ignore it.
         """
         resolved = get_engine(engine)
         # Per-call overrides face the same bounds as the constructor:
         # reject at the API boundary, not deep in an engine.
         _validate_limits(precision_bits, workers)
         _validate_exact_backend(exact_backend)
+        swept = _validate_sweep_bits(sweep_bits)
+        if stream:
+            rows = True
+        if rows and not resolved.caps.rows:
+            capable = [
+                n for n, e in engines().items() if e.caps.rows
+            ]
+            raise ValueError(
+                f"engine {engine!r} cannot materialize per-row witnesses; "
+                f"rows/stream need one of: {', '.join(capable)}"
+            )
         if isinstance(program, str):
             program = self.parse(program)
         self._activate_cache()
@@ -179,5 +259,43 @@ class Session:
             mp_context=self.mp_context,
             cache_dir=self.cache_dir,
             exact_backend=exact_backend,
+            collect_rows=rows,
+            sweep_bits=swept,
         )
-        return resolved.audit(request)
+        if not stream:
+            return resolved.audit(request)
+        return self._stream(resolved, request, stream_chunk_rows)
+
+    def _stream(
+        self,
+        engine: Engine,
+        request: AuditRequest,
+        chunk_rows: Optional[int],
+    ) -> RowStream:
+        """Run one audit as a row stream.
+
+        The ``remote`` engine streams NDJSON over the wire (the
+        dispatcher interleaves split sub-streams in row order); local
+        ``caps.rows`` engines audit row-contiguous input chunks and
+        emit each chunk's witnesses as it finishes — first verdicts
+        arrive after one chunk, not after the whole batch.
+        """
+        from .stream import DEFAULT_CHUNK_ROWS, stream_audit_events
+
+        if chunk_rows is None:
+            chunk_rows = DEFAULT_CHUNK_ROWS
+        if chunk_rows < 1:
+            raise ValueError("stream_chunk_rows must be >= 1")
+        if engine.caps.remote:
+            return RowStream(engine.audit_stream(request))  # type: ignore[attr-defined]
+        n_rows = _batch_row_count(request.inputs)
+        inputs = request.inputs
+
+        def audit_chunk(lo: int, hi: int) -> Dict[str, Any]:
+            sliced = {name: value[lo:hi] for name, value in inputs.items()}
+            sub = dataclasses.replace(request, inputs=sliced)
+            return engine.audit(sub).payload
+
+        return RowStream(
+            stream_audit_events(audit_chunk, n_rows, chunk_rows=chunk_rows)
+        )

@@ -50,6 +50,31 @@ def _parse_roundoff(text: str) -> float:
     return parse_roundoff(text)
 
 
+def _parse_precision_bits(text: str) -> tuple:
+    """Parse ``--precision-bits``: one width, or a comma list for sweeps.
+
+    Returns ``(precision_bits, sweep_bits)`` — exactly one is non-None.
+    ``"53"`` is a plain simulated width; ``"8,16,24,53"`` is a sweep
+    precision list (engine=sweep audits every width; other engines
+    ignore it, like an unused ``--workers``).
+    """
+    text = str(text).strip()
+    try:
+        if "," in text:
+            widths = [
+                int(part.strip()) for part in text.split(",") if part.strip()
+            ]
+            if not widths:
+                raise ValueError
+            return None, widths
+        return int(text), None
+    except ValueError:
+        raise ValueError(
+            "--precision-bits must be an integer or a comma-separated "
+            f"integer list, got {text!r}"
+        ) from None
+
+
 def _engine_choices() -> List[str]:
     """The ``--engine`` choice list, straight from the engine registry.
 
@@ -153,9 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     witness.add_argument(
         "--precision-bits",
-        type=int,
-        default=53,
-        help="simulated significand width of the run (53=binary64, 24=binary32, 11=binary16)",
+        default="53",
+        help=(
+            "simulated significand width of the run (53=binary64, "
+            "24=binary32, 11=binary16); a comma list like '8,16,24,53' "
+            "sets the sweep precision ladder for --engine sweep"
+        ),
+    )
+    witness.add_argument(
+        "--rows",
+        action="store_true",
+        help=(
+            "materialize the per-row witness section (schema v4): one "
+            "verdict + per-parameter distance entry per environment "
+            "(row-capable engines only)"
+        ),
     )
     witness.add_argument(
         "--u",
@@ -272,6 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
             "per-node cache capacity)"
         ),
     )
+    serve.add_argument(
+        "--stream-chunk-rows",
+        type=int,
+        default=None,
+        help=(
+            "rows audited per chunk of a streamed (NDJSON) audit "
+            "response (default: 4096); smaller chunks surface first "
+            "verdicts sooner at more per-chunk overhead"
+        ),
+    )
 
     client = sub.add_parser(
         "client",
@@ -304,8 +351,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit engine, any registered name (--batch overrides)",
     )
     client.add_argument(
-        "--precision-bits", type=int, default=53,
-        help="simulated significand width of the run",
+        "--precision-bits", default="53",
+        help=(
+            "simulated significand width of the run; a comma list like "
+            "'8,16,24,53' sets the sweep precision ladder for "
+            "--engine sweep"
+        ),
+    )
+    client.add_argument(
+        "--rows",
+        action="store_true",
+        help="ask the server for the per-row witness section (schema v4)",
+    )
+    client.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "stream the audit as NDJSON (header line, one row per "
+            "line, trailer) and print each line as it arrives instead "
+            "of waiting for the buffered payload"
+        ),
     )
     client.add_argument(
         "--exact-backend",
@@ -491,8 +556,9 @@ def _cmd_witness(args: argparse.Namespace) -> int:
         engine = _engine_name(args.batch, args.workers, args.engine)
         if engine == "remote":
             _configure_remote(args.nodes, args.workers)
+        precision_bits, sweep_bits = _parse_precision_bits(args.precision_bits)
         session = Session(
-            precision_bits=args.precision_bits,
+            precision_bits=precision_bits if precision_bits is not None else 53,
             u=args.u,
             cache_dir=args.cache_dir,
             workers=args.workers,
@@ -504,6 +570,8 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             inputs=inputs,
             engine=engine,
             exact_backend=args.exact_backend,
+            rows=args.rows,
+            sweep_bits=sweep_bits,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -545,6 +613,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_workers=args.workers,
             max_request_workers=args.max_request_workers,
             max_prepared=args.max_prepared,
+            stream_chunk_rows=args.stream_chunk_rows,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -595,17 +664,34 @@ def _cmd_client_remote(args: argparse.Namespace) -> int:
         return 1
     try:
         _configure_remote(args.nodes, args.workers, timeout=args.timeout)
+        precision_bits, sweep_bits = _parse_precision_bits(args.precision_bits)
         session = Session(
-            precision_bits=args.precision_bits,
+            precision_bits=precision_bits if precision_bits is not None else 53,
             u=args.u,
             workers=args.workers,
         )
+        if args.stream:
+            stream = session.audit(
+                program,
+                args.name,
+                inputs=inputs,
+                engine="remote",
+                exact_backend=args.exact_backend,
+                sweep_bits=sweep_bits,
+                stream=True,
+            )
+            for line in stream.lines():
+                sys.stdout.write(line)
+                sys.stdout.flush()
+            return 0 if stream.trailer.get("all_sound") else 2
         result = session.audit(
             program,
             args.name,
             inputs=inputs,
             engine="remote",
             exact_backend=args.exact_backend,
+            rows=args.rows,
+            sweep_bits=sweep_bits,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -613,6 +699,40 @@ def _cmd_client_remote(args: argparse.Namespace) -> int:
         return 1
     sys.stdout.write(result.to_json() + "\n")
     return 0 if result.sound else 2
+
+
+def _client_stream(args: argparse.Namespace, spec: dict) -> int:
+    """``client --stream``: print the NDJSON row stream as it arrives.
+
+    Lines are re-rendered canonically (the wire bytes are already
+    canonical, so this is an equality-preserving round trip) and the
+    exit code comes from the trailer's ``all_sound`` — the same 0/2
+    discipline as the buffered paths.
+    """
+    from .api.stream import RowStream, events_of_lines
+    from .service.client import ClientError, ClientStatusError, audit_stream
+
+    spec = dict(spec, stream=True)
+    try:
+        stream = RowStream(
+            events_of_lines(
+                audit_stream(args.host, args.port, spec, timeout=args.timeout)
+            )
+        )
+        for line in stream.lines():
+            sys.stdout.write(line)
+            sys.stdout.flush()
+    except ClientStatusError as exc:
+        try:
+            message = json.loads(exc.body).get("error", exc.body)
+        except json.JSONDecodeError:
+            message = exc.body
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    except (ClientError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0 if stream.trailer.get("all_sound") else 2
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
@@ -627,17 +747,28 @@ def _cmd_client(args: argparse.Namespace) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: --inputs is not valid JSON: {exc}", file=sys.stderr)
         return 1
+    try:
+        precision_bits, sweep_bits = _parse_precision_bits(args.precision_bits)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     spec = {
         "source": source,
         "name": args.name,
         "inputs": inputs,
         "engine": _engine_name(args.batch, args.workers, args.engine),
         "workers": args.workers,
-        "precision_bits": args.precision_bits,
+        "precision_bits": precision_bits if precision_bits is not None else 53,
         "u": args.u,
     }
+    if sweep_bits is not None:
+        spec["sweep_bits"] = sweep_bits
+    if args.rows:
+        spec["rows"] = True
     if args.exact_backend is not None:
         spec["exact_backend"] = args.exact_backend
+    if args.stream:
+        return _client_stream(args, spec)
     try:
         status, body = audit(
             args.host, args.port, spec, timeout=args.timeout

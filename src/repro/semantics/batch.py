@@ -316,6 +316,7 @@ class BatchWitnessReport:
         param_bound: Dict[str, Decimal],
         fallback_rows: int,
         exact_backend: str = "eft",
+        rows: Optional[List[tuple]] = None,
     ) -> None:
         self.definition = definition
         self.n_rows = n_rows
@@ -330,6 +331,12 @@ class BatchWitnessReport:
         #: ("eft" or "decimal").  Informational: results are bit-equal
         #: either way.
         self.exact_backend = exact_backend
+        #: Per-row witness tuples ``(row, sound, exact, {param: Decimal
+        #: distance}, error-or-None)``, materialized only when the engine
+        #: ran with ``collect_rows=True`` (the schema-v4 ``rows``
+        #: section); ``None`` otherwise.  Picklable, so shards and
+        #: chunked streams can carry them across processes.
+        self.rows = rows
 
     # -- aggregates --------------------------------------------------------
 
@@ -396,10 +403,12 @@ class BatchWitnessEngine:
         precision_bits: int = 53,
         lens: Optional[BeanLens] = None,
         exact_backend: Optional[str] = None,
+        collect_rows: bool = False,
     ) -> None:
         self.definition = definition
         self.program = program
         self.u = u
+        self.collect_rows = collect_rows
         if exact_backend is None:
             exact_backend = os.environ.get("REPRO_EXACT_BACKEND") or "eft"
         if exact_backend not in ("eft", "decimal"):
@@ -433,10 +442,15 @@ class BatchWitnessEngine:
         #: The EFT screens are calibrated against the 50-digit reference
         #: semantics (dd resolves ~32 digits; the margins below assume
         #: Decimal noise at ~1e-50·cond); any other ideal precision runs
-        #: the Decimal path.
+        #: the Decimal path.  Per-row witness materialization also runs
+        #: Decimal: the rows need every row's *exact* distance, which is
+        #: precisely the per-row computation the EFT screen exists to
+        #: avoid (it only ever rechecks ambiguous rows through the
+        #: scalar reference).
         self._use_eft = (
             self.exact_backend == "eft"
             and self.precision == BACKWARD_PRECISION
+            and not collect_rows
         )
         self.ir = semantic_definition_ir(definition)
         if self.ir.has_calls and program is not None:
@@ -527,6 +541,7 @@ class BatchWitnessEngine:
                 dict(self._bounds),
                 fallback_rows=0,
                 exact_backend=self.exact_backend,
+                rows=[] if self.collect_rows else None,
             )
         if not self.vectorized:
             return self._run_scalar(columns, n_rows, range(n_rows))
@@ -579,6 +594,14 @@ class BatchWitnessEngine:
             for name, w in rep.params.items():
                 if w.distance > max_dist[name]:
                     max_dist[name] = w.distance
+        row_tuples = None
+        if self.collect_rows:
+            row_tuples = self._row_tuples(
+                n_rows, sound, exact, errors,
+                lambda i: {
+                    name: w.distance for name, w in reports[i].params.items()
+                },
+            )
         return BatchWitnessReport(
             self.definition,
             n_rows,
@@ -590,7 +613,26 @@ class BatchWitnessEngine:
             dict(self._bounds),
             fallback_rows=n_rows,
             exact_backend=self.exact_backend,
+            rows=row_tuples,
         )
+
+    def _row_tuples(self, n_rows: int, sound, exact, errors, distances_of):
+        """The report's raw per-row witness tuples (``collect_rows``).
+
+        ``distances_of(i)`` supplies the exact per-parameter Decimal
+        distances of non-error row ``i``; error rows carry the captured
+        exception and no distances.
+        """
+        rows: List[tuple] = []
+        for i in range(n_rows):
+            exc = errors.get(i)
+            if exc is not None:
+                rows.append((i, False, False, {}, exc))
+            else:
+                rows.append(
+                    (i, bool(sound[i]), bool(exact[i]), distances_of(i), None)
+                )
+        return rows
 
     # -- vectorized pipeline ----------------------------------------------
 
@@ -737,6 +779,24 @@ class BatchWitnessEngine:
         )
         clean_pos = {int(row): j for j, row in enumerate(clean)}
 
+        row_tuples = None
+        if self.collect_rows:
+            def _row_distances(i: int) -> Dict[str, Decimal]:
+                rep = reports.get(i)
+                if rep is not None:  # scalar-fallback row
+                    return {
+                        name: w.distance for name, w in rep.params.items()
+                    }
+                j = clean_pos[i]
+                return {
+                    p.name: distances[p.name][j]
+                    for p in self.definition.params
+                }
+
+            row_tuples = self._row_tuples(
+                n_rows, sound, exact, errors, _row_distances
+            )
+
         def materialize(i: int) -> WitnessReport:
             rep = reports.get(i)
             if rep is not None:
@@ -769,6 +829,7 @@ class BatchWitnessEngine:
             dict(self._bounds),
             fallback_rows=int(fallback.size),
             exact_backend=self.exact_backend,
+            rows=row_tuples,
         )
 
     def _scalar_fallback_rows(self, columns, fallback, sound, exact, max_dist):

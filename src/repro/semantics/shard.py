@@ -94,6 +94,7 @@ def _run_shard(blob: bytes, columns: Dict[str, np.ndarray], u: float,
         report.errors,
         report.param_max_distance,
         report.fallback_rows,
+        report.rows,
     )
 
 
@@ -182,7 +183,9 @@ def run_witness_sharded(
     max_dist: Dict[str, Decimal] = {
         p.name: _DEC_ZERO for p in definition.params
     }
-    for i, (_, _, shard_errors, shard_dist, shard_fallback) in enumerate(results):
+    rows = [] if engine.collect_rows else None
+    for i, (_, _, shard_errors, shard_dist, shard_fallback,
+            shard_rows) in enumerate(results):
         offset = bounds[i]
         for row, exc in shard_errors.items():
             errors[offset + row] = exc
@@ -190,6 +193,13 @@ def run_witness_sharded(
         for name, dist in shard_dist.items():
             if dist > max_dist[name]:
                 max_dist[name] = dist
+        if rows is not None:
+            # Re-anchor each shard's local row indices at its offset so
+            # the merged rows are exactly the whole-batch run's.
+            rows.extend(
+                (offset + r, s, e, d, exc)
+                for (r, s, e, d, exc) in shard_rows
+            )
 
     def materialize(i: int):
         # Row reports cannot travel between processes; rebuild on demand
@@ -213,4 +223,5 @@ def run_witness_sharded(
         dict(engine._bounds),
         fallback_rows=fallback_rows,
         exact_backend=engine.exact_backend,
+        rows=rows,
     )

@@ -37,14 +37,16 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = [
     "ClientConnectionError",
     "ClientDeadlineError",
     "ClientError",
+    "ClientStatusError",
     "ClientTruncationError",
     "audit",
+    "audit_stream",
     "healthz",
     "request",
     "stats",
@@ -77,6 +79,22 @@ class ClientTruncationError(ClientError):
 
 class ClientDeadlineError(ClientError):
     """The wall-clock deadline for the whole exchange fired."""
+
+
+class ClientStatusError(ClientError):
+    """The server answered a streamed request with a buffered response.
+
+    A refused stream (validation failure, unknown engine, Bean-level
+    error) arrives as an ordinary ``Content-Length`` body instead of a
+    chunked NDJSON stream.  The status and body ride on the exception
+    so callers keep the buffered failure taxonomy: 4xx is deterministic
+    (same request fails everywhere), 5xx is worth a retry.
+    """
+
+    def __init__(self, status: int, body: str) -> None:
+        super().__init__(f"HTTP {status}: {body.strip()}")
+        self.status = status
+        self.body = body
 
 
 class _Deadline:
@@ -229,6 +247,160 @@ def _parse_response(raw: bytes) -> Tuple[int, bytes]:
             f"truncated response body: got {len(rest)} of {length} bytes"
         )
     return status, rest[:length]
+
+
+class _StreamReader:
+    """Incremental socket reader under the shared wall-clock deadline.
+
+    The buffered helpers above read whole responses; a streamed audit
+    has to hand lines upward *while the connection is open*, so this
+    reader exposes exactly the two primitives chunked transfer decoding
+    needs.  EOF mid-read raises :class:`ClientTruncationError` — before
+    the terminal chunk, a closed connection proves the stream is
+    incomplete.
+    """
+
+    __slots__ = ("_sock", "_deadline", "_buffer", "_eof", "_total")
+
+    def __init__(self, sock: socket.socket, deadline: _Deadline) -> None:
+        self._sock = sock
+        self._deadline = deadline
+        self._buffer = b""
+        self._eof = False
+        self._total = 0
+
+    def _fill(self) -> bool:
+        if self._eof:
+            return False
+        self._sock.settimeout(self._deadline.remaining("reading the stream"))
+        try:
+            chunk = self._sock.recv(_RECV_CHUNK)
+        except (TimeoutError, socket.timeout) as exc:
+            raise self._deadline.expired("reading the stream") from exc
+        except OSError as exc:
+            raise ClientConnectionError(
+                f"connection died mid-stream: {exc}"
+            ) from exc
+        if not chunk:
+            self._eof = True
+            return False
+        self._buffer += chunk
+        self._total += len(chunk)
+        if self._total > _MAX_RESPONSE_BYTES:
+            raise ClientError("response too large")
+        return True
+
+    def read_until(self, sep: bytes, what: str) -> bytes:
+        while sep not in self._buffer:
+            if not self._fill():
+                raise ClientTruncationError(
+                    f"truncated stream: connection closed while reading {what}"
+                )
+        data, _, self._buffer = self._buffer.partition(sep)
+        return data
+
+    def read_exactly(self, n: int, what: str) -> bytes:
+        while len(self._buffer) < n:
+            if not self._fill():
+                raise ClientTruncationError(
+                    f"truncated stream: connection closed while reading {what}"
+                )
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def read_to_eof(self) -> bytes:
+        while self._fill():
+            pass
+        data, self._buffer = self._buffer, b""
+        return data
+
+
+def audit_stream(
+    host: str,
+    port: int,
+    spec: Dict[str, Any],
+    *,
+    timeout: float = 300.0,
+) -> Iterator[Dict[str, Any]]:
+    """POST one streaming audit; yield parsed NDJSON lines as they land.
+
+    The generator connects lazily on first iteration, decodes the
+    chunked transfer encoding incrementally (an NDJSON line may span
+    chunk frames), and yields each line as a parsed object — header,
+    rows, trailer, in wire order.  Completion is proven by the terminal
+    chunk: EOF before it raises :class:`ClientTruncationError`
+    (retryable against the same node).  A buffered response in place of
+    a stream — the server refusing the request — raises
+    :class:`ClientStatusError` carrying the status and body.
+    """
+    payload = json.dumps(spec).encode("utf-8")
+    head = (
+        f"POST /audit HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    deadline = _Deadline(timeout, host, port)
+    try:
+        sock = socket.create_connection(
+            (host, port), timeout=deadline.remaining("connecting")
+        )
+    except (TimeoutError, socket.timeout) as exc:
+        raise deadline.expired("connecting") from exc
+    except OSError as exc:
+        raise ClientConnectionError(f"cannot reach {host}:{port}: {exc}") from exc
+    with sock:
+        _send_all(sock, head.encode("latin-1") + payload, deadline)
+        reader = _StreamReader(sock, deadline)
+        head_blob = reader.read_until(b"\r\n\r\n", "the response head")
+        head_lines = head_blob.decode("latin-1").split("\r\n")
+        status_parts = head_lines[0].split(" ", 2)
+        if len(status_parts) < 2 or not status_parts[1].isdigit():
+            raise ClientError(f"malformed status line: {head_lines[0]!r}")
+        status = int(status_parts[1])
+        headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding", "").lower() != "chunked":
+            # A buffered answer where a stream was asked for: the
+            # server rejected the request before the first chunk.
+            length_text = headers.get("content-length")
+            if length_text is None:
+                if 200 <= status < 300:
+                    raise ClientTruncationError(
+                        "2xx response without Content-Length: cannot "
+                        "distinguish a complete body from a dropped "
+                        "connection"
+                    )
+                body = reader.read_to_eof()
+            else:
+                try:
+                    length = int(length_text)
+                except ValueError:
+                    raise ClientError(f"bad Content-Length: {length_text!r}")
+                body = reader.read_exactly(length, "the error body")
+            raise ClientStatusError(status, body.decode("utf-8", "replace"))
+        pending = b""
+        while True:
+            size_line = reader.read_until(b"\r\n", "a chunk size")
+            try:
+                size = int(size_line.split(b";", 1)[0], 16)
+            except ValueError:
+                raise ClientError(f"bad chunk size line: {size_line!r}")
+            if size == 0:
+                break  # terminal chunk: the stream is complete
+            pending += reader.read_exactly(size, "a chunk body")
+            reader.read_exactly(2, "a chunk terminator")
+            while b"\n" in pending:
+                line, _, pending = pending.partition(b"\n")
+                if line.strip():
+                    yield json.loads(line.decode("utf-8"))
+        if pending.strip():
+            yield json.loads(pending.decode("utf-8"))
 
 
 def audit(

@@ -49,6 +49,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import json
+import queue as queue_mod
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -59,6 +60,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -67,12 +69,19 @@ from typing import (
     Union,
 )
 
-from ..api.result import AuditResult, render_payload
+from ..api.result import SCHEMA_VERSION, AuditResult, render_payload
+from ..api.stream import (
+    StreamEvent,
+    StreamProtocolError,
+    events_of_lines,
+    merge_stream_trailers,
+)
 from . import client
 from .client import (
     ClientConnectionError,
     ClientDeadlineError,
     ClientError,
+    ClientStatusError,
     ClientTruncationError,
 )
 from .fingerprint import fingerprint_source
@@ -327,6 +336,23 @@ def merge_batch_payloads(
             "within_bound": best <= Decimal(bound_text),
         }
     merged["params"] = params
+    if any("rows" in payload for payload in payloads):
+        if not all("rows" in payload for payload in payloads):
+            raise FleetError(
+                "cannot merge sub-audits: only some carry a rows section"
+            )
+        # Re-anchor each shard's row indices at its global offset; the
+        # dict splat keeps "row" in its leading key position.  "rows"
+        # is the last payload key, as in a buffered v4 response.
+        rows: List[Dict[str, Any]] = []
+        offset = 0
+        for payload in payloads:
+            rows.extend(
+                {**row, "row": row["row"] + offset}
+                for row in payload["rows"]
+            )
+            offset += payload["n_rows"]
+        merged["rows"] = rows
     return merged
 
 
@@ -400,6 +426,7 @@ class FleetDispatcher:
         probe_timeout: float = 10.0,
         stats_ttl_s: float = 1.0,
         spill_depth: Optional[int] = 4,
+        rejoin_after_s: Optional[float] = 30.0,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if retries < 0:
@@ -408,6 +435,8 @@ class FleetDispatcher:
             raise FleetError("eject_after must be >= 1")
         if min_rows_per_shard < 1:
             raise FleetError("min_rows_per_shard must be >= 1")
+        if rejoin_after_s is not None and rejoin_after_s < 0:
+            raise FleetError("rejoin_after_s must be >= 0 (or None)")
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
@@ -417,6 +446,7 @@ class FleetDispatcher:
         self.probe_timeout = probe_timeout
         self.stats_ttl_s = stats_ttl_s
         self.spill_depth = spill_depth
+        self.rejoin_after_s = rejoin_after_s
         self._sleep = sleep
         self._lock = threading.Lock()
         self._ring = HashRing(parse_nodes(nodes), replicas=replicas)
@@ -424,14 +454,21 @@ class FleetDispatcher:
         self._probed = not probe
         #: node -> human-readable ejection reason, in ejection order
         self.ejected: Dict[Node, str] = {}
+        #: node -> monotonic ejection time (rejoin TTL anchor)
+        self._ejected_at: Dict[Node, float] = {}
+        #: nodes whose ejection never heals (incompatible payloads: a
+        #: rejoin would re-admit the mixed-version build)
+        self._permanent: set = set()
         self.stats: Dict[str, int] = {
             "audits": 0,
             "split_audits": 0,
+            "stream_audits": 0,
             "sub_requests": 0,
             "retries": 0,
             "failovers": 0,
             "spills": 0,
             "ejections": 0,
+            "rejoins": 0,
         }
         self._depth_cache: Dict[Node, Tuple[float, int]] = {}
 
@@ -467,14 +504,57 @@ class FleetDispatcher:
             except ClientError as exc:
                 self._eject(node, f"failed health probe: {exc}")
 
-    def _eject(self, node: Node, reason: str) -> None:
+    def _eject(
+        self, node: Node, reason: str, *, permanent: bool = False
+    ) -> None:
         with self._lock:
+            if permanent:
+                self._permanent.add(node)
             if node in self.ejected:
                 return
             self.ejected[node] = reason
+            self._ejected_at[node] = time.monotonic()
             self.stats["ejections"] += 1
             if node in self._ring.nodes:
                 self._ring.remove(node)
+
+    def _maybe_rejoin(self) -> None:
+        """Re-admit ejected nodes whose TTL has passed and that answer
+        ``/healthz`` again.
+
+        An ejection for connection failures is a statement about the
+        node *then* — a restarted or un-partitioned server deserves its
+        ring position (and warm caches) back.  An ejection for an
+        incompatible payload is a statement about the node's *build*
+        and never heals.  A failed recheck re-arms the TTL, so a dead
+        node costs one probe per ``rejoin_after_s``, not one per audit.
+        """
+        if self.rejoin_after_s is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            candidates = [
+                node
+                for node, since in self._ejected_at.items()
+                if node in self.ejected
+                and node not in self._permanent
+                and now - since >= self.rejoin_after_s
+            ]
+        for node in candidates:
+            try:
+                client.healthz(
+                    node.host, node.port, timeout=self.probe_timeout
+                )
+            except ClientError:
+                with self._lock:
+                    self._ejected_at[node] = time.monotonic()
+                continue
+            with self._lock:
+                self.ejected.pop(node, None)
+                self._ejected_at.pop(node, None)
+                self._failures.pop(node, None)
+                self._ring.add(node)
+                self.stats["rejoins"] += 1
 
     def _record_failure(self, node: Node, reason: str) -> bool:
         """Count one connection failure; True when it ejected the node."""
@@ -572,6 +652,7 @@ class FleetDispatcher:
         engines with at least ``2 * min_rows_per_shard`` rows.
         """
         self.ensure_probed()
+        self._maybe_rejoin()
         key = fingerprint or fingerprint_source(
             str(spec.get("source", "")), kind="fleet-route"
         )
@@ -733,11 +814,241 @@ class FleetDispatcher:
         try:
             AuditResult.from_json(text)
         except ValueError as exc:
-            self._eject(node, f"incompatible audit payload: {exc}")
+            self._eject(
+                node, f"incompatible audit payload: {exc}", permanent=True
+            )
             raise FleetError(
                 f"node {node} answered an incompatible audit payload "
                 f"(mixed-version fleet?): {exc}"
             ) from exc
+
+    # -- streaming dispatch -------------------------------------------------
+
+    def audit_stream_spec(
+        self,
+        spec: Mapping[str, Any],
+        *,
+        fingerprint: Optional[str] = None,
+        split: Optional[bool] = None,
+    ) -> Iterator[StreamEvent]:
+        """Dispatch one audit as a row stream of header/row/trailer events.
+
+        The same splitting decision as :meth:`audit_spec` applies; a
+        split audit runs its sub-streams **concurrently** (each node
+        starts auditing its shard immediately) and interleaves them in
+        row order on the way out: shard 0's rows drain while later
+        shards fill bounded queues, so the first verdicts arrive after
+        one chunk of one shard — and the fully drained event sequence
+        reassembles byte-identical to the single-node buffered payload
+        (header from shard 0 with the total row count, trailer from the
+        associative aggregate merge).
+        """
+        self.ensure_probed()
+        self._maybe_rejoin()
+        key = fingerprint or fingerprint_source(
+            str(spec.get("source", "")), kind="fleet-route"
+        )
+        with self._lock:
+            self.stats["audits"] += 1
+            self.stats["stream_audits"] += 1
+        order = self._route_order(key)
+        base = dict(spec)
+        base["stream"] = True
+        sub_specs = self._split_spec(base, len(order), split)
+        if sub_specs is None:
+            yield from self._stream_sub(base, order)
+            return
+        with self._lock:
+            self.stats["split_audits"] += 1
+        sub_rows = [self._batch_rows(sub) or 0 for sub in sub_specs]
+        total_rows = sum(sub_rows)
+        offsets = [sum(sub_rows[:i]) for i in range(len(sub_specs))]
+        rotations = [
+            order[i % len(order):] + order[: i % len(order)]
+            for i in range(len(sub_specs))
+        ]
+        # Each sub-stream pumps into a bounded queue from its own
+        # thread; the drain walks the queues in shard order.  The bound
+        # is what keeps a fast later shard from buffering its whole
+        # row set while an earlier shard is still streaming.
+        queues: List["queue_mod.Queue[Tuple[str, Any]]"] = [
+            queue_mod.Queue(maxsize=1024) for _ in sub_specs
+        ]
+        cancel = threading.Event()
+
+        def pump(index: int, sub: Dict[str, Any], rotation: List[Node]) -> None:
+            sink = queues[index]
+
+            def send(item: Tuple[str, Any]) -> bool:
+                while not cancel.is_set():
+                    try:
+                        sink.put(item, timeout=0.1)
+                        return True
+                    except queue_mod.Full:
+                        continue
+                return False
+
+            try:
+                for event in self._stream_sub(sub, rotation):
+                    if not send(event):
+                        return
+                send(("__done__", None))
+            except BaseException as exc:  # noqa: BLE001 - relayed to drain
+                send(("__error__", exc))
+
+        threads = [
+            threading.Thread(
+                target=pump,
+                args=(i, sub, rotation),
+                name=f"repro-fleet-stream-{i}",
+                daemon=True,
+            )
+            for i, (sub, rotation) in enumerate(zip(sub_specs, rotations))
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            first_header: Optional[Dict[str, Any]] = None
+            aggregate: Optional[Dict[str, Any]] = None
+            for index in range(len(sub_specs)):
+                while True:
+                    kind, obj = queues[index].get()
+                    if kind == "__error__":
+                        raise obj
+                    if kind == "__done__":
+                        break
+                    if kind == "header":
+                        head = {k: v for k, v in obj.items() if k != "n_rows"}
+                        if first_header is None:
+                            first_header = head
+                            yield ("header", {**obj, "n_rows": total_rows})
+                        elif head != first_header:
+                            raise FleetError(
+                                "cannot interleave sub-streams: header "
+                                f"fields differ ({first_header!r} vs "
+                                f"{head!r})"
+                            )
+                    elif kind == "row":
+                        yield ("row", {**obj, "row": obj["row"] + offsets[index]})
+                    else:
+                        aggregate = (
+                            obj
+                            if aggregate is None
+                            else merge_stream_trailers(aggregate, obj)
+                        )
+            if first_header is None or aggregate is None:
+                raise FleetError(
+                    "streamed audit produced no header/trailer to merge"
+                )
+            yield ("trailer", aggregate)
+        finally:
+            cancel.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def _stream_sub(
+        self, spec: Mapping[str, Any], preference: Sequence[Node]
+    ) -> Iterator[StreamEvent]:
+        """One streamed sub-request with failover and retry-with-skip.
+
+        Rows are deterministic and carry explicit indices, so a retry —
+        same node after a truncation, next node after a connection
+        death — re-requests the whole sub-stream and **skips the rows
+        already yielded**; the header goes out once, and the trailer
+        comes from whichever attempt completes (it aggregates the full
+        sub-request either way).  A buffered 4xx rejection and a
+        mid-stream ``stream_error`` abort are deterministic: every node
+        would answer the same, so they fail the audit loudly.
+        """
+        tried: List[Node] = []
+        last: Optional[BaseException] = None
+        next_row = 0
+        header_sent = False
+        while True:
+            node = self._pick(preference, tried)
+            if node is None:
+                names = ", ".join(str(n) for n in tried) or "none"
+                raise FleetError(
+                    f"streamed audit failed on every healthy node "
+                    f"(tried: {names}); last failure: {last}"
+                ) from last
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    with self._lock:
+                        self.stats["retries"] += 1
+                    self._sleep(self.backoff_s * (2 ** (attempt - 1)))
+                with self._lock:
+                    self.stats["sub_requests"] += 1
+                try:
+                    lines = client.audit_stream(
+                        node.host, node.port, dict(spec), timeout=self.timeout
+                    )
+                    for kind, obj in events_of_lines(lines):
+                        if kind == "header":
+                            self._check_stream_header(node, obj)
+                            if not header_sent:
+                                header_sent = True
+                                yield ("header", obj)
+                        elif kind == "row":
+                            if obj["row"] < next_row:
+                                continue  # already yielded before a retry
+                            if obj["row"] != next_row:
+                                raise FleetError(
+                                    f"node {node} streamed row "
+                                    f"{obj['row']} where {next_row} was "
+                                    "expected"
+                                )
+                            next_row += 1
+                            yield ("row", obj)
+                        else:
+                            yield ("trailer", obj)
+                    self._record_success(node)
+                    return
+                except ClientTruncationError as exc:
+                    # The node answered; the stream was cut. Retry it,
+                    # skipping the rows that already went out.
+                    last = exc
+                    continue
+                except (ClientConnectionError, ClientDeadlineError) as exc:
+                    last = exc
+                    if self._record_failure(node, str(exc)):
+                        break
+                    continue
+                except ClientStatusError as exc:
+                    message = _error_message(exc.body)
+                    if exc.status >= 500:
+                        last = ClientError(f"HTTP {exc.status}: {message}")
+                        continue
+                    raise FleetError(
+                        f"node {node} rejected the audit "
+                        f"(HTTP {exc.status}): {message}"
+                    ) from exc
+                except StreamProtocolError as exc:
+                    # A stream_error line or a malformed event series is
+                    # deterministic for a given request (the audit
+                    # itself failed server-side), never a node-health
+                    # signal.
+                    raise FleetError(f"node {node}: {exc}") from exc
+                except ClientError as exc:
+                    raise FleetError(f"node {node}: {exc}") from exc
+            # Same-node budget exhausted (or the node was ejected
+            # mid-walk): fail over to the next preference.
+            tried.append(node)
+            with self._lock:
+                self.stats["failovers"] += 1
+
+    def _check_stream_header(self, node: Node, header: Dict[str, Any]) -> None:
+        version = header.get("schema_version")
+        if version != SCHEMA_VERSION:
+            reason = (
+                f"incompatible stream schema_version {version!r} "
+                f"(want {SCHEMA_VERSION})"
+            )
+            self._eject(node, reason, permanent=True)
+            raise FleetError(
+                f"node {node} answered an incompatible stream header "
+                f"(mixed-version fleet?): {reason}"
+            )
 
 
 def _error_message(text: str) -> str:

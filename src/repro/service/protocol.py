@@ -2,9 +2,10 @@
 
 A minimal HTTP/1.1 request reader and response writer over asyncio
 streams, stdlib-only.  The protocol subset is deliberately tiny (no
-chunked encoding, no keep-alive pipelining guarantees beyond one
-request per connection) but speaks well enough HTTP that ``curl`` works
-against the server.
+keep-alive pipelining guarantees beyond one request per connection;
+chunked transfer encoding on *responses* only, for the NDJSON row
+stream) but speaks well enough HTTP that ``curl`` works against the
+server.
 
 The JSON *payload* layer that used to live here — the canonical
 rendering of witness reports the CLI prints and the server serves,
@@ -32,7 +33,10 @@ __all__ = [
     "HttpError",
     "Request",
     "batch_report_payload",
+    "http_chunk",
+    "http_last_chunk",
     "http_response",
+    "http_stream_head",
     "read_request",
     "render_payload",
     "scalar_report_payload",
@@ -157,3 +161,37 @@ def http_response(
         "\r\n"
     )
     return head.encode("latin-1") + body
+
+
+def http_stream_head(
+    status: int = 200,
+    *,
+    content_type: str = "application/x-ndjson",
+) -> bytes:
+    """The head of a chunked streaming response.
+
+    No ``Content-Length`` — the body length is unknown when the head
+    goes out; chunked transfer encoding is what lets the client tell a
+    complete stream (terminal chunk seen) from a dropped connection.
+    """
+    reason = _REASONS.get(status, "Unknown")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def http_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame (empty input frames nothing — a
+    zero-length chunk would terminate the stream)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def http_last_chunk() -> bytes:
+    """The terminal chunk: the client's proof the stream completed."""
+    return b"0\r\n\r\n"

@@ -36,10 +36,20 @@ import asyncio
 import concurrent.futures
 import os
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api import Session, UnknownEngineError
 from ..api.registry import get_engine
+from ..api.result import (
+    render_stream_line,
+    stream_header_of_payload,
+    stream_trailer_of_payload,
+)
+from ..api.stream import (
+    DEFAULT_CHUNK_ROWS,
+    merge_stream_trailers,
+    ramp_chunk_bounds,
+)
 from ..core import BeanError, ast_nodes as A, check_program, parse_program
 from ..lam_s.eval import EvalError
 from ..semantics.lens import LensDomainError
@@ -48,7 +58,10 @@ from .fingerprint import fingerprint_source
 from .protocol import (
     HttpError,
     Request,
+    http_chunk,
+    http_last_chunk,
     http_response,
+    http_stream_head,
     read_request,
     render_payload,
 )
@@ -71,6 +84,60 @@ class _Prepared:
         self.key = key
 
 
+class _StreamPlan:
+    """A validated streaming audit, ready to chunk onto the wire.
+
+    ``_handle_audit`` returns one of these instead of a ``(status,
+    body)`` pair when the spec set ``stream``; the connection handler
+    turns it into a chunked NDJSON response, auditing one row-slice at
+    a time so the held state is one chunk's payload plus the running
+    trailer aggregates — never the full row set.
+    """
+
+    __slots__ = (
+        "session", "program", "name", "kwargs", "n_rows", "pool",
+        "pool_counter",
+    )
+
+    def __init__(
+        self,
+        session: Session,
+        program: A.Program,
+        name: Optional[str],
+        kwargs: Dict[str, Any],
+        n_rows: int,
+        pool: concurrent.futures.ThreadPoolExecutor,
+        pool_counter: str,
+    ) -> None:
+        self.session = session
+        self.program = program
+        self.name = name
+        self.kwargs = kwargs
+        self.n_rows = n_rows
+        self.pool = pool
+        self.pool_counter = pool_counter
+
+    def chunk_auditor(self, lo: int, hi: int):
+        """A thread-pool body auditing rows ``[lo, hi)`` with rows on."""
+
+        def run() -> Dict[str, Any]:
+            kwargs = dict(self.kwargs)
+            kwargs["inputs"] = {
+                name: rows[lo:hi] for name, rows in self.kwargs["inputs"].items()
+            }
+            kwargs["rows"] = True
+            result = self.session.audit(self.program, self.name, **kwargs)
+            payload = result.payload
+            if payload.get("rows") is None:
+                raise ValueError(
+                    f"engine {kwargs['engine']!r} produced no rows section "
+                    "to stream"
+                )
+            return payload
+
+        return run
+
+
 class AuditServer:
     """The asyncio audit server.  See the module docstring for protocol."""
 
@@ -86,6 +153,7 @@ class AuditServer:
         default_workers: int = 2,
         max_request_workers: Optional[int] = None,
         max_prepared: Optional[int] = None,
+        stream_chunk_rows: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -97,6 +165,11 @@ class AuditServer:
         if max_prepared < 1:
             raise ValueError("max_prepared must be a positive integer")
         self.max_prepared = max_prepared
+        if stream_chunk_rows is None:
+            stream_chunk_rows = DEFAULT_CHUNK_ROWS
+        if stream_chunk_rows < 1:
+            raise ValueError("stream_chunk_rows must be a positive integer")
+        self.stream_chunk_rows = stream_chunk_rows
         # A client chooses its shard width, but not without bound: each
         # spawned worker is a fresh interpreter + NumPy import, so an
         # unbounded 'workers' field would let one request exhaust the
@@ -118,6 +191,7 @@ class AuditServer:
             "audits": 0,
             "audits_light": 0,
             "audits_heavy": 0,
+            "audits_streamed": 0,
             "audit_failures": 0,
             "prep_hits": 0,
             "prep_misses": 0,
@@ -195,14 +269,18 @@ class AuditServer:
                 return
             self.stats["requests"] += 1
             try:
-                status, body = await self._route(request)
+                response = await self._route(request)
             except Exception as exc:  # noqa: BLE001 - see _handle_audit
                 self.stats["http_errors"] += 1
-                status, body = 500, _error_body(
+                response = 500, _error_body(
                     f"internal error: {type(exc).__name__}: {exc}"
                 )
-            writer.write(http_response(status, body))
-            await writer.drain()
+            if isinstance(response, _StreamPlan):
+                await self._write_stream(writer, response)
+            else:
+                status, body = response
+                writer.write(http_response(status, body))
+                await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to answer
         finally:
@@ -212,7 +290,9 @@ class AuditServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _route(self, request: Request) -> Tuple[int, bytes]:
+    async def _route(
+        self, request: Request
+    ) -> "Union[Tuple[int, bytes], _StreamPlan]":
         if request.path == "/audit":
             if request.method != "POST":
                 return 405, _error_body("POST /audit")
@@ -273,14 +353,16 @@ class AuditServer:
             }
         return payload
 
-    async def _handle_audit(self, request: Request) -> Tuple[int, bytes]:
+    async def _handle_audit(
+        self, request: Request
+    ) -> Union[Tuple[int, bytes], _StreamPlan]:
         try:
             spec = request.json()
         except HttpError as exc:
             self.stats["http_errors"] += 1
             return exc.status, _error_body(exc.message)
         try:
-            source, name, kwargs = _validate_audit_spec(
+            source, name, kwargs, stream = _validate_audit_spec(
                 spec,
                 default_workers=self.default_workers,
                 max_workers=self.max_request_workers,
@@ -288,6 +370,22 @@ class AuditServer:
         except HttpError as exc:
             self.stats["http_errors"] += 1
             return exc.status, _error_body(exc.message)
+        if stream:
+            try:
+                n_rows = _stream_row_count(kwargs["inputs"])
+            except HttpError as exc:
+                self.stats["http_errors"] += 1
+                return exc.status, _error_body(exc.message)
+            try:
+                prepared = await self._prepare(source)
+            except Exception as exc:  # noqa: BLE001 - mapped below
+                status, message = self._audit_failure(exc)
+                return status, _error_body(message)
+            pool, pool_counter = self._pool_for_engine(kwargs["engine"])
+            return _StreamPlan(
+                self.session, prepared.program, name, kwargs,
+                n_rows, pool, pool_counter,
+            )
         try:
             prepared = await self._prepare(source)
             loop = asyncio.get_running_loop()
@@ -296,35 +394,103 @@ class AuditServer:
                 pool,
                 lambda: self.session.audit(prepared.program, name, **kwargs),
             )
-        except UnknownEngineError as exc:
-            # An engine can vanish between validation and dispatch
-            # (plugin unregistered); the failure stays a client-side
-            # 400 listing the registered names, never a 500.
-            self.stats["http_errors"] += 1
-            return 400, _error_body(str(exc))
-        except BeanError as exc:
-            self.stats["audit_failures"] += 1
-            return 422, _error_body(str(exc))
-        except (EvalError, LensDomainError) as exc:
-            self.stats["audit_failures"] += 1
-            return 422, _error_body(str(exc))
-        except (ValueError, KeyError, OverflowError) as exc:
-            # Ill-shaped input data — the CLI renders these as `error:`
-            # lines; the service maps them to 422.  OverflowError covers
-            # absurd roundoff spellings like "2^99999".
-            self.stats["audit_failures"] += 1
-            message = exc.args[0] if exc.args else exc
-            return 422, _error_body(str(message))
         except Exception as exc:  # noqa: BLE001 - a crashed audit must
-            # still answer the request: 500, never a dropped connection.
-            self.stats["audit_failures"] += 1
-            return 500, _error_body(
-                f"internal error: {type(exc).__name__}: {exc}"
-            )
+            # still answer the request: 4xx/500, never a dropped
+            # connection.
+            status, message = self._audit_failure(exc)
+            return status, _error_body(message)
         self.stats["audits"] += 1
         self.stats[pool_counter] += 1
         body = (render_payload(result.payload) + "\n").encode("utf-8")
         return 200, body
+
+    def _audit_failure(self, exc: BaseException) -> Tuple[int, str]:
+        """Map one audit-path exception to ``(status, message)``.
+
+        The taxonomy is shared by the buffered and streaming paths:
+        unknown engines stay client-side 400s listing the registered
+        names (an engine can vanish between validation and dispatch
+        when a plugin unregisters); Bean-level and ill-shaped-input
+        errors are 422 (the CLI renders the same exceptions as
+        ``error:`` lines); anything else is the 500 of last resort.
+        ``OverflowError`` covers absurd roundoff spellings like
+        ``2^99999``.
+        """
+        if isinstance(exc, UnknownEngineError):
+            self.stats["http_errors"] += 1
+            return 400, str(exc)
+        if isinstance(exc, (BeanError, EvalError, LensDomainError)):
+            self.stats["audit_failures"] += 1
+            return 422, str(exc)
+        if isinstance(exc, (ValueError, KeyError, OverflowError)):
+            self.stats["audit_failures"] += 1
+            message = exc.args[0] if exc.args else exc
+            return 422, str(message)
+        self.stats["audit_failures"] += 1
+        return 500, f"internal error: {type(exc).__name__}: {exc}"
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, plan: _StreamPlan
+    ) -> None:
+        """Serve one audit as chunked NDJSON.
+
+        The first chunk is audited **before** any bytes go out, so
+        validation and evaluation errors still produce a well-formed
+        4xx/500 response.  After the head is on the wire each further
+        chunk is written and drained as it finishes (drain is the
+        backpressure bound), and a mid-stream failure emits one
+        ``{"stream_error": ...}`` line and closes **without** the
+        terminal chunk — the client provably sees an incomplete body
+        instead of mistaking the abort for a short batch.
+        """
+        loop = asyncio.get_running_loop()
+        bounds = ramp_chunk_bounds(plan.n_rows, self.stream_chunk_rows)
+        aggregate: Dict[str, Any] = {}
+        head_sent = False
+        for lo, hi in zip(bounds, bounds[1:]):
+            try:
+                payload = await loop.run_in_executor(
+                    plan.pool, plan.chunk_auditor(lo, hi)
+                )
+                lines: List[str] = []
+                if not head_sent:
+                    header = dict(stream_header_of_payload(payload))
+                    header["n_rows"] = plan.n_rows
+                    lines.append(render_stream_line(header))
+                    aggregate = stream_trailer_of_payload(payload)
+                else:
+                    aggregate = merge_stream_trailers(
+                        aggregate, stream_trailer_of_payload(payload)
+                    )
+                lines.extend(
+                    render_stream_line({**row, "row": row["row"] + lo})
+                    for row in payload["rows"]
+                )
+            except Exception as exc:  # noqa: BLE001 - mapped below
+                status, message = self._audit_failure(exc)
+                if not head_sent:
+                    writer.write(http_response(status, _error_body(message)))
+                else:
+                    writer.write(
+                        http_chunk(
+                            render_stream_line(
+                                {"stream_error": message}
+                            ).encode("utf-8")
+                        )
+                    )
+                await writer.drain()
+                return
+            if not head_sent:
+                writer.write(http_stream_head())
+                head_sent = True
+            writer.write(http_chunk("".join(lines).encode("utf-8")))
+            await writer.drain()
+        writer.write(http_chunk(render_stream_line(aggregate).encode("utf-8")))
+        writer.write(http_last_chunk())
+        await writer.drain()
+        self.stats["audits"] += 1
+        self.stats["audits_streamed"] += 1
+        self.stats[plan.pool_counter] += 1
 
     def _pool_for_engine(
         self, engine: str
@@ -405,9 +571,37 @@ def _error_body(message: str) -> bytes:
     return (render_payload({"error": message}) + "\n").encode("utf-8")
 
 
+def _stream_row_count(inputs: Dict[str, Any]) -> int:
+    """The common row count of batch-shaped streaming inputs.
+
+    A streamed audit is chunked before it is dispatched, so the shape
+    check that the batched engines would run per-request has to happen
+    here — with the same 400 discipline as the rest of the spec.
+    """
+    n_rows: Optional[int] = None
+    for name, value in inputs.items():
+        if not isinstance(value, list):
+            raise HttpError(
+                400,
+                "streaming needs batch-shaped inputs (one row list per "
+                f"parameter); {name!r} is not a list",
+            )
+        if n_rows is None:
+            n_rows = len(value)
+        elif len(value) != n_rows:
+            raise HttpError(
+                400,
+                f"input rows disagree: {name!r} has {len(value)} row(s), "
+                f"other inputs have {n_rows}",
+            )
+    if n_rows is None:
+        raise HttpError(400, "streaming needs at least one input column")
+    return n_rows
+
+
 def _validate_audit_spec(
     spec: Any, *, default_workers: int, max_workers: int
-) -> Tuple[str, Optional[str], Dict[str, Any]]:
+) -> Tuple[str, Optional[str], Dict[str, Any], bool]:
     """Check an /audit request body; raise :class:`HttpError` 400 on bad."""
     if not isinstance(spec, dict):
         raise HttpError(400, "audit request must be a JSON object")
@@ -465,9 +659,32 @@ def _validate_audit_spec(
         raise HttpError(
             400, "'exact_backend' must be 'eft', 'decimal', or null"
         )
+    rows = spec.get("rows", False)
+    if not isinstance(rows, bool):
+        raise HttpError(400, "'rows' must be a boolean")
+    stream = spec.get("stream", False)
+    if not isinstance(stream, bool):
+        raise HttpError(400, "'stream' must be a boolean")
+    sweep_bits = spec.get("sweep_bits")
+    if sweep_bits is not None:
+        # Shape only (non-empty list of positive ints): the Session owns
+        # the strictly-increasing rule and renders it as a 422 like any
+        # other ill-shaped audit input.
+        if (
+            not isinstance(sweep_bits, list)
+            or not sweep_bits
+            or any(
+                isinstance(b, bool) or not isinstance(b, int) or b < 1
+                for b in sweep_bits
+            )
+        ):
+            raise HttpError(
+                400,
+                "'sweep_bits' must be a non-empty list of positive integers",
+            )
     unknown = set(spec) - {
         "source", "inputs", "name", "engine", "workers", "precision_bits",
-        "u", "exact_backend",
+        "u", "exact_backend", "rows", "stream", "sweep_bits",
     }
     if unknown:
         raise HttpError(400, f"unknown request field(s): {sorted(unknown)}")
@@ -478,8 +695,10 @@ def _validate_audit_spec(
         "precision_bits": precision_bits,
         "u": u,
         "exact_backend": exact_backend,
+        "rows": rows or stream,
+        "sweep_bits": sweep_bits,
     }
-    return source, name, kwargs
+    return source, name, kwargs, stream
 
 
 # --------------------------------------------------------------------------

@@ -297,7 +297,7 @@ class TestAuditResult:
         assert result.schema_version == api.BASE_SCHEMA_VERSION
         assert list(result.payload)[0] == "schema_version"
         static = Session().audit(SOURCE, inputs={}, engine="forward")
-        assert static.schema_version == api.SCHEMA_VERSION
+        assert static.schema_version == api.STATIC_SCHEMA_VERSION
         assert list(static.payload)[0] == "schema_version"
 
     def test_to_json_from_json_roundtrip_scalar(self):
