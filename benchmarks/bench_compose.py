@@ -1,0 +1,131 @@
+"""Compositional audit benchmark: O(diff) re-audit vs. full cold audit.
+
+The incremental driver's claim (:mod:`repro.compose.incremental`) is
+that re-auditing a program after one definition changed costs what that
+one definition costs, not what the program costs: every unchanged
+definition's summary and witness verdict is a dictionary hit under its
+deep fingerprint.  This module quantifies the claim on a wide program —
+``N_PAIRS`` independent helper/wrapper pairs, the shape ``repro watch``
+sees when a file of many definitions gets one edit:
+
+* **cold** — a fresh :class:`IncrementalAuditor` audits all
+  ``2 * N_PAIRS`` definitions from scratch;
+* **re-audit** — the warm auditor sees the same file with exactly one
+  wrapper body edited, so exactly one definition re-audits.
+
+``compose_reaudit_vs_full_x`` (cold time over mean re-audit time) is
+gated against the committed baseline; the acceptance bar below holds it
+to at least 10x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_bench_json
+
+from repro.compose import IncrementalAuditor, reset_default_store
+
+N_PAIRS = 15  #: helper/wrapper pairs; 2 * N_PAIRS definitions total
+STEPS = 12  #: dmul chain length per definition body
+EDITS = 5  #: distinct single-definition edits timed on the warm auditor
+
+
+def _chain(callee: str, steps: int, variant: int) -> str:
+    """A strictly linear body: one call, then a ``dmul`` chain on the
+    result.  ``variant`` perturbs the final step so distinct variants
+    have distinct (deep) fingerprints."""
+    lines = [f"let a0 = {callee} in"]
+    for s in range(1, steps):
+        lines.append(f"let a{s} = dmul c a{s - 1} in")
+    closer = "add" if variant % 2 == 0 else "sub"
+    lines.append(f"{closer} a{steps - 1} y")
+    return " ".join(lines)
+
+
+def _source(edited: int = -1, variant: int = 0) -> str:
+    """``N_PAIRS`` independent pairs; pair ``edited`` gets ``variant``."""
+    defs = []
+    for i in range(N_PAIRS):
+        defs.append(
+            f"H{i} (x : num) (c : !num) : num := "
+            + " ".join(
+                ["let b0 = dmul c x in"]
+                + [f"let b{s} = dmul c b{s - 1} in" for s in range(1, STEPS)]
+                + [f"b{STEPS - 1}"]
+            )
+        )
+        v = variant if i == edited else 0
+        defs.append(
+            f"W{i} (x : num) (y : num) (c : !num) : num := "
+            + _chain(f"H{i} x c", STEPS, v)
+        )
+    return "\n".join(defs)
+
+
+class ComposeBench:
+    """Everything measured once, shared by the assertions below."""
+
+    def __init__(self) -> None:
+        reset_default_store()
+        names = [f"{kind}{i}" for i in range(N_PAIRS) for kind in ("H", "W")]
+
+        auditor = IncrementalAuditor()
+        start = time.perf_counter()
+        cold = auditor.audit_program(_source())
+        self.cold_s = time.perf_counter() - start
+        assert cold.all_sound
+        assert sorted(cold.audited) == sorted(names)
+
+        # Distinct single-wrapper edits against the warm auditor; each
+        # re-derives exactly one definition.
+        self.reaudit_s = []
+        for edit in range(EDITS):
+            edited = _source(edited=edit, variant=1)
+            start = time.perf_counter()
+            run = auditor.audit_program(edited)
+            self.reaudit_s.append(time.perf_counter() - start)
+            assert run.all_sound
+            assert run.audited == (f"W{edit}",), run.audited
+            assert len(run.reused) == 2 * N_PAIRS - 1
+            # Restore before the next edit so every edit is one-def.
+            auditor.audit_program(_source())
+
+    @property
+    def mean_reaudit_s(self) -> float:
+        return sum(self.reaudit_s) / len(self.reaudit_s)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return ComposeBench()
+
+
+def test_compose_bench_report(bench):
+    speedup = bench.cold_s / bench.mean_reaudit_s
+    write_bench_json(
+        "compose",
+        {
+            "full_cold_audit_s": bench.cold_s,
+            "reaudit_one_edit_s": bench.mean_reaudit_s,
+            "compose_reaudit_vs_full_x": speedup,
+        },
+        gate_metrics=["compose_reaudit_vs_full_x"],
+        meta={
+            "definitions": 2 * N_PAIRS,
+            "steps_per_body": STEPS,
+            "edits_timed": EDITS,
+        },
+    )
+
+
+def test_reaudit_beats_full_audit_10x(bench):
+    """The acceptance bar: one-edit re-audit >= 10x faster than cold."""
+    speedup = bench.cold_s / bench.mean_reaudit_s
+    assert speedup >= 10.0, (
+        f"cold audit of {2 * N_PAIRS} definitions took {bench.cold_s:.4f}s; "
+        f"one-edit re-audit averaged {bench.mean_reaudit_s:.4f}s "
+        f"({speedup:.1f}x) — expected >= 10x"
+    )

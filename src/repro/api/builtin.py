@@ -46,6 +46,65 @@ from .result import (
 __all__ = ["SWEEP_PRECISIONS", "RemoteEngine", "ScalarLensEngine"]
 
 
+def _composed_lens(request: AuditRequest, lens_engine: str = "ir") -> Tuple[Any, Any]:
+    """A lens whose grades come from composed per-definition summaries.
+
+    Returns ``(lens, composed)``: the judgment handed to the lens is the
+    round-trip of the definition's cached (or freshly built) summary —
+    bit-identical to the whole-program check — so the witness run and
+    its payload match the non-composed audit exactly.
+    """
+    from ..compose.engine import composed_judgments
+    from ..semantics.interp import lens_of_definition
+
+    composed = composed_judgments(request.program)
+    lens = lens_of_definition(
+        request.definition,
+        composed.judgments[request.definition.name],
+        request.program,
+        engine=lens_engine,
+    )
+    return lens, composed
+
+
+def _compose_provenance(
+    request: AuditRequest, composed: Any, execution: str
+) -> Any:
+    """The :class:`~repro.compose.engine.ComposeProvenance` of one audit."""
+    from ..compose.engine import ComposeProvenance, composition_plan
+
+    return ComposeProvenance(
+        definition=request.definition.name,
+        definitions=len(composed.judgments),
+        summaries_reused=len(composed.reused),
+        summaries_built=len(composed.built),
+        sites=composition_plan(request.definition, composed.summaries),
+        execution=execution,
+    )
+
+
+def _execution_fallbacks(
+    definition: A.Definition,
+    program: Optional[A.Program],
+    ir: Optional[Any] = None,
+) -> List[Dict[str, Any]]:
+    """The inline-fallback section of a batch audit's execution IR.
+
+    ``ir`` is the already-resolved execution IR when the caller has one
+    (the composed path); otherwise the resolution mirrors
+    :class:`~repro.semantics.batch.BatchWitnessEngine`'s — both lookups
+    hit the per-process IR cache, so this costs two dict probes.
+    """
+    from ..ir.cache import inlined_definition_ir, semantic_definition_ir
+    from ..ir.inline import inline_fallback_info
+
+    if ir is None:
+        ir = semantic_definition_ir(definition)
+        if ir.has_calls and program is not None:
+            ir = inlined_definition_ir(definition, program)
+    return inline_fallback_info(ir)
+
+
 class ScalarLensEngine:
     """One-environment witness runs through a scalar lens implementation.
 
@@ -63,9 +122,14 @@ class ScalarLensEngine:
         from ..semantics.interp import lens_of_program
         from ..semantics.witness import run_witness
 
-        lens = lens_of_program(
-            request.program, request.definition.name, engine=self.lens_engine
-        )
+        provenance = None
+        if request.compose:
+            lens, composed = _composed_lens(request, self.lens_engine)
+            provenance = _compose_provenance(request, composed, "scalar")
+        else:
+            lens = lens_of_program(
+                request.program, request.definition.name, engine=self.lens_engine
+            )
         lens.precision_bits = request.precision_bits
         report = run_witness(
             request.definition,
@@ -81,11 +145,12 @@ class ScalarLensEngine:
             u=request.u,
             precision_bits=request.precision_bits,
         )
-        return AuditResult(report, payload, report.sound, False)
+        return AuditResult(report, payload, report.sound, False, provenance)
 
 
 @register_engine(
     "ir",
+    compose=True,
     description="iterative flat-IR scalar lens (the default)",
 )
 class IrEngine(ScalarLensEngine):
@@ -106,6 +171,7 @@ class RecursiveEngine(ScalarLensEngine):
     batched=True,
     needs_numpy=True,
     rows=True,
+    compose=True,
     description="vectorized NumPy witness over environment rows",
 )
 class BatchEngine:
@@ -115,7 +181,20 @@ class BatchEngine:
         from ..semantics.batch import run_witness_batch
         from ..semantics.interp import lens_of_program
 
-        lens = lens_of_program(request.program, request.definition.name)
+        provenance = None
+        engine_options: Dict[str, Any] = {}
+        ir = None
+        if request.compose:
+            from ..compose.engine import compose_execution_ir
+
+            lens, composed = _composed_lens(request)
+            ir, execution = compose_execution_ir(
+                request.definition, request.program, composed.summaries
+            )
+            engine_options["inlined_ir"] = ir
+            provenance = _compose_provenance(request, composed, execution)
+        else:
+            lens = lens_of_program(request.program, request.definition.name)
         lens.precision_bits = request.precision_bits
         report = run_witness_batch(
             request.definition,
@@ -125,14 +204,18 @@ class BatchEngine:
             lens=lens,
             exact_backend=request.exact_backend,
             collect_rows=request.collect_rows,
+            **engine_options,
         )
         payload = batch_report_payload(
             report,
             engine=self.name,
             u=request.u,
             precision_bits=request.precision_bits,
+            inline_fallbacks=_execution_fallbacks(
+                request.definition, request.program, ir
+            ),
         )
-        return AuditResult(report, payload, report.all_sound, True)
+        return AuditResult(report, payload, report.all_sound, True, provenance)
 
 
 @register_engine(
@@ -167,6 +250,9 @@ class ShardedEngine:
             u=request.u,
             precision_bits=request.precision_bits,
             workers=request.workers,
+            inline_fallbacks=_execution_fallbacks(
+                request.definition, request.program
+            ),
         )
         return AuditResult(report, payload, report.all_sound, True)
 
@@ -217,6 +303,9 @@ class DecimalEngine:
             engine=self.name,
             u=request.u,
             precision_bits=request.precision_bits,
+            inline_fallbacks=_execution_fallbacks(
+                request.definition, request.program
+            ),
         )
         return AuditResult(report, payload, report.all_sound, True)
 
@@ -536,6 +625,7 @@ class SweepEngine:
         sweep_bits = request.sweep_bits or SWEEP_PRECISIONS
         reports: Dict[int, Any] = {}
         per_precision: Dict[str, Dict[str, Any]] = {}
+        fallbacks = _execution_fallbacks(request.definition, request.program)
         for bits in sweep_bits:
             u_bits = 2.0**-bits
             lens = lens_of_program(request.program, request.definition.name)
@@ -553,7 +643,11 @@ class SweepEngine:
             # precision — bit-identical to an independent
             # engine="batch", precision_bits=bits audit.
             per_precision[str(bits)] = batch_report_payload(
-                report, engine="batch", u=u_bits, precision_bits=bits
+                report,
+                engine="batch",
+                u=u_bits,
+                precision_bits=bits,
+                inline_fallbacks=fallbacks,
             )
         n_rows = reports[sweep_bits[0]].n_rows
         tightest: List[Optional[int]] = []
@@ -587,6 +681,7 @@ class SweepEngine:
     batched=True,
     remote=True,
     rows=True,
+    compose=True,
     description="fleet dispatch: consistent-hash fan-out over serve nodes",
 )
 class RemoteEngine:
@@ -696,6 +791,8 @@ class RemoteEngine:
             spec["rows"] = True
         if request.sweep_bits is not None:
             spec["sweep_bits"] = list(request.sweep_bits)
+        if request.compose:
+            spec["compose"] = True
         return spec
 
     def _route_fingerprint(self, request: AuditRequest) -> Optional[str]:

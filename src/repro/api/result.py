@@ -96,6 +96,7 @@ _STREAM_HEAD_KEYS = (
     "u",
     "precision_bits",
     "exact_backend",
+    "inline_fallbacks",
     "workers",
     "n_rows",
 )
@@ -114,12 +115,21 @@ class AuditResult:
     only the payload crossed the wire.  ``payload`` is the canonical
     dict; :meth:`to_json` renders it to the exact string every surface
     emits.
+
+    ``provenance`` records *how* the grades were derived when the audit
+    ran with ``compose=True`` (a
+    :class:`~repro.compose.engine.ComposeProvenance`: summaries reused
+    vs built, per-call-site decisions, execution strategy).  It is
+    in-process metadata only — never serialized into ``payload``, so
+    composed audits stay byte-identical to their inlined reference —
+    and ``None`` for non-composed audits and JSON-rebuilt results.
     """
 
     report: Optional[Any]
     payload: Dict[str, Any]
     sound: bool
     batch: bool
+    provenance: Optional[Any] = None
 
     @property
     def schema_version(self) -> int:
@@ -274,6 +284,7 @@ def batch_report_payload(
     u: float,
     precision_bits: int,
     workers: Optional[int] = None,
+    inline_fallbacks: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """The canonical JSON payload of a batch/sharded witness run.
 
@@ -282,6 +293,14 @@ def batch_report_payload(
     ``"decimal"``); the two backends are bit-identical, so every other
     field's bytes are independent of it and the schema version stays
     put.
+
+    ``inline_fallbacks`` surfaces the call sites the inliner left in
+    place and why (:func:`repro.ir.inline.inline_fallback_info`:
+    ``cycle`` / ``arity-mismatch`` / ``free-variables`` / ``size-cap``);
+    the section appears only when at least one site fell back, so the
+    payload bytes of every fully-inlined audit are unchanged.  It is a
+    property of the execution IR — known before any row runs — so it
+    lives among the header fields and streams on the header line.
 
     When the report materialized per-row witnesses (``collect_rows``),
     they are appended as the trailing ``rows`` section and the payload
@@ -298,6 +317,8 @@ def batch_report_payload(
         "precision_bits": precision_bits,
         "exact_backend": report.exact_backend,
     }
+    if inline_fallbacks:
+        payload["inline_fallbacks"] = inline_fallbacks
     if workers is not None:
         payload["workers"] = workers
     payload.update(

@@ -144,6 +144,7 @@ class Session:
         cache_dir: Optional[str] = None,
         workers: int = 2,
         mp_context: Optional[str] = None,
+        compose: bool = False,
     ) -> None:
         _validate_limits(precision_bits, workers)
         self.precision_bits = precision_bits
@@ -151,6 +152,10 @@ class Session:
         self.cache_dir = cache_dir
         self.workers = workers
         self.mp_context = mp_context
+        #: default for :meth:`audit`'s ``compose`` keyword — derive
+        #: grades from cached per-definition summaries
+        #: (:mod:`repro.compose`) instead of re-checking the program.
+        self.compose = compose
 
     # -- configuration -----------------------------------------------------
 
@@ -199,6 +204,7 @@ class Session:
         sweep_bits: Optional[Sequence[int]] = None,
         stream: bool = False,
         stream_chunk_rows: Optional[int] = None,
+        compose: Optional[bool] = None,
     ) -> Union[AuditResult, RowStream]:
         """Audit ``name`` (default: the last definition) on ``inputs``.
 
@@ -223,6 +229,14 @@ class Session:
         overrides the ``sweep`` engine's significand-width list
         (strictly increasing positive integers); like ``workers``, it
         rides on every request and engines that don't sweep ignore it.
+
+        ``compose=True`` (default: the session's ``compose`` flag)
+        derives the audited definition's grades by composing cached
+        per-definition summaries at call sites (:mod:`repro.compose`)
+        instead of re-checking the whole program — engines with
+        ``caps.compose`` only.  The payload is byte-identical to the
+        non-composed audit; the result's ``provenance`` records what
+        composition reused, built, and how execution was planned.
         """
         resolved = get_engine(engine)
         # Per-call overrides face the same bounds as the constructor:
@@ -239,6 +253,13 @@ class Session:
             raise ValueError(
                 f"engine {engine!r} cannot materialize per-row witnesses; "
                 f"rows/stream need one of: {', '.join(capable)}"
+            )
+        composed = self.compose if compose is None else compose
+        if composed and not resolved.caps.compose:
+            capable = [n for n, e in engines().items() if e.caps.compose]
+            raise ValueError(
+                f"engine {engine!r} cannot compose summaries; "
+                f"compose needs one of: {', '.join(capable)}"
             )
         if isinstance(program, str):
             program = self.parse(program)
@@ -261,6 +282,7 @@ class Session:
             exact_backend=exact_backend,
             collect_rows=rows,
             sweep_bits=swept,
+            compose=composed,
         )
         if not stream:
             return resolved.audit(request)

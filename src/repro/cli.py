@@ -220,6 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     witness.add_argument(
+        "--compose",
+        action="store_true",
+        help=(
+            "derive grades by composing cached per-definition summaries "
+            "at call sites instead of re-checking the whole program "
+            "(compose-capable engines only); the payload is byte-"
+            "identical, and a one-line compose provenance goes to stderr"
+        ),
+    )
+    witness.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -373,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     client.add_argument(
+        "--compose",
+        action="store_true",
+        help=(
+            "ask the server to derive grades from its cached "
+            "per-definition summaries (compose-capable engines only); "
+            "the response bytes are identical either way"
+        ),
+    )
+    client.add_argument(
         "--exact-backend",
         default=None,
         help=(
@@ -395,6 +414,38 @@ def build_parser() -> argparse.ArgumentParser:
             "this client instead of sent to --host/--port "
             "(default: $REPRO_NODES)"
         ),
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "re-audit a .bean file on every save: first pass summarizes "
+            "every definition, later passes re-derive only the edited "
+            "definitions and their dependents (milliseconds per save)"
+        ),
+    )
+    watch.add_argument("file", help="path to a Bean source file")
+    watch.add_argument(
+        "--u",
+        default=None,
+        help="unit roundoff for the bound check (default: 2^-precision_bits)",
+    )
+    watch.add_argument(
+        "--precision-bits",
+        type=int,
+        default=53,
+        help="simulated significand width of the witness runs",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between modification-time polls (default: 0.5)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="audit the file once and exit (no polling loop)",
     )
 
     bench = sub.add_parser(
@@ -572,11 +623,16 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             exact_backend=args.exact_backend,
             rows=args.rows,
             sweep_bits=sweep_bits,
+            compose=args.compose,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
+    if result.provenance is not None:
+        # Provenance never joins the payload (byte parity with the
+        # non-composed audit); stderr keeps --json output clean.
+        print(result.provenance.describe(), file=sys.stderr)
     if args.json:
         print(result.to_json())
         return 0 if result.sound else 2
@@ -679,6 +735,7 @@ def _cmd_client_remote(args: argparse.Namespace) -> int:
                 exact_backend=args.exact_backend,
                 sweep_bits=sweep_bits,
                 stream=True,
+                compose=args.compose,
             )
             for line in stream.lines():
                 sys.stdout.write(line)
@@ -692,6 +749,7 @@ def _cmd_client_remote(args: argparse.Namespace) -> int:
             exact_backend=args.exact_backend,
             rows=args.rows,
             sweep_bits=sweep_bits,
+            compose=args.compose,
         )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
@@ -765,6 +823,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         spec["sweep_bits"] = sweep_bits
     if args.rows:
         spec["rows"] = True
+    if args.compose:
+        spec["compose"] = True
     if args.exact_backend is not None:
         spec["exact_backend"] = args.exact_backend
     if args.stream:
@@ -794,6 +854,28 @@ def _cmd_client(args: argparse.Namespace) -> int:
     except json.JSONDecodeError:
         return 1
     return 0 if sound else 2
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .compose import watch_file
+
+    u = _parse_roundoff(args.u) if args.u is not None else None
+    if args.precision_bits < 1:
+        print("error: --precision-bits must be a positive integer", file=sys.stderr)
+        return 1
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 1
+    try:
+        return watch_file(
+            args.file,
+            precision_bits=args.precision_bits,
+            u=u,
+            interval=args.interval,
+            once=args.once,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -906,6 +988,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "witness": _cmd_witness,
+    "watch": _cmd_watch,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "client": _cmd_client,

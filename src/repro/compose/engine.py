@@ -1,0 +1,212 @@
+"""Call-site composition: auditing callers from callee summaries.
+
+Grade derivation here is *structurally* compositional — the IR sweep's
+``call`` rule charges ``out + callee grade`` per argument from the
+callee's judgment alone — so composing summaries reproduces
+whole-program inference bit for bit: :func:`composed_judgments` walks
+the program once in definition order, reusing every summary whose deep
+fingerprint is cached and running the reverse sweep only for the rest.
+
+Execution is where inlining still matters (the batch engine vectorizes
+a *flat* op list).  :func:`compose_execution_ir` plans it from summary
+metadata: when the exhaustively expanded instruction budget fits the
+standard :data:`~repro.ir.inline.MAX_INLINE_OPS` cap, the composed
+path reuses the very same cached inlined IR as the reference path
+(bit-identical payloads by construction); when the expansion exceeds
+the cap but is known safe (below :data:`COMPOSE_MAX_INLINE_OPS`), the
+summary's exact op accounting lifts the cap to precisely the predicted
+size — programs the reference path must interpret row-by-row through
+call frames vectorize under composition.
+
+The per-site precision check lives in :func:`composition_plan`: a call
+site composes in integer half-ε units when every callee grade is
+half-integral (the fast sweep's encoding) and in exact fractions
+otherwise — summaries store exact numerator/denominator pairs, so
+composition never loses tightness and the only fallbacks to inlining
+are the execution-side guards (cycle, arity, free variables, size
+cap), each recorded by :mod:`repro.ir.inline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core import ast_nodes as A
+from ..core.checker import Judgment
+from ..ir.cache import inlined_definition_ir, semantic_definition_ir
+from ..ir.inline import MAX_INLINE_OPS, inline_calls, walk_ops
+from ..ir.lower import CALL, IRProgram
+from .graph import deep_fingerprints
+from .store import SummaryStore, default_store
+from .summary import DefinitionSummary, summarize_definition, summary_to_judgment
+
+__all__ = [
+    "COMPOSE_MAX_INLINE_OPS",
+    "CallSite",
+    "ComposeProvenance",
+    "ComposedProgram",
+    "compose_execution_ir",
+    "composed_judgments",
+    "composition_plan",
+]
+
+#: Absolute ceiling on a composed flattening.  The summary's op
+#: accounting makes lifting :data:`~repro.ir.inline.MAX_INLINE_OPS`
+#: safe — the expansion size is known before splicing — but memory for
+#: the flattened op list is still real; beyond this, execution falls
+#: back to the reference path (capped inline + scalar interpretation).
+COMPOSE_MAX_INLINE_OPS = 5_000_000
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``call`` op's composition decision in a caller's body.
+
+    ``mode`` is ``"composed-halves"`` (all callee grades half-integral:
+    the integer fast path applies), ``"composed-exact"`` (at least one
+    grade needs the exact-fraction sweep — equally tight, just slower),
+    or ``"unknown-callee"`` (no summary; the call will fail at run time
+    exactly as the reference path's would).
+    """
+
+    callee: str
+    mode: str
+
+
+@dataclass(frozen=True)
+class ComposedProgram:
+    """The result of composing summaries over a whole program."""
+
+    judgments: Dict[str, Judgment]
+    summaries: Dict[str, DefinitionSummary]
+    fingerprints: Dict[str, str]
+    reused: Tuple[str, ...]
+    built: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ComposeProvenance:
+    """How one composed audit derived its grades (result rendering).
+
+    Never part of the canonical audit payload — composed payloads stay
+    byte-identical to the inlined reference — but carried on the
+    :class:`~repro.api.result.AuditResult` so the CLI and API can show
+    what composition did.
+    """
+
+    definition: str
+    definitions: int
+    summaries_reused: int
+    summaries_built: int
+    sites: Tuple[CallSite, ...]
+    execution: str
+
+    def describe(self) -> str:
+        """A one-line human rendering (the CLI prints it to stderr)."""
+        composed = sum(1 for s in self.sites if s.mode.startswith("composed"))
+        return (
+            f"compose: {self.definitions} definition(s), "
+            f"{self.summaries_reused} summary(ies) reused, "
+            f"{self.summaries_built} built; "
+            f"{composed}/{len(self.sites)} call site(s) composed; "
+            f"execution {self.execution}"
+        )
+
+
+def composed_judgments(
+    program: A.Program,
+    store: Optional[SummaryStore] = None,
+) -> ComposedProgram:
+    """Compose (or build) every definition's summary, in program order.
+
+    Bit-for-bit equivalent to
+    :func:`repro.core.checker.check_program`: a rebuilt summary
+    round-trips the checker's own judgment exactly, and a cached one
+    was distilled from an identical derivation (its deep fingerprint
+    pins the definition and its transitive callees).
+    """
+    if store is None:
+        store = default_store()
+    fingerprints = deep_fingerprints(program)
+    judgments: Dict[str, Judgment] = {}
+    summaries: Dict[str, DefinitionSummary] = {}
+    reused: List[str] = []
+    built: List[str] = []
+    for definition in program:
+        fingerprint = fingerprints[definition.name]
+        summary = store.get(fingerprint)
+        if summary is None:
+            summary = summarize_definition(
+                definition, judgments, fingerprint, summaries
+            )
+            store.put(fingerprint, summary)
+            built.append(definition.name)
+        else:
+            reused.append(definition.name)
+        summaries[definition.name] = summary
+        judgments[definition.name] = summary_to_judgment(summary)
+    return ComposedProgram(
+        judgments=judgments,
+        summaries=summaries,
+        fingerprints=fingerprints,
+        reused=tuple(reused),
+        built=tuple(built),
+    )
+
+
+def composition_plan(
+    definition: A.Definition,
+    summaries: Mapping[str, DefinitionSummary],
+) -> Tuple[CallSite, ...]:
+    """Per-call-site composition decisions for ``definition``'s body."""
+    ir = semantic_definition_ir(definition)
+    if not ir.has_calls:
+        return ()
+    sites: List[CallSite] = []
+    for op in walk_ops(ir.ops):
+        if op.code != CALL:
+            continue
+        callee = op.aux[0]
+        summary = summaries.get(callee)
+        if summary is None:
+            sites.append(CallSite(callee, "unknown-callee"))
+        elif all(p.halves is not None for p in summary.params):
+            sites.append(CallSite(callee, "composed-halves"))
+        else:
+            sites.append(CallSite(callee, "composed-exact"))
+    return tuple(sites)
+
+
+def compose_execution_ir(
+    definition: A.Definition,
+    program: A.Program,
+    summaries: Mapping[str, DefinitionSummary],
+) -> Tuple[IRProgram, str]:
+    """The execution IR of a composed audit, plus how it was obtained.
+
+    Returns ``(ir, execution)`` where ``execution`` is
+    ``"semantic"`` (no calls to flatten), ``"shared-inlined"`` (the
+    expansion fits the standard cap, so the reference path's cached
+    inlined IR is reused verbatim — byte-identical payloads for free),
+    ``"lifted-cap"`` (the summary-predicted expansion exceeds the cap
+    but is known safe, so the cap is lifted to exactly that size), or
+    ``"beyond-ceiling"`` (even composition won't flatten this; the
+    reference IR — and with it the scalar path — is used).
+    """
+    ir = semantic_definition_ir(definition)
+    if not ir.has_calls:
+        return ir, "semantic"
+    summary = summaries.get(definition.name)
+    predicted = None if summary is None else summary.total_ops
+    if (
+        predicted is not None
+        and MAX_INLINE_OPS < predicted <= COMPOSE_MAX_INLINE_OPS
+    ):
+        return (
+            inline_calls(ir, program, max_ops=predicted),
+            "lifted-cap",
+        )
+    if predicted is not None and predicted > COMPOSE_MAX_INLINE_OPS:
+        return inlined_definition_ir(definition, program), "beyond-ceiling"
+    return inlined_definition_ir(definition, program), "shared-inlined"

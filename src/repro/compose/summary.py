@@ -1,0 +1,336 @@
+"""Per-definition backward-error summaries.
+
+A :class:`DefinitionSummary` is the serializable residue of running the
+reverse-sweep grade inference once over one definition: per-parameter
+backward grades (as exact fractions of ε, with the integer half-ε
+encoding the fast sweep uses when it applies), the result type
+structure, and the sensitivity/size metadata the compositional engine
+needs to plan execution (own op count, exhaustively-expanded op count,
+direct callees).
+
+The crucial property is **exact round-tripping**:
+:func:`summary_to_judgment` rebuilds the precise
+:class:`~repro.core.checker.Judgment` the checker inferred — grades are
+stored as integer numerator/denominator pairs, so no precision is lost
+and composing summaries at call sites yields grades bit-identical to
+whole-program inference.  The parity harness in ``tests/test_compose.py``
+holds this across the random-program corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core import ast_nodes as A
+from ..core.checker import Judgment, check_definition
+from ..core.context import Binding, DiscreteContext, LinearContext
+from ..core.grades import Grade
+from ..core.types import (
+    NUM,
+    UNIT,
+    Discrete,
+    Num,
+    Sum,
+    Tensor,
+    Type,
+    Unit,
+    is_discrete,
+)
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "DefinitionSummary",
+    "ParamSummary",
+    "decode_type",
+    "encode_type",
+    "summarize_definition",
+    "summary_to_judgment",
+]
+
+#: Bump when the summary layout changes: a cached summary of a different
+#: version is treated as a miss and rebuilt.
+SUMMARY_VERSION = 1
+
+
+# --------------------------------------------------------------------------
+# Structural type codec (JSON-able, purely positional)
+# --------------------------------------------------------------------------
+
+
+def encode_type(ty: Type) -> Any:
+    """Encode ``ty`` as a nested JSON-able structure."""
+    if isinstance(ty, Num):
+        return "num"
+    if isinstance(ty, Unit):
+        return "unit"
+    if isinstance(ty, Tensor):
+        return ["t", encode_type(ty.left), encode_type(ty.right)]
+    if isinstance(ty, Sum):
+        return ["s", encode_type(ty.left), encode_type(ty.right)]
+    if isinstance(ty, Discrete):
+        return ["m", encode_type(ty.inner)]
+    raise TypeError(f"cannot encode type {ty!r}")
+
+
+def decode_type(enc: Any) -> Type:
+    """Invert :func:`encode_type`."""
+    if enc == "num":
+        return NUM
+    if enc == "unit":
+        return UNIT
+    if isinstance(enc, (list, tuple)) and enc:
+        tag = enc[0]
+        if tag == "t" and len(enc) == 3:
+            return Tensor(decode_type(enc[1]), decode_type(enc[2]))
+        if tag == "s" and len(enc) == 3:
+            return Sum(decode_type(enc[1]), decode_type(enc[2]))
+        if tag == "m" and len(enc) == 2:
+            return Discrete(decode_type(enc[1]))
+    raise ValueError(f"cannot decode type encoding {enc!r}")
+
+
+def _halves(coeff: Fraction) -> Optional[int]:
+    """``coeff`` in integer half-ε units, or ``None`` if not half-integral."""
+    doubled = coeff * 2
+    if doubled.denominator == 1:
+        return int(doubled)
+    return None
+
+
+# --------------------------------------------------------------------------
+# The summary record
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSummary:
+    """One parameter's slice of a definition summary.
+
+    ``grade`` is the inferred backward grade as an exact
+    ``(numerator, denominator)`` fraction of ε (``(0, 1)`` for discrete
+    or unused-linear parameters); ``halves`` is the same grade in
+    integer half-ε units when it is half-integral (the encoding the
+    fast integer sweep composes in), ``None`` otherwise; ``declared``
+    carries a stability-contract annotation, if any, so the rebuilt
+    parameter tuple matches the source definition's exactly.
+    """
+
+    name: str
+    ty: Any
+    discrete: bool
+    used: bool
+    grade: Tuple[int, int]
+    halves: Optional[int]
+    declared: Optional[Tuple[int, int]]
+
+    @property
+    def grade_fraction(self) -> Fraction:
+        return Fraction(*self.grade)
+
+
+@dataclass(frozen=True)
+class DefinitionSummary:
+    """The serializable grade summary of one checked definition.
+
+    ``fingerprint`` is the *deep* fingerprint the summary was derived
+    under (own alpha-invariant encoding folded with every transitive
+    callee's — see :func:`repro.compose.graph.deep_fingerprints`), so a
+    cached summary can never be served across an edit to the definition
+    or anything it calls.  ``n_ops`` counts the definition's own
+    semantic-mode IR instructions; ``total_ops`` counts the fully
+    call-expanded instruction budget (the exact quantity
+    :func:`repro.ir.inline.inline_calls` caps), letting the composed
+    execution planner decide up front whether flattening fits.
+    """
+
+    name: str
+    fingerprint: str
+    params: Tuple[ParamSummary, ...]
+    result: Any
+    n_ops: int
+    total_ops: int
+    max_grade: Tuple[int, int]
+    callees: Tuple[str, ...]
+    version: int = SUMMARY_VERSION
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A stable JSON rendering (inspection, wire transport, tests)."""
+        return {
+            "version": self.version,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "params": [
+                {
+                    "name": p.name,
+                    "ty": p.ty,
+                    "discrete": p.discrete,
+                    "used": p.used,
+                    "grade": list(p.grade),
+                    "halves": p.halves,
+                    "declared": None if p.declared is None else list(p.declared),
+                }
+                for p in self.params
+            ],
+            "result": self.result,
+            "n_ops": self.n_ops,
+            "total_ops": self.total_ops,
+            "max_grade": list(self.max_grade),
+            "callees": list(self.callees),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "DefinitionSummary":
+        """Invert :meth:`to_json_dict`; loud on version mismatch."""
+        version = data.get("version")
+        if version != SUMMARY_VERSION:
+            raise ValueError(
+                f"unsupported summary version {version!r} "
+                f"(this build reads version {SUMMARY_VERSION})"
+            )
+        params = tuple(
+            ParamSummary(
+                name=str(p["name"]),
+                ty=p["ty"],
+                discrete=bool(p["discrete"]),
+                used=bool(p["used"]),
+                grade=(int(p["grade"][0]), int(p["grade"][1])),
+                halves=None if p["halves"] is None else int(p["halves"]),
+                declared=(
+                    None
+                    if p["declared"] is None
+                    else (int(p["declared"][0]), int(p["declared"][1]))
+                ),
+            )
+            for p in data["params"]
+        )
+        return cls(
+            name=str(data["name"]),
+            fingerprint=str(data["fingerprint"]),
+            params=params,
+            result=data["result"],
+            n_ops=int(data["n_ops"]),
+            total_ops=int(data["total_ops"]),
+            max_grade=(int(data["max_grade"][0]), int(data["max_grade"][1])),
+            callees=tuple(str(c) for c in data["callees"]),
+        )
+
+
+# --------------------------------------------------------------------------
+# Inference → summary → judgment
+# --------------------------------------------------------------------------
+
+
+def _fraction_pair(coeff: Fraction) -> Tuple[int, int]:
+    return (coeff.numerator, coeff.denominator)
+
+
+def summarize_definition(
+    definition: A.Definition,
+    judgments: Mapping[str, Judgment],
+    fingerprint: str,
+    callee_summaries: Mapping[str, "DefinitionSummary"],
+) -> DefinitionSummary:
+    """Run grade inference once and distill the summary.
+
+    ``judgments`` must cover every callee (program order guarantees
+    callees are summarized first); they feed the IR sweep's ``call``
+    rule, which is where composition actually happens — the sweep
+    charges ``out + callee grade`` per argument without ever looking
+    inside the callee's body.
+    """
+    from ..ir.cache import semantic_definition_ir
+    from ..ir.inline import count_ops, walk_ops
+    from ..ir.lower import CALL
+
+    judgment = check_definition(
+        definition, judgments if judgments else None
+    )
+    ir = semantic_definition_ir(definition)
+    n_ops = count_ops(ir.ops)
+    # The exhaustively expanded instruction budget, mirroring the
+    # inliner's accounting exactly: each call site costs its callee's
+    # expanded budget plus the identity join op.
+    total_ops = n_ops
+    callees: List[str] = []
+    for op in walk_ops(ir.ops):
+        if op.code != CALL:
+            continue
+        callee_name = op.aux[0]
+        if callee_name not in callees:
+            callees.append(callee_name)
+        callee = callee_summaries.get(callee_name)
+        if callee is not None:
+            total_ops += callee.total_ops + 1
+
+    params: List[ParamSummary] = []
+    for p in definition.params:
+        discrete = is_discrete(p.ty)
+        if discrete:
+            used = False
+            coeff = Fraction(0)
+        else:
+            binding = judgment.linear.get(p.name)
+            used = binding is not None
+            coeff = judgment.grade_of(p.name).coeff
+        params.append(
+            ParamSummary(
+                name=p.name,
+                ty=encode_type(p.ty),
+                discrete=discrete,
+                used=used,
+                grade=_fraction_pair(coeff),
+                halves=_halves(coeff),
+                declared=(
+                    None
+                    if p.declared_grade is None
+                    else _fraction_pair(Grade(p.declared_grade).coeff)
+                ),
+            )
+        )
+    return DefinitionSummary(
+        name=definition.name,
+        fingerprint=fingerprint,
+        params=tuple(params),
+        result=encode_type(judgment.result),
+        n_ops=n_ops,
+        total_ops=total_ops,
+        max_grade=_fraction_pair(judgment.max_linear_grade().coeff),
+        callees=tuple(callees),
+    )
+
+
+def summary_to_judgment(summary: DefinitionSummary) -> Judgment:
+    """Rebuild the exact judgment the summary was distilled from.
+
+    The reconstruction mirrors ``check_definition``'s own assembly:
+    discrete parameters populate Φ, used linear parameters populate Γ
+    with their inferred grade, and the parameter tuple (including any
+    declared stability contract) matches the source definition's, so
+    every downstream consumer — ``grade_of``, lens construction, the
+    IR sweep's call rule — sees values numerically identical to
+    whole-program inference.
+    """
+    phi = DiscreteContext()
+    linear_bindings: Dict[str, Binding] = {}
+    rebuilt_params: List[A.Param] = []
+    for p in summary.params:
+        ty = decode_type(p.ty)
+        declared = (
+            None if p.declared is None else Grade(Fraction(*p.declared))
+        )
+        rebuilt_params.append(A.Param(p.name, ty, declared))
+        if p.discrete:
+            phi = phi.bind(p.name, ty)
+        elif p.used:
+            linear_bindings[p.name] = Binding(
+                Grade(Fraction(*p.grade)), ty
+            )
+    return Judgment(
+        summary.name,
+        tuple(rebuilt_params),
+        phi,
+        LinearContext(linear_bindings),
+        decode_type(summary.result),
+    )

@@ -34,36 +34,57 @@ interpreting the call through a frame.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from ..core import ast_nodes as A
 from .lower import _VECTORIZABLE, CALL, CASE, BANG, IROp, IRProgram, Region
 
-__all__ = ["inline_calls", "MAX_INLINE_OPS", "count_ops", "walk_ops"]
+__all__ = [
+    "inline_calls",
+    "inline_fallback_info",
+    "MAX_INLINE_OPS",
+    "count_ops",
+    "walk_ops",
+]
 
 #: Default ceiling on the total instruction count of an inlined program.
 MAX_INLINE_OPS = 200_000
 
-
-def count_ops(ops) -> int:
-    """Total instruction count, including nested ``case`` regions."""
-    total = 0
-    for op in ops:
-        total += 1
-        if op.code == CASE:
-            left, right = op.aux
-            total += count_ops(left.ops) + count_ops(right.ops)
-    return total
+#: The reasons the inliner may leave a ``call`` op in place (the audit
+#: payload's ``inline_fallbacks`` section and the server's ``/stats``
+#: counter both use these strings verbatim).
+FALLBACK_CYCLE = "cycle"
+FALLBACK_UNKNOWN = "unknown-callee"
+FALLBACK_ARITY = "arity-mismatch"
+FALLBACK_FREE_VARS = "free-variables"
+FALLBACK_SIZE_CAP = "size-cap"
 
 
-def walk_ops(ops):
-    """Yield every op, descending into ``case`` regions."""
-    for op in ops:
+def walk_ops(ops) -> Iterator[IROp]:
+    """Yield every op preorder, descending into ``case`` regions.
+
+    Iterative (explicit stack of op-list iterators), so arbitrarily deep
+    ``case`` nesting cannot hit the interpreter recursion limit — the
+    same discipline the lowerer and the sweeps follow.
+    """
+    stack = [iter(ops)]
+    while stack:
+        op = next(stack[-1], None)
+        if op is None:
+            stack.pop()
+            continue
         yield op
         if op.code == CASE:
             left, right = op.aux
-            yield from walk_ops(left.ops)
-            yield from walk_ops(right.ops)
+            # Preorder: descend into the left region first, then the
+            # right — push right first so left is consumed on top.
+            stack.append(iter(right.ops))
+            stack.append(iter(left.ops))
+
+
+def count_ops(ops) -> int:
+    """Total instruction count, including nested ``case`` regions."""
+    return sum(1 for _ in walk_ops(ops))
 
 
 class _Inliner:
@@ -73,6 +94,9 @@ class _Inliner:
         self.n_slots = n_slots
         self.budget = budget
         self.changed = False
+        #: ``(callee, reason)`` per call site left un-inlined, in the
+        #: order the sites were visited.
+        self.fallbacks: List[Tuple[str, str]] = []
 
     def fresh(self) -> int:
         slot = self.n_slots
@@ -83,8 +107,9 @@ class _Inliner:
         out: List[IROp] = []
         for op in ops:
             if op.code == CALL:
-                inlined = self._try_inline(op, stack)
+                inlined, reason = self._try_inline(op, stack)
                 if inlined is None:
+                    self.fallbacks.append((op.aux[0], reason or FALLBACK_UNKNOWN))
                     out.append(op)
                 else:
                     out.extend(inlined)
@@ -106,21 +131,26 @@ class _Inliner:
                 out.append(op)
         return out
 
-    def _try_inline(self, op: IROp, stack: frozenset) -> Optional[List[IROp]]:
+    def _try_inline(
+        self, op: IROp, stack: frozenset
+    ) -> Tuple[Optional[List[IROp]], Optional[str]]:
         from .cache import semantic_definition_ir
 
         name, arg_slots = op.aux
-        if name in stack or self.program is None or name not in self.program:
-            return None
+        if name in stack:
+            return None, FALLBACK_CYCLE
+        if self.program is None or name not in self.program:
+            return None, FALLBACK_UNKNOWN
         callee = self.program[name]
         if len(callee.params) != len(arg_slots):
-            return None  # arity error must surface at run time
+            return None, FALLBACK_ARITY  # arity error must surface at run time
         callee_ir = semantic_definition_ir(callee)
         if len(callee_ir.params) != len(callee.params):
-            return None  # free variables must keep failing at use time
+            # free variables must keep failing at use time
+            return None, FALLBACK_FREE_VARS
         cost = count_ops(callee_ir.ops) + 1
         if self.budget + cost > self.max_ops:
-            return None
+            return None, FALLBACK_SIZE_CAP
         self.budget += cost
 
         # Remap callee slots into the caller's slot space: parameter
@@ -169,7 +199,7 @@ class _Inliner:
         # Inline the callee's own calls with this callee on the stack.
         body = self.transform(body, stack | {name})
         body.append(IROp(BANG, op.dest, remap(callee_ir.result)))
-        return body
+        return body, None
 
 
 def inline_calls(
@@ -190,8 +220,26 @@ def inline_calls(
         return ir
     inliner = _Inliner(program, max_ops, ir.n_slots, count_ops(ir.ops))
     ops = inliner.transform(ir.ops, frozenset())
+    fallbacks = tuple(inliner.fallbacks)
     if not inliner.changed:
-        return ir
+        if not fallbacks:
+            return ir
+        # Nothing was spliced, but guards fired: return a shallow copy
+        # carrying the recorded reasons (the shared semantic-mode IR
+        # must stay pristine — it is identity-cached program-wide).
+        return IRProgram(
+            ir.name,
+            ir.params,
+            ir.ops,
+            ir.result,
+            ir.n_slots,
+            types=ir.types,
+            used_params=ir.used_params,
+            has_calls=ir.has_calls,
+            has_cases=ir.has_cases,
+            vectorizable=ir.vectorizable,
+            inline_fallbacks=fallbacks,
+        )
     has_calls = False
     has_cases = False
     vectorizable = True
@@ -213,4 +261,27 @@ def inline_calls(
         has_calls=has_calls,
         has_cases=has_cases,
         vectorizable=vectorizable,
+        inline_fallbacks=fallbacks,
     )
+
+
+def inline_fallback_info(ir: IRProgram) -> List[dict]:
+    """The audit payload's ``inline_fallbacks`` section for ``ir``.
+
+    One entry per (callee, reason) pair with the number of call sites
+    it covers, sorted for deterministic payload bytes.  Empty (so the
+    section is omitted and pre-existing payload bytes are preserved)
+    whenever every call inlined cleanly — in practice a guard can only
+    fire on pathological programs, e.g. an inlined size beyond the
+    ``max_ops`` cap.
+    """
+    fallbacks = getattr(ir, "inline_fallbacks", ())
+    if not fallbacks:
+        return []
+    counts: dict = {}
+    for callee, reason in fallbacks:
+        counts[(callee, reason)] = counts.get((callee, reason), 0) + 1
+    return [
+        {"callee": callee, "reason": reason, "sites": sites}
+        for (callee, reason), sites in sorted(counts.items())
+    ]

@@ -193,6 +193,7 @@ class IRProgram:
         "has_calls",
         "has_cases",
         "vectorizable",
+        "inline_fallbacks",
     )
 
     def __init__(
@@ -207,6 +208,7 @@ class IRProgram:
         has_calls: bool = False,
         has_cases: bool = False,
         vectorizable: bool = False,
+        inline_fallbacks: Tuple = (),
     ):
         self.name = name
         self.params = params
@@ -218,6 +220,9 @@ class IRProgram:
         self.has_calls = has_calls
         self.has_cases = has_cases
         self.vectorizable = vectorizable
+        #: ``(callee, reason)`` pairs recorded by the inliner for every
+        #: ``call`` op it left in place (empty for semantic-mode IR).
+        self.inline_fallbacks = inline_fallbacks
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

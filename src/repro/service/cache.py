@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Optional, Union
 
 from ..core import ast_nodes as A
 from .fingerprint import (
+    FINGERPRINT_VERSION,
     UnfingerprintableError,
     fingerprint_definition,
     fingerprint_program,
@@ -97,6 +98,34 @@ class ArtifactCache:
                 raise ValueError("need a definition or a program to key on")
             return fingerprint_program(program, kind=kind)
         return fingerprint_definition(definition, program, kind=kind)
+
+    def keyed_key(self, kind: str, fingerprint: str) -> str:
+        """The artifact key for ``kind`` under a caller-supplied hash.
+
+        For artifacts not keyed by one definition's (or one program's)
+        own encoding — e.g. the ``summary`` kind, keyed by a *deep*
+        fingerprint that folds in every transitive callee — the caller
+        brings the content hash and this namespaces it by kind and
+        fingerprint version so distinct artifact families can never
+        collide on disk.
+        """
+        h = hashlib.sha256()
+        for token in (f"keyed/{FINGERPRINT_VERSION}", kind, fingerprint):
+            data = token.encode("utf-8")
+            h.update(str(len(data)).encode("ascii") + b":" + data)
+        return h.hexdigest()
+
+    def get_keyed(
+        self, kind: str, fingerprint: str, build: Callable[[], Any]
+    ) -> Any:
+        """Build-through under :meth:`keyed_key` (see :meth:`get`)."""
+        key = self.keyed_key(kind, fingerprint)
+        value = self.load(key)
+        if value is not None:
+            return value
+        value = build()
+        self.store(key, value)
+        return value
 
     # -- raw entry I/O -----------------------------------------------------
 

@@ -44,8 +44,10 @@ __all__ = [
 ]
 
 #: Bump whenever the encoding (or the artifact formats it keys) changes:
-#: stale cache entries from older code must never be served.
-FINGERPRINT_VERSION = 1
+#: stale cache entries from older code must never be served.  Version 2:
+#: ``IRProgram`` grew the ``inline_fallbacks`` slot, changing the pickled
+#: layout of the ``semantic-ir`` / ``inlined-ir`` artifacts.
+FINGERPRINT_VERSION = 2
 
 
 class UnfingerprintableError(TypeError):

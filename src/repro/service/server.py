@@ -192,6 +192,8 @@ class AuditServer:
             "audits_light": 0,
             "audits_heavy": 0,
             "audits_streamed": 0,
+            "audits_composed": 0,
+            "inline_fallback_sites": 0,
             "audit_failures": 0,
             "prep_hits": 0,
             "prep_misses": 0,
@@ -337,8 +339,13 @@ class AuditServer:
         }
 
     def _stats_payload(self) -> Dict[str, Any]:
+        from ..compose import default_store
+
         payload: Dict[str, Any] = {"server": dict(self.stats)}
         payload["prepared_programs"] = len(self._prep_tasks)
+        # Composed audits go through the process-wide summary store, so
+        # its hit/miss counters are this server's summary reuse.
+        payload["summaries"] = dict(default_store().stats)
         payload["queues"] = {
             "light": self._queue_stats(self._pool),
             "heavy": self._queue_stats(self._heavy_pool),
@@ -401,6 +408,12 @@ class AuditServer:
             return status, _error_body(message)
         self.stats["audits"] += 1
         self.stats[pool_counter] += 1
+        if kwargs.get("compose"):
+            self.stats["audits_composed"] += 1
+        self.stats["inline_fallback_sites"] += sum(
+            entry["sites"]
+            for entry in result.payload.get("inline_fallbacks", ())
+        )
         body = (render_payload(result.payload) + "\n").encode("utf-8")
         return 200, body
 
@@ -491,6 +504,8 @@ class AuditServer:
         self.stats["audits"] += 1
         self.stats["audits_streamed"] += 1
         self.stats[plan.pool_counter] += 1
+        if plan.kwargs.get("compose"):
+            self.stats["audits_composed"] += 1
 
     def _pool_for_engine(
         self, engine: str
@@ -665,6 +680,9 @@ def _validate_audit_spec(
     stream = spec.get("stream", False)
     if not isinstance(stream, bool):
         raise HttpError(400, "'stream' must be a boolean")
+    compose = spec.get("compose", False)
+    if not isinstance(compose, bool):
+        raise HttpError(400, "'compose' must be a boolean")
     sweep_bits = spec.get("sweep_bits")
     if sweep_bits is not None:
         # Shape only (non-empty list of positive ints): the Session owns
@@ -684,7 +702,7 @@ def _validate_audit_spec(
             )
     unknown = set(spec) - {
         "source", "inputs", "name", "engine", "workers", "precision_bits",
-        "u", "exact_backend", "rows", "stream", "sweep_bits",
+        "u", "exact_backend", "rows", "stream", "sweep_bits", "compose",
     }
     if unknown:
         raise HttpError(400, f"unknown request field(s): {sorted(unknown)}")
@@ -697,6 +715,7 @@ def _validate_audit_spec(
         "exact_backend": exact_backend,
         "rows": rows or stream,
         "sweep_bits": sweep_bits,
+        "compose": compose,
     }
     return source, name, kwargs, stream
 

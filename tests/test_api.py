@@ -23,6 +23,7 @@ Four contracts under test:
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import io
 import json
 import warnings
@@ -126,7 +127,7 @@ class TestRegistry:
             # Restore in place: replacing an existing name keeps its
             # registry position, so engine ordering survives this test.
             api.register_engine(
-                "ir", description=original.caps.description, replace=True
+                "ir", replace=True, **dataclasses.asdict(original.caps)
             )(original)
         assert api.get_engine("ir") is original
         assert api.engine_names()[0] == "ir"
