@@ -224,6 +224,7 @@ class BatchEngine:
     multiprocess=True,
     needs_numpy=True,
     rows=True,
+    compose=True,
     description="batch rows fanned out over worker processes",
 )
 class ShardedEngine:
@@ -232,6 +233,22 @@ class ShardedEngine:
     def audit(self, request: AuditRequest) -> AuditResult:
         from ..semantics.shard import run_witness_sharded
 
+        provenance = None
+        ir = None
+        if request.compose:
+            from ..compose.engine import compose_execution_ir, composed_judgments
+
+            # Plan (and record) the composed execution here; the
+            # sharded runner re-plans the same IR — deterministically —
+            # in the parent engine and every worker rather than
+            # shipping it across process pipes.  No composed lens is
+            # needed: composed judgments are bit-identical to the
+            # whole-program check the workers' own lenses run on.
+            composed = composed_judgments(request.program)
+            ir, execution = compose_execution_ir(
+                request.definition, request.program, composed.summaries
+            )
+            provenance = _compose_provenance(request, composed, execution)
         report = run_witness_sharded(
             request.definition,
             request.inputs,
@@ -241,6 +258,8 @@ class ShardedEngine:
             precision_bits=request.precision_bits,
             cache_dir=request.cache_dir,
             mp_context=request.mp_context,
+            pool=request.pool,
+            compose=request.compose,
             exact_backend=request.exact_backend,
             collect_rows=request.collect_rows,
         )
@@ -251,10 +270,10 @@ class ShardedEngine:
             precision_bits=request.precision_bits,
             workers=request.workers,
             inline_fallbacks=_execution_fallbacks(
-                request.definition, request.program
+                request.definition, request.program, ir
             ),
         )
-        return AuditResult(report, payload, report.all_sound, True)
+        return AuditResult(report, payload, report.all_sound, True, provenance)
 
 
 @register_engine(

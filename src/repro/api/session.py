@@ -25,9 +25,21 @@ CLI prints and the audit server serves, byte for byte.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core import ast_nodes as A
+
+if TYPE_CHECKING:
+    from ..semantics.pool import ShardWorkerPool
 from ..core.checker import Judgment, check_program
 from ..core.parser import parse_program
 from .registry import AuditRequest, Engine, engines, get_engine
@@ -134,6 +146,15 @@ class Session:
     IR cache warm (see ``benchmarks/bench_api.py`` for the measured
     win).  Per-call keyword overrides on :meth:`audit` never mutate the
     session.
+
+    ``pool=True`` gives multiprocess engines a persistent
+    :class:`~repro.semantics.pool.ShardWorkerPool` (created lazily on
+    the first sharded audit, sized by ``pool_workers``): repeat audits
+    reuse warm workers whose prepared-program tables skip pickling and
+    re-lowering.  A ready-made pool instance can be passed instead to
+    share one pool across sessions.  A session that created a pool owns
+    it — call :meth:`close` (or use the session as a context manager)
+    to shut the workers down.
     """
 
     def __init__(
@@ -145,8 +166,11 @@ class Session:
         workers: int = 2,
         mp_context: Optional[str] = None,
         compose: bool = False,
+        pool: Union[bool, "ShardWorkerPool"] = False,
+        pool_workers: Optional[int] = None,
     ) -> None:
         _validate_limits(precision_bits, workers)
+        _validate_limits(None, pool_workers)
         self.precision_bits = precision_bits
         self.u = u
         self.cache_dir = cache_dir
@@ -156,6 +180,16 @@ class Session:
         #: grades from cached per-definition summaries
         #: (:mod:`repro.compose`) instead of re-checking the program.
         self.compose = compose
+        self.pool_workers = pool_workers
+        self._pool: Optional["ShardWorkerPool"] = None
+        self._owns_pool = False
+        if pool is True:
+            self._pool_enabled = True
+        elif pool is False:
+            self._pool_enabled = False
+        else:
+            self._pool_enabled = True
+            self._pool = pool
 
     # -- configuration -----------------------------------------------------
 
@@ -175,6 +209,45 @@ class Session:
             from ..service.cache import activate
 
             activate(self.cache_dir)
+
+    # -- the worker pool ---------------------------------------------------
+
+    def _maybe_pool(self) -> Optional["ShardWorkerPool"]:
+        """The session's pool, created lazily when pooling is enabled."""
+        if not self._pool_enabled:
+            return None
+        if self._pool is None:
+            from ..semantics.pool import ShardWorkerPool
+
+            self._pool = ShardWorkerPool(
+                self.pool_workers or self.workers,
+                mp_context=self.mp_context or "spawn",
+            )
+            self._owns_pool = True
+        return self._pool
+
+    def pool_stats(self) -> Optional[Dict[str, int]]:
+        """Counters of the session's pool; ``None`` before one exists."""
+        if self._pool is None:
+            return None
+        return self._pool.stats()
+
+    def close(self) -> None:
+        """Shut down session-owned resources (the worker pool).
+
+        Idempotent; a pool that was passed in ready-made is left
+        running for its other users.
+        """
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+        self._owns_pool = False
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- the pipeline ------------------------------------------------------
 
@@ -283,6 +356,9 @@ class Session:
             collect_rows=rows,
             sweep_bits=swept,
             compose=composed,
+            pool=(
+                self._maybe_pool() if resolved.caps.multiprocess else None
+            ),
         )
         if not stream:
             return resolved.audit(request)

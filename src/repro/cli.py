@@ -255,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: $REPRO_NODES)"
         ),
     )
+    witness.add_argument(
+        "--pool",
+        action="store_true",
+        help=(
+            "with --batch --workers N: run the shards on a persistent "
+            "worker pool instead of spawning processes per audit "
+            "(byte-identical results; pays off when one invocation "
+            "audits repeatedly, e.g. via --rows materialization)"
+        ),
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -327,6 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
             "rows audited per chunk of a streamed (NDJSON) audit "
             "response (default: 4096); smaller chunks surface first "
             "verdicts sooner at more per-chunk overhead"
+        ),
+    )
+    serve.add_argument(
+        "--pool",
+        action="store_true",
+        help=(
+            "keep a persistent pool of shard worker processes shared "
+            "across sharded audit requests: repeat fingerprints skip "
+            "spawn, pickling, and IR re-lowering (results stay "
+            "byte-identical; see /stats 'pool' for counters)"
+        ),
+    )
+    serve.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        help=(
+            "size of the persistent worker pool (default: "
+            "--max-request-workers, so the widest admissible request "
+            "still fans across distinct workers)"
         ),
     )
 
@@ -613,18 +643,20 @@ def _cmd_witness(args: argparse.Namespace) -> int:
             u=args.u,
             cache_dir=args.cache_dir,
             workers=args.workers,
+            pool=args.pool,
         )
         inputs = json.loads(args.inputs)
-        result = session.audit(
-            program,
-            args.name,
-            inputs=inputs,
-            engine=engine,
-            exact_backend=args.exact_backend,
-            rows=args.rows,
-            sweep_bits=sweep_bits,
-            compose=args.compose,
-        )
+        with session:
+            result = session.audit(
+                program,
+                args.name,
+                inputs=inputs,
+                engine=engine,
+                exact_backend=args.exact_backend,
+                rows=args.rows,
+                sweep_bits=sweep_bits,
+                compose=args.compose,
+            )
     except (ValueError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
@@ -670,6 +702,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_request_workers=args.max_request_workers,
             max_prepared=args.max_prepared,
             stream_chunk_rows=args.stream_chunk_rows,
+            pool=args.pool,
+            pool_workers=args.pool_workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

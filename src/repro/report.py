@@ -41,6 +41,10 @@ class DefinitionReport:
     interval_forward_bound: float
     condition_number: Optional[float]
     derived_forward_bound: Optional[float]
+    #: call sites the IR inliner refused (guarded calls run the scalar
+    #: path): ``{"callee", "reason", "sites"}`` entries, the same
+    #: section batch audit payloads carry.  Empty = everything inlines.
+    inline_fallbacks: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +62,7 @@ class DefinitionReport:
                 else self.interval_forward_bound
             ),
             "forward_from_backward": self.derived_forward_bound,
+            "inline_fallbacks": self.inline_fallbacks,
         }
 
 
@@ -67,6 +72,12 @@ class AnalysisReport:
 
     u: float
     definitions: List[DefinitionReport] = field(default_factory=list)
+    #: summary-store traffic of this analysis: grades served from
+    #: cached per-definition summaries vs rebuilt by the checker
+    #: (:func:`repro.compose.engine.composed_judgments` — bit-identical
+    #: to a whole-program re-check either way).
+    summaries_reused: int = 0
+    summaries_built: int = 0
 
     def __getitem__(self, name: str) -> DefinitionReport:
         for d in self.definitions:
@@ -78,10 +89,18 @@ class AnalysisReport:
         return {
             "u": self.u,
             "definitions": [d.to_dict() for d in self.definitions],
+            "summaries": {
+                "reused": self.summaries_reused,
+                "built": self.summaries_built,
+            },
         }
 
     def describe(self) -> str:
         lines = [f"unit roundoff u = {self.u:.3e}  (ε = u/(1-u))"]
+        lines.append(
+            f"summaries: {self.summaries_reused} reused, "
+            f"{self.summaries_built} built"
+        )
         for d in self.definitions:
             lines.append("")
             lines.append(f"{d.name} : {d.result_type}   [{d.flops} flops]")
@@ -110,6 +129,12 @@ class AnalysisReport:
                     "  forward ≤ κ × backward: "
                     f"{d.derived_forward_bound:.3e} (κ = {d.condition_number})"
                 )
+            for entry in d.inline_fallbacks:
+                lines.append(
+                    f"  inline fallback: {entry['sites']} call site(s) to "
+                    f"{entry['callee']} run the scalar path "
+                    f"({entry['reason']})"
+                )
         return "\n".join(lines)
 
 
@@ -127,13 +152,26 @@ def analyze(
     :class:`repro.api.Session` — the exact code path ``repro serve``
     and ``repro witness --engine forward|interval`` exercise.
     """
+    from .compose.engine import composed_judgments
+    from .ir.cache import inlined_definition_ir, semantic_definition_ir
+    from .ir.inline import inline_fallback_info
+
     session = Session(u=u)
     if isinstance(source_or_program, Program):
         program = source_or_program
     else:
         program = session.parse(source_or_program)
-    judgments = session.check(program)
-    report = AnalysisReport(u=u)
+    # Judgments come through the compositional layer — bit-identical to
+    # session.check's whole-program pass, and the composed result says
+    # how many per-definition summaries this analysis reused vs built
+    # (a repeat analyze() of an edited file rebuilds only the diff).
+    composed = composed_judgments(program)
+    judgments = composed.judgments
+    report = AnalysisReport(
+        u=u,
+        summaries_reused=len(composed.reused),
+        summaries_built=len(composed.built),
+    )
     for definition in program:
         judgment: Judgment = judgments[definition.name]
         backward: Dict[str, Grade] = {}
@@ -156,6 +194,11 @@ def analyze(
         if condition_number is not None and backward:
             worst = max(values.values())
             derived = condition_number * worst
+        # The execution IR's refused call sites, resolved the way the
+        # batch engine resolves them (two identity-cache probes).
+        ir = semantic_definition_ir(definition)
+        if ir.has_calls:
+            ir = inlined_definition_ir(definition, program)
         report.definitions.append(
             DefinitionReport(
                 name=definition.name,
@@ -167,6 +210,7 @@ def analyze(
                 interval_forward_bound=interval,
                 condition_number=condition_number,
                 derived_forward_bound=derived,
+                inline_fallbacks=inline_fallback_info(ir),
             )
         )
     return report

@@ -47,7 +47,8 @@ __all__ = [name for name in dir() if not name.startswith("_")]
 # numpy import.
 _LAZY_BATCH = ("BatchWitnessEngine", "BatchWitnessReport", "run_witness_batch")
 _LAZY_SHARD = ("run_witness_sharded", "shard_bounds")
-__all__ += list(_LAZY_BATCH) + list(_LAZY_SHARD)
+_LAZY_POOL = ("ShardWorkerPool", "default_pool", "close_default_pool")
+__all__ += list(_LAZY_BATCH) + list(_LAZY_SHARD) + list(_LAZY_POOL)
 
 
 def __getattr__(name):
@@ -59,4 +60,8 @@ def __getattr__(name):
         from . import shard
 
         return getattr(shard, name)
+    if name in _LAZY_POOL:
+        from . import pool
+
+        return getattr(pool, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

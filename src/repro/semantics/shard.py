@@ -32,6 +32,13 @@ Design points:
 ``workers=None`` uses ``os.cpu_count()``; with one worker (or one row)
 the call degrades to an in-process :func:`run_witness_batch`, so callers
 can pass ``--workers`` unconditionally.
+
+Spawn-per-audit is the default; passing ``pool=`` (a
+:class:`~repro.semantics.pool.ShardWorkerPool`) dispatches the same
+shards to persistent warm workers instead — byte-identical results,
+none of the per-audit spawn/pickle/re-lower cost.  Setting
+``REPRO_POOL=1`` routes every sharded run through a process-default
+pool (how the nightly soak exercises pooled execution).
 """
 
 from __future__ import annotations
@@ -41,7 +48,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from decimal import Decimal
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +57,9 @@ from ..core.deepstack import call_with_deep_stack
 from ..core.grades import BINARY64_UNIT_ROUNDOFF
 from .batch import BatchWitnessEngine, BatchWitnessReport
 from .witness import run_witness
+
+if TYPE_CHECKING:
+    from .pool import ShardWorkerPool
 
 __all__ = ["run_witness_sharded", "shard_bounds"]
 
@@ -72,21 +82,27 @@ def shard_bounds(n_rows: int, shards: int) -> List[int]:
 
 
 def _run_shard(blob: bytes, columns: Dict[str, np.ndarray], u: float,
-               engine_options: Dict, cache_dir: Optional[str] = None):
+               engine_options: Dict, cache_dir: Optional[str] = None,
+               compose: bool = False):
     """Worker body: re-lower the IR locally and certify one row slice.
 
     Returns a picklable summary — the lazy per-row reports stay behind
     (they close over worker-local engine state).  With ``cache_dir``,
     the worker warm-starts its re-lowering (semantic IR, inlined IR,
     inferred judgments) from the shared on-disk artifact cache the
-    parent populated, instead of recomputing them from the AST.
+    parent populated, instead of recomputing them from the AST.  Under
+    ``compose`` the execution IR is re-planned locally from composed
+    summaries (:func:`repro.semantics.pool._build_engine`) — planning
+    is deterministic, so shipping the flag beats shipping the IR.
     """
     if cache_dir:
         from ..service.cache import activate
 
         activate(cache_dir)
+    from .pool import _build_engine
+
     definition, program = call_with_deep_stack(pickle.loads, blob)
-    engine = BatchWitnessEngine(definition, program, u=u, **engine_options)
+    engine = _build_engine(definition, program, u, engine_options, compose)
     report = engine.run(columns)
     return (
         np.asarray(report.sound),
@@ -107,6 +123,8 @@ def run_witness_sharded(
     workers: Optional[int] = None,
     mp_context: Optional[str] = None,
     cache_dir: Optional[str] = None,
+    pool: Optional["ShardWorkerPool"] = None,
+    compose: bool = False,
     **engine_options,
 ) -> BatchWitnessReport:
     """Certify a batch of environments across ``workers`` processes.
@@ -125,6 +143,15 @@ def run_witness_sharded(
     IR, and judgments — and every worker warm-starts from it instead of
     re-lowering from the pickled AST.  Results are bitwise identical
     either way; the cache only changes who pays for lowering.
+
+    ``pool`` dispatches the shards to a persistent
+    :class:`~repro.semantics.pool.ShardWorkerPool` instead of spawning
+    a fresh executor (byte-identical results; repeat audits of a known
+    fingerprint skip pickling and re-lowering).  With ``compose=True``
+    the execution IR is planned from composed per-definition summaries
+    (:func:`repro.compose.engine.compose_execution_ir`) in the parent
+    and re-planned deterministically in every worker — payload bytes
+    are unchanged vs the non-composed audit.
     """
     if "lens" in engine_options:
         raise ValueError(
@@ -136,7 +163,20 @@ def run_witness_sharded(
         from ..service.cache import activate
 
         activate(cache_dir)
-    engine = BatchWitnessEngine(definition, program, u=u, **engine_options)
+    if pool is None and os.environ.get("REPRO_POOL"):
+        from .pool import default_pool
+
+        pool = default_pool()
+    parent_options = dict(engine_options)
+    if compose and program is not None:
+        from ..compose.engine import compose_execution_ir, composed_judgments
+
+        composed = composed_judgments(program)
+        planned_ir, _execution = compose_execution_ir(
+            definition, program, composed.summaries
+        )
+        parent_options["inlined_ir"] = planned_ir
+    engine = BatchWitnessEngine(definition, program, u=u, **parent_options)
     # Pin the parent's resolved exact-arithmetic backend into the
     # options the workers receive: a worker must never re-resolve
     # ``REPRO_EXACT_BACKEND`` (or the default) for itself, so every
@@ -148,33 +188,57 @@ def run_witness_sharded(
     if workers is None:
         workers = os.cpu_count() or 1
     shards = max(1, min(int(workers), n_rows))
+    if pool is not None:
+        shards = min(shards, pool.workers)
     if shards <= 1 or n_rows == 0:
         return engine.run(inputs)
 
-    # Pickle the ASTs once, on a deep stack (let-chains nest past the
-    # default pickler recursion depth); workers get opaque bytes.
-    blob = call_with_deep_stack(
-        pickle.dumps, (definition, program), pickle.HIGHEST_PROTOCOL
-    )
     bounds = shard_bounds(n_rows, shards)
-    ctx = (
-        multiprocessing.get_context(mp_context)
-        if isinstance(mp_context, str)
-        else mp_context
-    )
-    with ProcessPoolExecutor(max_workers=shards, mp_context=ctx) as pool:
-        futures = [
-            pool.submit(
-                _run_shard,
-                blob,
-                {name: arr[bounds[i]: bounds[i + 1]] for name, arr in columns.items()},
-                u,
-                engine_options,
-                cache_dir,
-            )
-            for i in range(shards)
-        ]
-        results = [f.result() for f in futures]
+    if pool is not None:
+        # Persistent warm workers: the pool fingerprints the program,
+        # skips the blob for prepared workers, and moves the rows
+        # through shared memory.  Same per-shard result shape, so the
+        # merge below is shared — and byte-identical — with the
+        # spawn-per-audit path.
+        results = pool.run_shards(
+            definition,
+            program,
+            columns,
+            bounds,
+            u=u,
+            engine_options=engine_options,
+            cache_dir=cache_dir,
+            compose=compose,
+        )
+    else:
+        # Pickle the ASTs once, on a deep stack (let-chains nest past
+        # the default pickler recursion depth); workers get opaque
+        # bytes.
+        blob = call_with_deep_stack(
+            pickle.dumps, (definition, program), pickle.HIGHEST_PROTOCOL
+        )
+        ctx = (
+            multiprocessing.get_context(mp_context)
+            if isinstance(mp_context, str)
+            else mp_context
+        )
+        with ProcessPoolExecutor(max_workers=shards, mp_context=ctx) as spawned:
+            futures = [
+                spawned.submit(
+                    _run_shard,
+                    blob,
+                    {
+                        name: arr[bounds[i]: bounds[i + 1]]
+                        for name, arr in columns.items()
+                    },
+                    u,
+                    engine_options,
+                    cache_dir,
+                    compose,
+                )
+                for i in range(shards)
+            ]
+            results = [f.result() for f in futures]
 
     sound = np.concatenate([r[0] for r in results])
     exact = np.concatenate([r[1] for r in results])

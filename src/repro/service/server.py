@@ -154,6 +154,8 @@ class AuditServer:
         max_request_workers: Optional[int] = None,
         max_prepared: Optional[int] = None,
         stream_chunk_rows: Optional[int] = None,
+        pool: bool = False,
+        pool_workers: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -179,11 +181,24 @@ class AuditServer:
         self.max_request_workers = max_request_workers
         # One Session owns the audit-side cross-cutting state.  Never
         # fork a multi-threaded server: a forked shard worker can
-        # inherit a lock some other thread holds.
+        # inherit a lock some other thread holds.  With ``pool=True``
+        # the session lazily owns one persistent ShardWorkerPool shared
+        # by every sharded request — the warm-worker analogue of the
+        # prepared-program table, sized by ``pool_workers`` (default:
+        # ``max_request_workers``, so the widest admissible request
+        # still fans across distinct workers).
+        self.pool_enabled = bool(pool)
+        self.pool_workers = pool_workers
         self.session = Session(
             cache_dir=cache_dir,
             workers=default_workers,
             mp_context="spawn",
+            pool=self.pool_enabled,
+            pool_workers=(
+                (pool_workers or self.max_request_workers)
+                if self.pool_enabled
+                else None
+            ),
         )
         self.cache: Optional[ArtifactCache] = None
         self.stats: Dict[str, int] = {
@@ -247,6 +262,8 @@ class AuditServer:
             self._server = None
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._heavy_pool.shutdown(wait=False, cancel_futures=True)
+        # Stop the persistent shard workers (no-op without --pool).
+        self.session.close()
 
     # -- connection handling ----------------------------------------------
 
@@ -350,6 +367,14 @@ class AuditServer:
             "light": self._queue_stats(self._pool),
             "heavy": self._queue_stats(self._heavy_pool),
         }
+        # Persistent shard workers (--pool): prepared-table traffic,
+        # crash restarts, and shared-memory bytes currently in flight.
+        pool_stats = self.session.pool_stats()
+        payload["pool"] = (
+            {"enabled": self.pool_enabled, **pool_stats}
+            if pool_stats is not None
+            else {"enabled": self.pool_enabled}
+        )
         if self.cache is not None:
             entries = self.cache._entries()  # one scan for both numbers
             payload["cache"] = {
